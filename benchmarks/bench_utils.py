@@ -1,0 +1,27 @@
+"""Helpers shared by the benchmark harness (kept out of conftest so that
+benchmark modules can import them explicitly without relying on pytest's
+conftest injection)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+#: Training sizes evaluated for the error-versus-samples figures.
+NOMINAL_TRAINING_SIZES = (1, 2, 3, 5, 10, 20, 50)
+STATISTICAL_TRAINING_SIZES = (1, 2, 3, 5, 10, 20)
+
+#: Directory where regenerated tables and series are written.
+RESULTS_DIR = Path(__file__).parent / "benchmark_results"
+
+
+def env_int(name: str, default: int) -> int:
+    """Read an integer configuration value from the environment."""
+    return int(os.environ.get(name, default))
+
+
+def write_result(path: Path, text: str) -> None:
+    """Write a regenerated table to disk and echo it to stdout."""
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(text + "\n", encoding="utf-8")
+    print("\n" + text)

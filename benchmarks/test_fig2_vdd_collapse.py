@@ -1,0 +1,65 @@
+"""Fig. 2: ``T * Ieff / (Vdd + V')`` is constant across the supply sweep.
+
+The paper validates the compact model by showing that, for a NOR2 cell in the
+14 nm technology, the quantity ``Td * Ieff / (Vdd + V')`` (and the same for
+the output slew) stays constant as Vdd sweeps from 0.65 V to 1.0 V for every
+(Cload, Sin) group and both transitions.  This benchmark regenerates those
+series and asserts that the collapse holds to within a few percent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SimulationCounter, get_technology, make_cell, reduce_cell
+from repro.analysis import format_table
+from repro.cells import Transition
+from repro.core.timing_model import CompactTimingModel
+from repro.spice import sweep_conditions
+from bench_utils import write_result
+
+#: (Cload, Sin) groups, chosen across the 14 nm input space.
+GROUPS = ((1.0e-15, 3.0e-12), (2.5e-15, 6.0e-12), (5.0e-15, 12.0e-12))
+VDD_SWEEP = (0.65, 0.7, 0.8, 0.9, 1.0)
+#: Supply-offset parameter used for the collapse (from the Table I fits).
+VPRIME = -0.20
+
+
+def run_collapse():
+    technology = get_technology("n14_finfet")
+    cell = make_cell("NOR2_X1")
+    counter = SimulationCounter()
+    rows = []
+    spreads = []
+    for transition in (Transition.FALL, Transition.RISE):
+        arc = cell.arc("A", transition)
+        inverter = reduce_cell(cell, technology, arc=arc)
+        for cload, sin in GROUPS:
+            conditions = [(sin, cload, vdd) for vdd in VDD_SWEEP]
+            measurements = sweep_conditions(cell, technology, conditions, arc=arc,
+                                            counter=counter)
+            delays = np.array([m.nominal_delay() for m in measurements])
+            ieff = np.array([float(inverter.effective_current(v)) for v in VDD_SWEEP])
+            collapsed = CompactTimingModel.vdd_collapse(delays, ieff,
+                                                        np.array(VDD_SWEEP), VPRIME)
+            spread = float(collapsed.std() / collapsed.mean())
+            spreads.append(spread)
+            rows.append([transition.value, cload * 1e15, sin * 1e12,
+                         *(collapsed * 1e15), 100.0 * spread])
+    return rows, np.array(spreads), counter.total
+
+
+def test_fig2_vdd_collapse(benchmark, results_dir):
+    rows, spreads, runs = benchmark.pedantic(run_collapse, rounds=1, iterations=1)
+    headers = (["transition", "Cload (fF)", "Sin (ps)"]
+               + [f"Td*Ieff/(Vdd+V') @ {v} V (fC)" for v in VDD_SWEEP]
+               + ["spread (%)"])
+    text = format_table(headers, rows,
+                        title="Fig. 2 analogue: Vdd collapse of the delay model "
+                              f"(NOR2, 14 nm, {runs} simulations)")
+    write_result(results_dir / "fig2_vdd_collapse.txt", text)
+
+    # Paper: the collapsed quantity is visually flat across Vdd.  Require the
+    # relative spread to stay below 6 % for every group and transition.
+    assert np.all(spreads < 0.06)
+    assert spreads.mean() < 0.04

@@ -1,0 +1,78 @@
+"""Fig. 3: ``T / (Cload + Cpar + alpha*Sin)`` is constant across load/slew combos.
+
+The complementary validation to Fig. 2: for a NOR2 cell at 14 nm, dividing the
+measured delay (and slew) by the modelled switched capacitance collapses all
+(Cload, Sin) combinations onto a constant for each supply voltage and
+transition.  The benchmark regenerates the series for 14 load/slew
+combinations at three supplies and asserts the collapse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SimulationCounter, get_technology, make_cell
+from repro.analysis import format_table
+from repro.cells import Transition
+from repro.core.timing_model import CompactTimingModel, fit_least_squares
+from repro.cells.equivalent_inverter import reduce_cell
+from repro.spice import sweep_conditions
+from bench_utils import write_result
+
+VDD_VALUES = (0.7, 0.85, 1.0)
+N_COMBINATIONS = 14
+
+
+def run_collapse():
+    technology = get_technology("n14_finfet")
+    cell = make_cell("NOR2_X1")
+    counter = SimulationCounter()
+    rng = np.random.default_rng(2)
+    cloads = rng.uniform(*technology.cload_range, N_COMBINATIONS)
+    sins = rng.uniform(*technology.slew_range, N_COMBINATIONS)
+
+    arc = cell.arc("A", Transition.FALL)
+    inverter = reduce_cell(cell, technology, arc=arc)
+
+    # Fit Cpar and alpha once on a calibration sweep at nominal Vdd.
+    calibration = [(sins[i], cloads[i], technology.vdd_nominal)
+                   for i in range(N_COMBINATIONS)]
+    cal_measurements = sweep_conditions(cell, technology, calibration, arc=arc,
+                                        counter=counter)
+    ieff_cal = float(inverter.effective_current(technology.vdd_nominal))
+    fit = fit_least_squares(sins, cloads,
+                            np.full(N_COMBINATIONS, technology.vdd_nominal),
+                            np.full(N_COMBINATIONS, ieff_cal),
+                            np.array([m.nominal_delay() for m in cal_measurements]))
+    params = fit.params
+
+    rows = []
+    spreads = []
+    for vdd in VDD_VALUES:
+        conditions = [(sins[i], cloads[i], vdd) for i in range(N_COMBINATIONS)]
+        measurements = sweep_conditions(cell, technology, conditions, arc=arc,
+                                        counter=counter)
+        delays = np.array([m.nominal_delay() for m in measurements])
+        collapsed = CompactTimingModel.load_slew_collapse(
+            delays, cloads, sins, params.cpar_ff, params.alpha_ff_per_ps)
+        spread = float(collapsed.std() / collapsed.mean())
+        spreads.append(spread)
+        rows.append([vdd, float(collapsed.mean()), float(collapsed.min()),
+                     float(collapsed.max()), 100.0 * spread])
+    return rows, np.array(spreads), counter.total, params
+
+
+def test_fig3_load_slew_collapse(benchmark, results_dir):
+    rows, spreads, runs, params = benchmark.pedantic(run_collapse, rounds=1,
+                                                     iterations=1)
+    text = format_table(
+        ["Vdd (V)", "mean Td/(C+Cpar+a*Sin) (s/F)", "min", "max", "spread (%)"],
+        rows,
+        title="Fig. 3 analogue: load/slew collapse of the delay model "
+              f"(NOR2, 14 nm, {runs} simulations; {params.describe()})")
+    write_result(results_dir / "fig3_load_slew_collapse.txt", text)
+
+    # Paper: the collapsed value is approximately constant over all 14
+    # combinations at each supply.
+    assert np.all(spreads < 0.10)
+    assert spreads.mean() < 0.06

@@ -1,0 +1,58 @@
+"""Fig. 5: the 1000-point random validation workload over the input space.
+
+The paper's baseline characterization samples 1000 operating points uniformly
+at random over the whole ``(Sin, Cload, Vdd)`` input space of the target
+technology.  This benchmark regenerates that workload for the 14 nm node and
+checks that it actually covers the space (range coverage and low discrepancy
+per axis), which is what makes the error metrics of Figs. 6-8 meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import InputSpace, get_technology
+from repro.analysis import format_table
+from bench_utils import write_result
+
+N_POINTS = 1000
+
+
+def generate_workload():
+    technology = get_technology("n14_finfet")
+    space = InputSpace(technology)
+    conditions = space.sample_random(N_POINTS, rng=42)
+    unit = space.normalize(conditions)
+    return technology, conditions, unit
+
+
+def test_fig5_validation_workload(benchmark, results_dir):
+    technology, conditions, unit = benchmark.pedantic(generate_workload, rounds=1,
+                                                      iterations=1)
+    rows = []
+    for axis, name, (low, high), scale in zip(
+            range(3), ("Sin (ps)", "Cload (fF)", "Vdd (V)"),
+            [technology.slew_range, technology.cload_range, technology.vdd_range],
+            (1e12, 1e15, 1.0)):
+        values = unit[:, axis]
+        rows.append([name, low * scale, high * scale, float(values.min()),
+                     float(values.max()), float(values.mean()), float(values.std())])
+    text = format_table(
+        ["axis", "range min", "range max", "unit min", "unit max", "unit mean",
+         "unit std"],
+        rows,
+        title=f"Fig. 5 analogue: {N_POINTS}-point random validation workload "
+              f"({technology.name})")
+    write_result(results_dir / "fig5_input_space.txt", text)
+
+    assert len(conditions) == N_POINTS
+    # Uniform coverage: each normalized axis spans nearly [0, 1] with the
+    # moments of a uniform distribution.
+    assert np.all(unit.min(axis=0) < 0.02)
+    assert np.all(unit.max(axis=0) > 0.98)
+    assert np.allclose(unit.mean(axis=0), 0.5, atol=0.05)
+    assert np.allclose(unit.std(axis=0), np.sqrt(1.0 / 12.0), atol=0.05)
+    # Every condition is inside the physical ranges.
+    for condition in conditions[:50]:
+        assert technology.slew_range[0] <= condition.sin <= technology.slew_range[1]
+        assert technology.vdd_range[0] <= condition.vdd <= technology.vdd_range[1]

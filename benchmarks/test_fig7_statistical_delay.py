@@ -1,0 +1,65 @@
+"""Fig. 7: statistical delay errors (mean and sigma) versus training samples.
+
+The paper's Fig. 7 plots the error in the predicted mean and standard
+deviation of the delay of a 28 nm library against the number of training
+samples, for the proposed flow and the statistical LUT; it reports 17x / 20x
+reductions in required samples at matched accuracy.  This benchmark
+regenerates both series (mu(Td) and sigma(Td)), prints them, and asserts the
+shape: the proposed flow reaches small errors with a handful of conditions
+while the LUT needs many more.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import StatisticalCharacterizer, get_technology, make_cell
+from repro.analysis import format_curve_table
+from repro.experiments import compute_speedup
+from bench_utils import env_int, write_result
+
+
+def test_fig7_statistical_delay_error(benchmark, statistical_curves_28, priors_28,
+                                      results_dir):
+    curves = statistical_curves_28
+    bayes_mu = curves[("bayesian", "mu_delay")]
+    bayes_sigma = curves[("bayesian", "sigma_delay")]
+    lut_mu = curves[("lut", "mu_delay")]
+    lut_sigma = curves[("lut", "sigma_delay")]
+
+    # Time the representative step: a proposed-flow statistical
+    # characterization with 3 conditions and a small seed batch.
+    target = get_technology("n28_bulk")
+    cell = make_cell("INV_X1")
+
+    def statistical_fit():
+        flow = StatisticalCharacterizer(target, cell, priors_28["delay"],
+                                        priors_28["slew"], n_seeds=40, rng=2)
+        return flow.characterize(3, rng=3).simulation_runs
+
+    benchmark.pedantic(statistical_fit, rounds=1, iterations=1)
+
+    text = format_curve_table(
+        {"bayesian": bayes_mu, "lut": lut_mu},
+        title="Fig. 7 analogue (left): mu(Td) error vs training samples (28 nm)")
+    text += "\n\n" + format_curve_table(
+        {"bayesian": bayes_sigma, "lut": lut_sigma},
+        title="Fig. 7 analogue (right): sigma(Td) error vs training samples (28 nm)")
+    for label, fast, slow in (("mu(Td)", bayes_mu, lut_mu),
+                              ("sigma(Td)", bayes_sigma, lut_sigma)):
+        summary = compute_speedup(fast, slow)
+        if summary is not None:
+            text += f"\n{label}: {summary.describe()}"
+    write_result(results_dir / "fig7_statistical_delay.txt", text)
+
+    # Mean-delay prediction: accurate (<5 %) with 3 or fewer conditions.
+    assert bayes_mu.error_at(3) < 5.0
+    # Sigma prediction converges below 15 % within the evaluated budget.
+    assert bayes_sigma.mean_error_percent.min() < 15.0
+    # The proposed flow beats the LUT at small budgets for the mean.
+    assert bayes_mu.error_at(2) < lut_mu.error_at(2)
+    # And the LUT needs a substantially larger budget for the same mu accuracy.
+    lut_runs = lut_mu.runs_to_reach(bayes_mu.error_at(3))
+    bayes_runs = bayes_mu.simulation_runs[list(bayes_mu.training_sizes).index(3)]
+    if lut_runs is not None:
+        assert lut_runs / bayes_runs >= 2.0

@@ -1,0 +1,63 @@
+"""Fig. 8: statistical output-slew errors versus training samples.
+
+The slew counterpart of Fig. 7: error in the predicted mean and standard
+deviation of the output transition time of a 28 nm library versus the number
+of training samples, proposed flow against the statistical LUT (the paper
+reports 18x / 19x sample reductions; its Fig. 8 compares against the
+LSE-fitted compact model as well, which the nominal Fig. 6 benchmark already
+covers).  The same experiment-runner curves as Fig. 7 are reused, so the two
+benchmarks share one set of simulations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import InputCondition, get_technology, make_cell, reduce_cell
+from repro.analysis import format_curve_table
+from repro.experiments import compute_speedup
+from bench_utils import write_result
+
+
+def test_fig8_statistical_slew_error(benchmark, statistical_curves_28, results_dir):
+    curves = statistical_curves_28
+    bayes_mu = curves[("bayesian", "mu_slew")]
+    bayes_sigma = curves[("bayesian", "sigma_slew")]
+    lut_mu = curves[("lut", "mu_slew")]
+    lut_sigma = curves[("lut", "sigma_slew")]
+
+    # Time a representative slew evaluation: one vectorized simulation of the
+    # 28 nm inverter across a Monte Carlo seed batch.
+    target = get_technology("n28_bulk")
+    cell = make_cell("INV_X1")
+    variation = target.variation.sample(60, rng=8)
+
+    def simulate_slew_batch():
+        from repro.spice import characterize_arc
+
+        measurement = characterize_arc(cell, target, sin=6e-12, cload=2e-15,
+                                       vdd=0.85, variation=variation)
+        return float(np.mean(measurement.output_slew))
+
+    benchmark.pedantic(simulate_slew_batch, rounds=1, iterations=1)
+
+    text = format_curve_table(
+        {"bayesian": bayes_mu, "lut": lut_mu},
+        title="Fig. 8 analogue (left): mu(Sout) error vs training samples (28 nm)")
+    text += "\n\n" + format_curve_table(
+        {"bayesian": bayes_sigma, "lut": lut_sigma},
+        title="Fig. 8 analogue (right): sigma(Sout) error vs training samples (28 nm)")
+    for label, fast, slow in (("mu(Sout)", bayes_mu, lut_mu),
+                              ("sigma(Sout)", bayes_sigma, lut_sigma)):
+        summary = compute_speedup(fast, slow)
+        if summary is not None:
+            text += f"\n{label}: {summary.describe()}"
+    write_result(results_dir / "fig8_statistical_slew.txt", text)
+
+    # Mean-slew prediction is accurate with a handful of conditions.
+    assert bayes_mu.error_at(3) < 8.0
+    # Sigma of the slew converges below 20 % within the evaluated budget.
+    assert bayes_sigma.mean_error_percent.min() < 20.0
+    # Proposed flow beats the LUT at the smallest budgets for the mean.
+    assert bayes_mu.error_at(1) < lut_mu.error_at(1)
+    assert bayes_mu.error_at(2) < lut_mu.error_at(2)

@@ -1,0 +1,64 @@
+"""Section V headline: simulation-run speedups at matched accuracy.
+
+The paper summarizes its evaluation as ">= 15x fewer simulation runs than the
+LUT flow for the same accuracy" (6x from the compact timing model, 2.5x more
+from the Bayesian prior), with 17-20x reductions for the statistical metrics,
+and an asymptotic cost of ``O(k * Nsample)`` versus ``O(N_LUT * Nsample)``.
+
+This benchmark assembles the speedup summary from the Fig. 6 and Fig. 7/8
+curves (shared fixtures -- no additional simulation) and asserts the ordering
+and rough magnitudes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.experiments import compute_speedup
+from bench_utils import write_result
+
+
+def test_speedup_summary(benchmark, nominal_curves_14, statistical_curves_28,
+                         results_dir):
+    def build_summary():
+        rows = []
+        speedups = {}
+        # Nominal delay (Fig. 6): proposed vs LSE-only vs LUT.
+        bayes = nominal_curves_14["bayesian"]
+        lse = nominal_curves_14["lse"]
+        lut = nominal_curves_14["lut"]
+        for label, slow in (("model contribution (vs LUT, LSE fit)", lut),
+                            ("full flow (vs LUT)", lut)):
+            fast = lse if "LSE" in label else bayes
+            summary = compute_speedup(fast, slow)
+            if summary is not None:
+                rows.append([f"nominal delay: {label}", summary.fast_runs,
+                             summary.slow_runs, summary.speedup])
+                speedups[label] = summary.speedup
+        # Statistical metrics (Figs. 7-8): proposed vs statistical LUT.
+        for metric in ("mu_delay", "sigma_delay", "mu_slew", "sigma_slew"):
+            fast = statistical_curves_28[("bayesian", metric)]
+            slow = statistical_curves_28[("lut", metric)]
+            summary = compute_speedup(fast, slow)
+            if summary is not None:
+                rows.append([f"statistical {metric}", summary.fast_runs,
+                             summary.slow_runs, summary.speedup])
+                speedups[metric] = summary.speedup
+        return rows, speedups
+
+    rows, speedups = benchmark.pedantic(build_summary, rounds=1, iterations=1)
+    text = format_table(
+        ["experiment", "proposed runs", "baseline-flow runs", "speedup (x)"],
+        rows,
+        title="Section V summary: simulation-run reduction at matched accuracy")
+    write_result(results_dir / "speedup_summary.txt", text)
+
+    # At least the nominal-delay and mean-statistics comparisons must exist.
+    assert rows, "no speedup could be computed from the curves"
+    full_flow = speedups.get("full flow (vs LUT)")
+    assert full_flow is not None
+    # Paper: >= 15x; require a conservative >= 5x on the synthetic substrate.
+    assert full_flow >= 5.0
+    # Every computed speedup favours the proposed flow.
+    assert all(value >= 1.0 for value in speedups.values())

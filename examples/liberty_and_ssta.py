@@ -1,0 +1,163 @@
+"""Library export and statistical timing of a small circuit.
+
+The end-to-end consumer view of the paper's flow:
+
+1. characterize INV / NAND2 / NOR2 in the 28 nm node with the proposed
+   statistical flow (a handful of simulations per cell);
+2. export the characterized library as a Liberty (.lib) file with NLDM delay
+   and transition tables plus LVF-style sigma tables, and parse it back to
+   verify the round trip;
+3. run deterministic STA and Monte Carlo SSTA on the ISCAS-85 C17 benchmark
+   and on a NAND/NOR reduction tree using the characterized timing.
+
+Run with::
+
+    python examples/liberty_and_ssta.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro import (
+    BayesianCharacterizer,
+    InputCondition,
+    SimulationCounter,
+    StatisticalCharacterizer,
+    characterize_historical_library,
+    get_technology,
+    historical_technologies,
+    learn_prior,
+    make_cell,
+)
+from repro.analysis import format_table
+from repro.cells import Transition
+from repro.liberty import CellTimingData, LibertyWriter, TimingTableSet, build_nldm_table, parse_liberty
+from repro.sta import (
+    MonteCarloSsta,
+    StaticTimingAnalyzer,
+    c17_benchmark,
+    nand_nor_tree,
+    timing_view_from_characterizers,
+    timing_view_from_statistical,
+)
+
+
+def main() -> None:
+    start = time.time()
+    counter = SimulationCounter()
+    target = get_technology("n28_bulk")
+    vdd = target.vdd_nominal
+    cell_names = ("INV_X1", "NAND2_X1", "NOR2_X1")
+    n_seeds = 150
+
+    # ------------------------------------------------------------------
+    # Priors (one fast historical node keeps the example quick).
+    # ------------------------------------------------------------------
+    historical = [characterize_historical_library(
+        historical_technologies(exclude=target.name)[0],
+        [make_cell(name) for name in cell_names], counter=counter)]
+    delay_prior = learn_prior(historical, response="delay")
+    slew_prior = learn_prior(historical, response="slew")
+
+    # ------------------------------------------------------------------
+    # Characterize each cell: nominal (for STA / Liberty) and statistical
+    # (for SSTA and the sigma tables).
+    # ------------------------------------------------------------------
+    variation = target.variation.sample(n_seeds, rng=3)
+    nominal_flows = {}
+    statistical_results = {}
+    input_caps = {}
+    for name in cell_names:
+        cell = make_cell(name)
+        flow = BayesianCharacterizer(target, cell, delay_prior, slew_prior,
+                                     counter=counter)
+        flow.fit(3, rng=17)
+        nominal_flows[name] = flow
+        input_caps[name] = flow.input_capacitance
+
+        stat_flow = StatisticalCharacterizer(target, cell, delay_prior, slew_prior,
+                                             n_seeds=n_seeds, counter=counter)
+        stat_flow.use_variation(variation)
+        statistical_results[name] = stat_flow.characterize(4, rng=23)
+    print(f"Characterized {len(cell_names)} cells with {counter.total} simulations "
+          f"(including historical learning)")
+
+    # ------------------------------------------------------------------
+    # Liberty export with sigma tables, then parse it back.
+    # ------------------------------------------------------------------
+    slew_axis = np.linspace(*target.slew_range, 4)
+    cap_axis = np.linspace(*target.cload_range, 4)
+    writer = LibertyWriter(f"repro_{target.name}", nominal_voltage=vdd)
+    for name in cell_names:
+        flow = nominal_flows[name]
+        stat = statistical_results[name]
+
+        def delay_at(sin, cload, bound=flow):
+            return float(bound.predict_delay([InputCondition(sin, cload, vdd)])[0])
+
+        def slew_at(sin, cload, bound=flow):
+            return float(bound.predict_slew([InputCondition(sin, cload, vdd)])[0])
+
+        def sigma_at(sin, cload, bound=stat):
+            return float(np.std(bound.delay_samples(InputCondition(sin, cload, vdd))))
+
+        table_set = TimingTableSet(
+            related_pin=flow.arc.input_pin,
+            output_transition=Transition(flow.arc.output_transition),
+            delay=build_nldm_table(delay_at, slew_axis, cap_axis),
+            transition=build_nldm_table(slew_at, slew_axis, cap_axis),
+            sigma_delay=build_nldm_table(sigma_at, slew_axis, cap_axis),
+        )
+        writer.add_cell(CellTimingData(
+            name=name, function=make_cell(name).function,
+            input_pin_caps_pf={pin: input_caps[name] * 1e12
+                               for pin in make_cell(name).input_pins},
+            arcs=[table_set],
+            area=make_cell(name).total_device_width_um(),
+        ))
+
+    liberty_path = os.path.join(tempfile.gettempdir(), f"repro_{target.name}.lib")
+    writer.write(liberty_path)
+    parsed = parse_liberty(writer.render())
+    print(f"\nLiberty library written to {liberty_path} "
+          f"({len(parsed.cells)} cells parsed back, "
+          f"nom_voltage={parsed.nom_voltage} V)")
+
+    # ------------------------------------------------------------------
+    # STA and SSTA on benchmark circuits.
+    # ------------------------------------------------------------------
+    nominal_view = timing_view_from_characterizers(nominal_flows, vdd=vdd)
+    statistical_view = timing_view_from_statistical(statistical_results, input_caps,
+                                                    vdd=vdd)
+    rows = []
+    for netlist in (c17_benchmark(), nand_nor_tree(8)):
+        sta_report = StaticTimingAnalyzer(netlist, nominal_view,
+                                          primary_input_slew=5e-12).run()
+        ssta_report = MonteCarloSsta(netlist, statistical_view,
+                                     primary_input_slew=5e-12).run()
+        rows.append([
+            netlist.name,
+            len(netlist.gates),
+            sta_report.critical_delay * 1e12,
+            ssta_report.summary.mean * 1e12,
+            ssta_report.summary.std * 1e12,
+            ssta_report.summary.quantiles[2] * 1e12,
+            " -> ".join(sta_report.critical_path),
+        ])
+    print("\n" + format_table(
+        ["circuit", "gates", "STA delay (ps)", "SSTA mean (ps)", "SSTA sigma (ps)",
+         "SSTA 99% (ps)", "critical path"],
+        rows,
+        title=f"Timing of benchmark circuits at {vdd:.2f} V, 28 nm",
+    ))
+    print(f"\nTotal simulations: {counter.total}")
+    print(f"Elapsed          : {time.time() - start:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

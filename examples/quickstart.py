@@ -1,0 +1,111 @@
+"""Quickstart: characterize a cell in a new technology from two simulations.
+
+This example reproduces the core promise of the paper on a small scale:
+
+1. characterize a few cells in *historical* technology nodes and fit the
+   four-parameter compact timing model per cell;
+2. fuse those fits into a Gaussian prior with belief propagation;
+3. characterize a NOR2 gate in the *target* 14 nm FinFET node using only
+   ``k = 2`` simulated operating points plus the prior (MAP estimation);
+4. compare the prediction accuracy and simulation cost against a look-up
+   table given the same budget and against a dense reference characterization.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import (
+    BayesianCharacterizer,
+    InputSpace,
+    LutCharacterizer,
+    SimulationCounter,
+    characterize_historical_library,
+    get_technology,
+    historical_technologies,
+    learn_prior,
+    make_cell,
+    mean_relative_error,
+    nominal_baseline,
+)
+from repro.analysis import format_table
+
+
+def main() -> None:
+    start = time.time()
+    counter = SimulationCounter()
+
+    target = get_technology("n14_finfet")
+    cell = make_cell("NOR2_X1")
+    print(f"Target technology : {target.describe()}")
+    print(f"Cell under test   : {cell.name} ({cell.function})")
+
+    # ------------------------------------------------------------------
+    # 1-2. Historical learning (the expensive part, done once per company,
+    #      reused for every new technology).  Two historical nodes and the
+    #      Table I cells keep this example fast; the paper uses six nodes.
+    # ------------------------------------------------------------------
+    historical_cells = [make_cell(name) for name in ("INV_X1", "NAND2_X1", "NOR2_X1")]
+    historical_nodes = historical_technologies(exclude=target.name)[:2]
+    print("\nLearning priors from historical nodes: "
+          + ", ".join(node.name for node in historical_nodes))
+    historical = [
+        characterize_historical_library(node, historical_cells, counter=counter)
+        for node in historical_nodes
+    ]
+    delay_prior = learn_prior(historical, response="delay", method="bp")
+    slew_prior = learn_prior(historical, response="slew", method="bp")
+    print("  " + delay_prior.describe())
+    print("  " + slew_prior.describe())
+    historical_runs = counter.total
+
+    # ------------------------------------------------------------------
+    # 3. Target-technology characterization with k = 2 simulations.
+    # ------------------------------------------------------------------
+    flow = BayesianCharacterizer(target, cell, delay_prior, slew_prior,
+                                 counter=counter)
+    flow.fit(2, rng=7)
+    print(f"\nProposed flow fitted with k = {flow.result.k} simulations")
+    print(f"  delay parameters: {flow.result.delay_fit.params.describe()}")
+    print(f"  slew parameters : {flow.result.slew_fit.params.describe()}")
+
+    # ------------------------------------------------------------------
+    # 4. Validation against a dense reference characterization.
+    # ------------------------------------------------------------------
+    validation = InputSpace(target).sample_random(150, rng=42)
+    baseline = nominal_baseline(cell, target, validation, counter=counter)
+
+    proposed_error = mean_relative_error(flow.predict_delay(validation),
+                                         baseline.delay) * 100.0
+
+    lut = LutCharacterizer(target, cell, counter=counter)
+    lut.build(flow.result.simulation_runs)  # same simulation budget
+    lut_error = mean_relative_error(lut.predict_delay(validation),
+                                    baseline.delay) * 100.0
+
+    lut_large = LutCharacterizer(target, cell, counter=counter)
+    lut_large.build(27)
+    lut_large_error = mean_relative_error(lut_large.predict_delay(validation),
+                                          baseline.delay) * 100.0
+
+    print("\n" + format_table(
+        ["flow", "target-tech simulations", "mean delay error (%)"],
+        [
+            ["proposed (model + prior)", flow.result.simulation_runs, proposed_error],
+            ["LUT, same budget", lut.simulation_runs, lut_error],
+            ["LUT, 27-point grid", lut_large.simulation_runs, lut_large_error],
+            ["dense reference", baseline.simulation_runs, 0.0],
+        ],
+        title="Nominal delay characterization of NOR2_X1 at 14 nm",
+    ))
+    print(f"\nHistorical (reusable) simulations : {historical_runs}")
+    print(f"Total simulations this run        : {counter.total}")
+    print(f"Elapsed                           : {time.time() - start:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

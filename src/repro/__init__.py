@@ -1,0 +1,127 @@
+"""repro -- statistical standard-cell library characterization with belief propagation.
+
+A from-scratch reproduction of *"Statistical Library Characterization Using
+Belief Propagation across Multiple Technology Nodes"* (Yu et al., DATE 2015),
+including every substrate the paper depends on: compact MOSFET models, six
+synthetic technology nodes with process variation, a standard-cell catalog
+with equivalent-inverter reduction, a vectorized transient circuit simulator,
+the four-parameter compact timing model, Gaussian belief propagation for
+cross-technology prior learning, MAP parameter extraction, statistical
+(per-seed) characterization, and the look-up-table / least-squares /
+Monte Carlo baselines it is compared against.
+
+Typical usage::
+
+    from repro import (
+        get_technology, make_cell, characterize_historical_library,
+        learn_prior, BayesianCharacterizer, historical_technologies,
+    )
+
+    target = get_technology("n14_finfet")
+    historical = [characterize_historical_library(node, [make_cell("INV_X1")])
+                  for node in historical_technologies(exclude=target.name)]
+    delay_prior = learn_prior(historical, response="delay")
+    slew_prior = learn_prior(historical, response="slew")
+    flow = BayesianCharacterizer(target, make_cell("NOR2_X1"), delay_prior, slew_prior)
+    flow.fit(2)                      # two simulations
+    flow.predict_delay(conditions)   # analytical everywhere else
+"""
+
+from repro.technology import (
+    ProcessCorner,
+    TechnologyNode,
+    VariationSample,
+    get_technology,
+    historical_technologies,
+    list_technologies,
+)
+from repro.cells import (
+    Cell,
+    StandardCellLibrary,
+    TimingArc,
+    Transition,
+    available_cells,
+    default_library,
+    make_cell,
+    reduce_cell,
+)
+from repro.spice import (
+    SimulationCounter,
+    TimingMeasurement,
+    characterize_arc,
+    simulate_arc_transition,
+    sweep_conditions,
+)
+from repro.characterization import (
+    InputCondition,
+    InputSpace,
+    LseCharacterizer,
+    LutCharacterizer,
+    StatisticalLutCharacterizer,
+    mean_relative_error,
+    nominal_baseline,
+    statistical_baseline,
+    statistical_errors,
+)
+from repro.core import (
+    BayesianCharacterizer,
+    CompactTimingModel,
+    StatisticalCharacterizer,
+    TimingModelParameters,
+    TimingPrior,
+    characterize_historical_library,
+    fit_least_squares,
+    learn_prior,
+    map_estimate,
+)
+from repro.bayes import GaussianDensity, GaussianFactorGraph, PrecisionModel
+from repro.experiments import AccuracyCurve, ExperimentRunner, compute_speedup
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccuracyCurve",
+    "BayesianCharacterizer",
+    "Cell",
+    "CompactTimingModel",
+    "ExperimentRunner",
+    "GaussianDensity",
+    "GaussianFactorGraph",
+    "InputCondition",
+    "InputSpace",
+    "LseCharacterizer",
+    "LutCharacterizer",
+    "PrecisionModel",
+    "ProcessCorner",
+    "SimulationCounter",
+    "StandardCellLibrary",
+    "StatisticalCharacterizer",
+    "StatisticalLutCharacterizer",
+    "TechnologyNode",
+    "TimingArc",
+    "TimingMeasurement",
+    "TimingModelParameters",
+    "TimingPrior",
+    "Transition",
+    "VariationSample",
+    "available_cells",
+    "characterize_arc",
+    "characterize_historical_library",
+    "compute_speedup",
+    "default_library",
+    "fit_least_squares",
+    "get_technology",
+    "historical_technologies",
+    "learn_prior",
+    "list_technologies",
+    "make_cell",
+    "map_estimate",
+    "mean_relative_error",
+    "nominal_baseline",
+    "reduce_cell",
+    "simulate_arc_transition",
+    "statistical_baseline",
+    "statistical_errors",
+    "sweep_conditions",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Post-processing: distribution estimation, comparisons, and reporting.
+
+These utilities turn raw characterization output into the artefacts the
+paper's evaluation section shows: probability-density estimates (Fig. 9),
+error-versus-samples comparisons and speedup statements (Figs. 6-8), and
+plain-text tables (Table I) that the benchmark harness prints.
+"""
+
+from repro.analysis.distributions import (
+    DistributionSummary,
+    empirical_pdf,
+    gaussian_pdf,
+    kde_pdf,
+    normality_deviation,
+    summarize,
+)
+from repro.analysis.comparison import (
+    CurveComparison,
+    compare_curves,
+    crossover_budget,
+)
+from repro.analysis.reporting import format_curve_table, format_table, format_speedups
+
+__all__ = [
+    "CurveComparison",
+    "DistributionSummary",
+    "compare_curves",
+    "crossover_budget",
+    "empirical_pdf",
+    "format_curve_table",
+    "format_speedups",
+    "format_table",
+    "gaussian_pdf",
+    "kde_pdf",
+    "normality_deviation",
+    "summarize",
+]

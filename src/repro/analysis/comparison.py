@@ -1,0 +1,93 @@
+"""Comparisons between accuracy curves.
+
+Given the error-versus-samples curves produced by
+:class:`repro.experiments.ExperimentRunner`, these helpers extract the
+numbers the paper states in prose: which flow wins at each budget, the
+speedup at matched accuracy, and the budget at which the LUT baseline finally
+catches up with the proposed flow (the crossover).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.runner import AccuracyCurve, SpeedupSummary, compute_speedup
+
+
+@dataclass(frozen=True)
+class CurveComparison:
+    """Side-by-side comparison of several accuracy curves."""
+
+    metric: str
+    training_sizes: Sequence[int]
+    errors_by_method: Dict[str, np.ndarray]
+    speedups: Sequence[SpeedupSummary]
+
+    def winner_at(self, training_size: int) -> str:
+        """Method with the lowest error at a given training budget."""
+        sizes = list(self.training_sizes)
+        if training_size not in sizes:
+            raise KeyError(f"training size {training_size} was not evaluated")
+        index = sizes.index(training_size)
+        best_method, best_error = None, np.inf
+        for method, errors in self.errors_by_method.items():
+            if errors[index] < best_error:
+                best_method, best_error = method, float(errors[index])
+        return best_method
+
+
+def compare_curves(curves: Dict[str, AccuracyCurve],
+                   reference_method: str = "bayesian",
+                   target_error_percent: Optional[float] = None) -> CurveComparison:
+    """Build a :class:`CurveComparison` with speedups of the reference method.
+
+    Parameters
+    ----------
+    curves:
+        Mapping of method name to its accuracy curve (all on the same
+        training sizes and metric).
+    reference_method:
+        The method whose speedup over every other method is reported.
+    target_error_percent:
+        Accuracy at which to match budgets; defaults to the loosest error
+        both methods reach.
+    """
+    if reference_method not in curves:
+        raise KeyError(f"reference method {reference_method!r} not in curves")
+    metrics = {curve.metric for curve in curves.values()}
+    if len(metrics) != 1:
+        raise ValueError("all curves must share a metric")
+    sizes = {curve.training_sizes for curve in curves.values()}
+    if len(sizes) != 1:
+        raise ValueError("all curves must share the same training sizes")
+
+    reference = curves[reference_method]
+    speedups: List[SpeedupSummary] = []
+    for method, curve in curves.items():
+        if method == reference_method:
+            continue
+        summary = compute_speedup(reference, curve, target_error_percent)
+        if summary is not None:
+            speedups.append(summary)
+    return CurveComparison(
+        metric=metrics.pop(),
+        training_sizes=list(sizes.pop()),
+        errors_by_method={name: curve.mean_error_percent.copy()
+                          for name, curve in curves.items()},
+        speedups=tuple(speedups),
+    )
+
+
+def crossover_budget(fast: AccuracyCurve, slow: AccuracyCurve) -> Optional[int]:
+    """Smallest evaluated budget at which ``slow`` matches ``fast``'s best error.
+
+    Returns ``None`` if ``slow`` never reaches it within the evaluated sizes.
+    """
+    target = float(np.min(fast.mean_error_percent))
+    reached = np.nonzero(slow.mean_error_percent <= target)[0]
+    if reached.size == 0:
+        return None
+    return int(slow.training_sizes[int(reached[0])])

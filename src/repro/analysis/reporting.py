@@ -1,0 +1,80 @@
+"""Plain-text rendering of tables and curves.
+
+The benchmark harness regenerates the paper's tables and figures as text:
+Table I as a fixed-width table, Figs. 6-8 as error-versus-samples series, and
+the speedup statements as one-line summaries.  Keeping the rendering here (and
+out of the benchmarks) makes it reusable from the examples and easy to test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.experiments.runner import AccuracyCurve, SpeedupSummary
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a fixed-width text table.
+
+    Floats are shown with four significant digits; all other values use
+    ``str``.
+    """
+    headers = [str(h) for h in headers]
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(f"{value:.4g}")
+            else:
+                rendered.append(str(value))
+        if len(rendered) != len(headers):
+            raise ValueError("every row must have one entry per header")
+        rendered_rows.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_line(headers))
+    lines.append(render_line(["-" * width for width in widths]))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_curve_table(curves: Dict[str, AccuracyCurve], title: str = "") -> str:
+    """Render error-versus-samples curves side by side (a Fig. 6/7/8 analogue)."""
+    if not curves:
+        raise ValueError("at least one curve is required")
+    sizes = {curve.training_sizes for curve in curves.values()}
+    if len(sizes) != 1:
+        raise ValueError("all curves must share the same training sizes")
+    training_sizes = list(sizes.pop())
+    methods = list(curves)
+    headers = ["samples"] + [f"{name} err%" for name in methods] + [
+        f"{name} runs" for name in methods]
+    rows = []
+    for index, size in enumerate(training_sizes):
+        row: List[object] = [size]
+        row.extend(float(curves[name].mean_error_percent[index]) for name in methods)
+        row.extend(float(curves[name].simulation_runs[index]) for name in methods)
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_speedups(speedups: Sequence[SpeedupSummary], title: str = "") -> str:
+    """Render speedup summaries, one per line."""
+    lines = [title] if title else []
+    if not speedups:
+        lines.append("(no speedup could be computed)")
+    for summary in speedups:
+        lines.append(summary.describe())
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Conjugate Gaussian updates.
+
+The paper assumes a conjugate Gaussian prior on the mean of the timing-model
+parameter distribution (its Eq. 7).  When the observation model is linear (or
+linearized), the posterior stays Gaussian and has a closed form; these
+updates are used by the factor-graph messages and provide reference solutions
+for testing the iterative MAP optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.bayes.gaussian import GaussianDensity
+
+
+def gaussian_linear_update(prior: GaussianDensity,
+                           design: np.ndarray,
+                           observations: np.ndarray,
+                           noise_precision: np.ndarray) -> GaussianDensity:
+    """Posterior of ``theta`` for the linear model ``y = H @ theta + noise``.
+
+    Parameters
+    ----------
+    prior:
+        Gaussian prior over ``theta``.
+    design:
+        Design matrix ``H`` of shape ``(n_obs, dim)``.
+    observations:
+        Observed vector ``y`` of length ``n_obs``.
+    noise_precision:
+        Per-observation noise precisions (inverse variances), length
+        ``n_obs`` (or a scalar applied to all observations).
+
+    Returns
+    -------
+    GaussianDensity
+        The Gaussian posterior over ``theta``.
+    """
+    design = np.atleast_2d(np.asarray(design, dtype=float))
+    observations = np.asarray(observations, dtype=float).reshape(-1)
+    if design.shape[0] != observations.size:
+        raise ValueError(
+            f"design has {design.shape[0]} rows but there are {observations.size} observations"
+        )
+    if design.shape[1] != prior.dim:
+        raise ValueError(
+            f"design has {design.shape[1]} columns but the prior has dimension {prior.dim}"
+        )
+    noise_precision = np.asarray(noise_precision, dtype=float).reshape(-1)
+    if noise_precision.size == 1:
+        noise_precision = np.full(observations.size, float(noise_precision[0]))
+    if noise_precision.size != observations.size:
+        raise ValueError("noise_precision must be scalar or one value per observation")
+    if np.any(noise_precision < 0.0):
+        raise ValueError("noise precisions must be non-negative")
+
+    prior_precision, prior_shift = prior.to_information()
+    weighted = design * noise_precision[:, np.newaxis]
+    posterior_precision = prior_precision + design.T @ weighted
+    posterior_shift = prior_shift + weighted.T @ observations
+    return GaussianDensity.from_information(posterior_precision, posterior_shift)
+
+
+def posterior_of_mean(prior: GaussianDensity,
+                      observations: np.ndarray,
+                      observation_precisions: Optional[Sequence[float]] = None
+                      ) -> GaussianDensity:
+    """Posterior of an unknown mean vector given direct noisy observations.
+
+    This is the special case of :func:`gaussian_linear_update` with an
+    identity design matrix: each observation is a full parameter vector
+    measured with (diagonal, isotropic per observation) noise.  It is the
+    update used when fusing per-technology parameter extractions into the
+    cross-technology prior.
+
+    Parameters
+    ----------
+    prior:
+        Gaussian prior over the mean vector.
+    observations:
+        Array of shape ``(n_obs, dim)``: one parameter vector per historical
+        observation.
+    observation_precisions:
+        One scalar precision per observation (defaults to 1.0 for all).
+    """
+    observations = np.atleast_2d(np.asarray(observations, dtype=float))
+    n_obs, dim = observations.shape
+    if dim != prior.dim:
+        raise ValueError(f"observations have dimension {dim}, prior has {prior.dim}")
+    if observation_precisions is None:
+        precisions = np.ones(n_obs)
+    else:
+        precisions = np.asarray(observation_precisions, dtype=float).reshape(-1)
+        if precisions.size != n_obs:
+            raise ValueError("one precision per observation is required")
+    design = np.tile(np.eye(dim), (n_obs, 1))
+    noise = np.repeat(precisions, dim)
+    return gaussian_linear_update(prior, design, observations.reshape(-1), noise)

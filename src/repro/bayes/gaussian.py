@@ -1,0 +1,212 @@
+"""Multivariate Gaussian densities.
+
+:class:`GaussianDensity` is the workhorse of the Bayesian flow: priors over
+timing-model parameters, messages in the factor graph, and propagated
+parameter posteriors are all Gaussians.  Both the moment form ``(mean,
+covariance)`` and the information (canonical) form ``(precision, shift)`` are
+supported because belief propagation multiplies densities (trivial in
+information form) while sampling and reporting use the moment form.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+
+#: Default jitter added to covariance diagonals to keep them positive definite.
+_DEFAULT_JITTER = 1e-12
+
+
+class GaussianDensity:
+    """A multivariate Gaussian ``N(mean, covariance)``."""
+
+    def __init__(self, mean: Sequence[float], covariance: Sequence[Sequence[float]]):
+        mean = np.asarray(mean, dtype=float).reshape(-1)
+        covariance = np.asarray(covariance, dtype=float)
+        if covariance.ndim == 1:
+            covariance = np.diag(covariance)
+        if covariance.shape != (mean.size, mean.size):
+            raise ValueError(
+                f"covariance shape {covariance.shape} does not match mean size {mean.size}"
+            )
+        if not np.allclose(covariance, covariance.T, atol=1e-10):
+            raise ValueError("covariance must be symmetric")
+        eigenvalues = np.linalg.eigvalsh(covariance)
+        if np.any(eigenvalues < -1e-10):
+            raise ValueError("covariance must be positive semi-definite")
+        self._mean = mean
+        self._cov = 0.5 * (covariance + covariance.T)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_samples(cls, samples: np.ndarray, jitter: float = _DEFAULT_JITTER,
+                     shrinkage: float = 0.0) -> "GaussianDensity":
+        """Maximum-likelihood Gaussian from rows of samples.
+
+        Parameters
+        ----------
+        samples:
+            Array of shape ``(n_samples, dim)``.
+        jitter:
+            Diagonal regularization added to the covariance.
+        shrinkage:
+            Optional Ledoit-Wolf-style shrinkage toward the diagonal
+            (``0`` = raw sample covariance, ``1`` = diagonal only), useful
+            when the number of historical technologies is small.
+        """
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 2 or samples.shape[0] < 1:
+            raise ValueError("samples must be a non-empty (n_samples, dim) array")
+        if not (0.0 <= shrinkage <= 1.0):
+            raise ValueError("shrinkage must be in [0, 1]")
+        mean = samples.mean(axis=0)
+        if samples.shape[0] == 1:
+            cov = np.zeros((samples.shape[1], samples.shape[1]))
+        else:
+            cov = np.cov(samples, rowvar=False, ddof=1)
+            cov = np.atleast_2d(cov)
+        diagonal = np.diag(np.diag(cov))
+        cov = (1.0 - shrinkage) * cov + shrinkage * diagonal
+        cov = cov + jitter * np.eye(samples.shape[1])
+        return cls(mean, cov)
+
+    @classmethod
+    def from_information(cls, precision: np.ndarray, shift: np.ndarray
+                         ) -> "GaussianDensity":
+        """Build from the information form ``J = cov^-1``, ``h = J @ mean``."""
+        precision = np.asarray(precision, dtype=float)
+        shift = np.asarray(shift, dtype=float).reshape(-1)
+        covariance = np.linalg.inv(precision)
+        mean = covariance @ shift
+        return cls(mean, covariance)
+
+    @classmethod
+    def isotropic(cls, mean: Sequence[float], variance: float) -> "GaussianDensity":
+        """A Gaussian with the same variance in every dimension."""
+        mean = np.asarray(mean, dtype=float).reshape(-1)
+        if variance <= 0.0:
+            raise ValueError("variance must be positive")
+        return cls(mean, variance * np.eye(mean.size))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> np.ndarray:
+        """Mean vector."""
+        return self._mean.copy()
+
+    @property
+    def covariance(self) -> np.ndarray:
+        """Covariance matrix."""
+        return self._cov.copy()
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality."""
+        return self._mean.size
+
+    def standard_deviations(self) -> np.ndarray:
+        """Marginal standard deviations (square roots of the diagonal)."""
+        return np.sqrt(np.clip(np.diag(self._cov), 0.0, None))
+
+    def to_information(self, jitter: float = _DEFAULT_JITTER
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the information form ``(J, h)`` with diagonal jitter."""
+        regularized = self._cov + jitter * np.eye(self.dim)
+        precision = np.linalg.inv(regularized)
+        return precision, precision @ self._mean
+
+    # ------------------------------------------------------------------
+    # Probability operations
+    # ------------------------------------------------------------------
+    def log_pdf(self, x: Sequence[float]) -> float:
+        """Log density at ``x``."""
+        x = np.asarray(x, dtype=float).reshape(-1)
+        if x.size != self.dim:
+            raise ValueError(f"x has dimension {x.size}, expected {self.dim}")
+        regularized = self._cov + _DEFAULT_JITTER * np.eye(self.dim)
+        sign, log_det = np.linalg.slogdet(regularized)
+        if sign <= 0:
+            raise np.linalg.LinAlgError("covariance is not positive definite")
+        residual = x - self._mean
+        mahalanobis = residual @ np.linalg.solve(regularized, residual)
+        return float(-0.5 * (self.dim * np.log(2.0 * np.pi) + log_det + mahalanobis))
+
+    def mahalanobis(self, x: Sequence[float]) -> float:
+        """Mahalanobis distance of ``x`` from the mean."""
+        x = np.asarray(x, dtype=float).reshape(-1)
+        regularized = self._cov + _DEFAULT_JITTER * np.eye(self.dim)
+        residual = x - self._mean
+        return float(np.sqrt(residual @ np.linalg.solve(regularized, residual)))
+
+    def sample(self, n_samples: int, rng: RandomState = None) -> np.ndarray:
+        """Draw samples, shape ``(n_samples, dim)``."""
+        if n_samples < 1:
+            raise ValueError("n_samples must be at least 1")
+        generator = ensure_rng(rng)
+        return generator.multivariate_normal(self._mean, self._cov, size=n_samples)
+
+    def multiply(self, other: "GaussianDensity") -> "GaussianDensity":
+        """Product of two Gaussian densities (up to normalization)."""
+        if other.dim != self.dim:
+            raise ValueError("cannot multiply Gaussians of different dimension")
+        j_a, h_a = self.to_information()
+        j_b, h_b = other.to_information()
+        return GaussianDensity.from_information(j_a + j_b, h_a + h_b)
+
+    def marginal(self, indices: Sequence[int]) -> "GaussianDensity":
+        """Marginal over a subset of dimensions."""
+        indices = np.asarray(indices, dtype=int)
+        return GaussianDensity(self._mean[indices], self._cov[np.ix_(indices, indices)])
+
+    def condition(self, indices: Sequence[int], values: Sequence[float]
+                  ) -> "GaussianDensity":
+        """Condition on observed values of a subset of dimensions.
+
+        Returns the conditional Gaussian over the remaining dimensions.
+        """
+        indices = np.asarray(indices, dtype=int)
+        values = np.asarray(values, dtype=float).reshape(-1)
+        if indices.size != values.size:
+            raise ValueError("indices and values must have the same length")
+        keep = np.array([i for i in range(self.dim) if i not in set(indices.tolist())])
+        if keep.size == 0:
+            raise ValueError("cannot condition on every dimension")
+        cov_kk = self._cov[np.ix_(keep, keep)]
+        cov_ko = self._cov[np.ix_(keep, indices)]
+        cov_oo = self._cov[np.ix_(indices, indices)] + _DEFAULT_JITTER * np.eye(indices.size)
+        gain = cov_ko @ np.linalg.inv(cov_oo)
+        new_mean = self._mean[keep] + gain @ (values - self._mean[indices])
+        new_cov = cov_kk - gain @ cov_ko.T
+        return GaussianDensity(new_mean, 0.5 * (new_cov + new_cov.T))
+
+    def kl_divergence(self, other: "GaussianDensity") -> float:
+        """``KL(self || other)`` in nats."""
+        if other.dim != self.dim:
+            raise ValueError("dimension mismatch")
+        cov_other = other._cov + _DEFAULT_JITTER * np.eye(self.dim)
+        cov_self = self._cov + _DEFAULT_JITTER * np.eye(self.dim)
+        inv_other = np.linalg.inv(cov_other)
+        diff = other._mean - self._mean
+        trace_term = float(np.trace(inv_other @ cov_self))
+        quad_term = float(diff @ inv_other @ diff)
+        sign_o, logdet_o = np.linalg.slogdet(cov_other)
+        sign_s, logdet_s = np.linalg.slogdet(cov_self)
+        if sign_o <= 0 or sign_s <= 0:
+            raise np.linalg.LinAlgError("covariances must be positive definite")
+        return 0.5 * (trace_term + quad_term - self.dim + logdet_o - logdet_s)
+
+    def scaled_covariance(self, factor: float) -> "GaussianDensity":
+        """Same mean, covariance multiplied by ``factor`` (prior widening)."""
+        if factor <= 0.0:
+            raise ValueError("factor must be positive")
+        return GaussianDensity(self._mean, self._cov * factor)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GaussianDensity(dim={self.dim}, mean={np.round(self._mean, 4)})"

@@ -1,0 +1,160 @@
+"""Model-precision (``beta``) learning across technologies (Eq. 9).
+
+The compact timing model cannot capture every physical effect, and how much
+it misses depends systematically on the operating point -- e.g. it is least
+accurate at the lowest supply voltages.  The paper quantifies this with a
+per-input-condition precision
+
+.. math::
+
+    \\beta(\\xi) = \\Big[\\tfrac{1}{N_{tech}}\\sum_j r_j(\\xi)^2
+        - \\big(\\tfrac{1}{N_{tech}}\\sum_j |r_j(\\xi)|\\big)^2\\Big]^{-1}
+
+where ``r_j`` is the relative residual of the fitted model in historical
+technology ``j`` at condition ``xi`` -- i.e. the inverse variance of the
+absolute relative residual across technologies.  High ``beta`` means the
+model is trustworthy there and the corresponding target-technology
+observation is weighted strongly in the MAP objective.
+
+:class:`PrecisionModel` stores the per-condition precisions on the historical
+reference conditions (in normalized input-space coordinates so different
+technologies' ranges align) and answers queries at arbitrary operating points
+with inverse-distance-weighted interpolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+#: Precisions are clipped into this range to keep the MAP objective
+#: well-conditioned even where the historical residuals are degenerate
+#: (zero variance would give infinite precision).
+_MIN_PRECISION = 1.0
+_MAX_PRECISION = 1e8
+
+
+def precision_from_relative_residuals(residuals: np.ndarray) -> np.ndarray:
+    """Eq. 9: per-condition precision from cross-technology relative residuals.
+
+    Parameters
+    ----------
+    residuals:
+        Array of shape ``(n_tech, n_conditions)`` holding the relative
+        residuals ``(T_observed - T_model) / T_observed`` of the historical
+        fits.
+
+    Returns
+    -------
+    numpy.ndarray
+        Precisions of length ``n_conditions``, clipped into a safe range.
+    """
+    residuals = np.atleast_2d(np.asarray(residuals, dtype=float))
+    if residuals.shape[0] < 1:
+        raise ValueError("at least one technology's residuals are required")
+    mean_square = np.mean(residuals ** 2, axis=0)
+    mean_abs = np.mean(np.abs(residuals), axis=0)
+    variance = mean_square - mean_abs ** 2
+    variance = np.maximum(variance, 1.0 / _MAX_PRECISION)
+    return np.clip(1.0 / variance, _MIN_PRECISION, _MAX_PRECISION)
+
+
+@dataclass(frozen=True)
+class PrecisionModel:
+    """Input-condition-dependent model precision ``beta(xi)``.
+
+    Attributes
+    ----------
+    unit_conditions:
+        Reference conditions in normalized (unit-cube) input-space
+        coordinates, shape ``(n_conditions, 3)``.
+    precisions:
+        Precision value at each reference condition.
+    """
+
+    unit_conditions: np.ndarray
+    precisions: np.ndarray
+
+    def __post_init__(self) -> None:
+        unit = np.atleast_2d(np.asarray(self.unit_conditions, dtype=float))
+        prec = np.asarray(self.precisions, dtype=float).reshape(-1)
+        if unit.shape[0] != prec.size:
+            raise ValueError("one precision per reference condition is required")
+        if np.any(prec <= 0.0):
+            raise ValueError("precisions must be strictly positive")
+        object.__setattr__(self, "unit_conditions", unit)
+        object.__setattr__(self, "precisions", prec)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_residuals(cls, unit_conditions: np.ndarray, residuals: np.ndarray
+                       ) -> "PrecisionModel":
+        """Build from historical relative residuals via Eq. 9."""
+        return cls(unit_conditions=np.asarray(unit_conditions, dtype=float),
+                   precisions=precision_from_relative_residuals(residuals))
+
+    @classmethod
+    def constant(cls, precision: float) -> "PrecisionModel":
+        """A flat precision model (used when no historical data is available)."""
+        if precision <= 0.0:
+            raise ValueError("precision must be positive")
+        return cls(unit_conditions=np.array([[0.5, 0.5, 0.5]]),
+                   precisions=np.array([float(precision)]))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def beta(self, unit_points: np.ndarray, n_neighbors: int = 4) -> np.ndarray:
+        """Interpolated precision at normalized operating points.
+
+        Inverse-distance weighting over the ``n_neighbors`` nearest reference
+        conditions; exact matches return the stored precision.
+
+        Parameters
+        ----------
+        unit_points:
+            Array of shape ``(n_points, 3)`` (or a single length-3 vector) in
+            unit-cube coordinates.
+        n_neighbors:
+            Number of nearest reference conditions to blend.
+        """
+        points = np.atleast_2d(np.asarray(unit_points, dtype=float))
+        if points.shape[1] != self.unit_conditions.shape[1]:
+            raise ValueError(
+                f"query points have dimension {points.shape[1]}, "
+                f"expected {self.unit_conditions.shape[1]}"
+            )
+        n_refs = self.unit_conditions.shape[0]
+        k = int(min(max(n_neighbors, 1), n_refs))
+        result = np.empty(points.shape[0])
+        for index, point in enumerate(points):
+            distances = np.linalg.norm(self.unit_conditions - point, axis=1)
+            nearest = np.argsort(distances)[:k]
+            nearest_distances = distances[nearest]
+            if nearest_distances[0] < 1e-12:
+                result[index] = self.precisions[nearest[0]]
+                continue
+            weights = 1.0 / nearest_distances
+            weights = weights / weights.sum()
+            result[index] = float(weights @ self.precisions[nearest])
+        return result
+
+    def average_precision(self) -> float:
+        """Mean precision over the reference conditions."""
+        return float(np.mean(self.precisions))
+
+    def scaled(self, factor: float) -> "PrecisionModel":
+        """Return a copy with all precisions multiplied by ``factor``.
+
+        Used in ablation studies of how strongly the likelihood term is
+        weighted against the prior.
+        """
+        if factor <= 0.0:
+            raise ValueError("factor must be positive")
+        return PrecisionModel(unit_conditions=self.unit_conditions.copy(),
+                              precisions=np.clip(self.precisions * factor,
+                                                 _MIN_PRECISION, _MAX_PRECISION))

@@ -1,0 +1,37 @@
+"""Standard-cell descriptions and equivalent-inverter reduction.
+
+Cells are described structurally -- a pull-up network of PMOS devices and a
+complementary pull-down network of NMOS devices, each a series/parallel tree
+-- and reduced to an *equivalent inverter* per timing arc, exactly as in the
+paper (its Fig. 1(b)): the conducting stack is collapsed into a single device
+of equivalent width, the restoring network into a single opposing device, and
+the drain parasitics into a lumped output capacitance.
+"""
+
+from repro.cells.topology import Network, TransistorSpec, device, parallel, series
+from repro.cells.library import Cell, StandardCellLibrary, TimingArc, Transition
+from repro.cells.catalog import (
+    DEFAULT_CELL_NAMES,
+    available_cells,
+    default_library,
+    make_cell,
+)
+from repro.cells.equivalent_inverter import EquivalentInverter, reduce_cell
+
+__all__ = [
+    "Cell",
+    "DEFAULT_CELL_NAMES",
+    "EquivalentInverter",
+    "Network",
+    "StandardCellLibrary",
+    "TimingArc",
+    "Transition",
+    "TransistorSpec",
+    "available_cells",
+    "default_library",
+    "device",
+    "make_cell",
+    "parallel",
+    "reduce_cell",
+    "series",
+]

@@ -1,0 +1,199 @@
+"""Catalog of synthetic standard cells.
+
+The paper characterizes INV, NAND2 and NOR2 cells (Table I) drawn from
+production libraries.  The catalog here provides those plus the other common
+static CMOS combinational cells (three-input gates, AOI/OAI complex gates) and
+drive-strength variants, so the examples and the downstream STA engine have a
+realistic library to work with.
+
+Sizing follows the textbook logical-effort convention: the reference inverter
+uses a 2:1 PMOS:NMOS width ratio, and series stacks are upsized by the stack
+depth so each arc presents roughly the reference inverter's drive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.cells.library import Cell, StandardCellLibrary
+from repro.cells.topology import device, parallel, series
+
+#: Unit widths (um) of the X1 reference inverter.
+_NMOS_UNIT_UM = 0.40
+_PMOS_UNIT_UM = 0.80
+
+
+def _inv(drive: int) -> Cell:
+    return Cell(
+        name=f"INV_X{drive}",
+        function="!A",
+        pull_up=device("A", 1.0),
+        pull_down=device("A", 1.0),
+        nmos_unit_width_um=_NMOS_UNIT_UM * drive,
+        pmos_unit_width_um=_PMOS_UNIT_UM * drive,
+        drive_strength=drive,
+    )
+
+
+def _nand2(drive: int) -> Cell:
+    return Cell(
+        name=f"NAND2_X{drive}",
+        function="!(A & B)",
+        pull_up=parallel(device("A", 1.0), device("B", 1.0)),
+        pull_down=series(device("A", 2.0), device("B", 2.0)),
+        nmos_unit_width_um=_NMOS_UNIT_UM * drive,
+        pmos_unit_width_um=_PMOS_UNIT_UM * drive,
+        drive_strength=drive,
+    )
+
+
+def _nand3(drive: int) -> Cell:
+    return Cell(
+        name=f"NAND3_X{drive}",
+        function="!(A & B & C)",
+        pull_up=parallel(device("A", 1.0), device("B", 1.0), device("C", 1.0)),
+        pull_down=series(device("A", 3.0), device("B", 3.0), device("C", 3.0)),
+        nmos_unit_width_um=_NMOS_UNIT_UM * drive,
+        pmos_unit_width_um=_PMOS_UNIT_UM * drive,
+        drive_strength=drive,
+    )
+
+
+def _nor2(drive: int) -> Cell:
+    return Cell(
+        name=f"NOR2_X{drive}",
+        function="!(A | B)",
+        pull_up=series(device("A", 2.0), device("B", 2.0)),
+        pull_down=parallel(device("A", 1.0), device("B", 1.0)),
+        nmos_unit_width_um=_NMOS_UNIT_UM * drive,
+        pmos_unit_width_um=_PMOS_UNIT_UM * drive,
+        drive_strength=drive,
+    )
+
+
+def _nor3(drive: int) -> Cell:
+    return Cell(
+        name=f"NOR3_X{drive}",
+        function="!(A | B | C)",
+        pull_up=series(device("A", 3.0), device("B", 3.0), device("C", 3.0)),
+        pull_down=parallel(device("A", 1.0), device("B", 1.0), device("C", 1.0)),
+        nmos_unit_width_um=_NMOS_UNIT_UM * drive,
+        pmos_unit_width_um=_PMOS_UNIT_UM * drive,
+        drive_strength=drive,
+    )
+
+
+def _aoi21(drive: int) -> Cell:
+    """AND-OR-INVERT: Z = !((A & B) | C)."""
+    return Cell(
+        name=f"AOI21_X{drive}",
+        function="!((A & B) | C)",
+        pull_up=series(parallel(device("A", 2.0), device("B", 2.0)), device("C", 2.0)),
+        pull_down=parallel(series(device("A", 2.0), device("B", 2.0)), device("C", 1.0)),
+        nmos_unit_width_um=_NMOS_UNIT_UM * drive,
+        pmos_unit_width_um=_PMOS_UNIT_UM * drive,
+        drive_strength=drive,
+    )
+
+
+def _oai21(drive: int) -> Cell:
+    """OR-AND-INVERT: Z = !((A | B) & C)."""
+    return Cell(
+        name=f"OAI21_X{drive}",
+        function="!((A | B) & C)",
+        pull_up=parallel(series(device("A", 2.0), device("B", 2.0)), device("C", 1.0)),
+        pull_down=series(parallel(device("A", 2.0), device("B", 2.0)), device("C", 2.0)),
+        nmos_unit_width_um=_NMOS_UNIT_UM * drive,
+        pmos_unit_width_um=_PMOS_UNIT_UM * drive,
+        drive_strength=drive,
+    )
+
+
+def _aoi22(drive: int) -> Cell:
+    """AND-OR-INVERT: Z = !((A & B) | (C & D))."""
+    return Cell(
+        name=f"AOI22_X{drive}",
+        function="!((A & B) | (C & D))",
+        pull_up=series(parallel(device("A", 2.0), device("B", 2.0)),
+                       parallel(device("C", 2.0), device("D", 2.0))),
+        pull_down=parallel(series(device("A", 2.0), device("B", 2.0)),
+                           series(device("C", 2.0), device("D", 2.0))),
+        nmos_unit_width_um=_NMOS_UNIT_UM * drive,
+        pmos_unit_width_um=_PMOS_UNIT_UM * drive,
+        drive_strength=drive,
+    )
+
+
+def _oai22(drive: int) -> Cell:
+    """OR-AND-INVERT: Z = !((A | B) & (C | D))."""
+    return Cell(
+        name=f"OAI22_X{drive}",
+        function="!((A | B) & (C | D))",
+        pull_up=parallel(series(device("A", 2.0), device("C", 2.0)),
+                         series(device("B", 2.0), device("D", 2.0))),
+        pull_down=series(parallel(device("A", 2.0), device("B", 2.0)),
+                         parallel(device("C", 2.0), device("D", 2.0))),
+        nmos_unit_width_um=_NMOS_UNIT_UM * drive,
+        pmos_unit_width_um=_PMOS_UNIT_UM * drive,
+        drive_strength=drive,
+    )
+
+
+#: Builders for every catalog cell, keyed by cell name.
+_CELL_BUILDERS: Dict[str, Callable[[], Cell]] = {}
+
+
+def _register(base_name: str, builder: Callable[[int], Cell], drives=(1, 2, 4)) -> None:
+    for drive in drives:
+        name = f"{base_name}_X{drive}"
+        _CELL_BUILDERS[name] = (lambda b=builder, d=drive: b(d))
+
+
+_register("INV", _inv, drives=(1, 2, 4, 8))
+_register("NAND2", _nand2)
+_register("NAND3", _nand3, drives=(1, 2))
+_register("NOR2", _nor2)
+_register("NOR3", _nor3, drives=(1, 2))
+_register("AOI21", _aoi21, drives=(1, 2))
+_register("OAI21", _oai21, drives=(1, 2))
+_register("AOI22", _aoi22, drives=(1,))
+_register("OAI22", _oai22, drives=(1,))
+
+#: The compact default set used in the paper's experiments (Table I cells).
+DEFAULT_CELL_NAMES = ("INV_X1", "NAND2_X1", "NOR2_X1")
+
+
+def available_cells() -> List[str]:
+    """Names of every cell the catalog can build."""
+    return sorted(_CELL_BUILDERS)
+
+
+def make_cell(name: str) -> Cell:
+    """Build a single catalog cell by name.
+
+    Raises
+    ------
+    KeyError
+        If the cell name is not in the catalog.
+    """
+    try:
+        builder = _CELL_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cell {name!r}; available: {', '.join(available_cells())}"
+        ) from None
+    return builder()
+
+
+def default_library(cell_names=None, name: str = "repro_stdcells") -> StandardCellLibrary:
+    """Build a :class:`StandardCellLibrary` from catalog cells.
+
+    Parameters
+    ----------
+    cell_names:
+        Iterable of catalog cell names; defaults to the full catalog.
+    name:
+        Library name.
+    """
+    names = list(cell_names) if cell_names is not None else available_cells()
+    return StandardCellLibrary(name, [make_cell(cell_name) for cell_name in names])

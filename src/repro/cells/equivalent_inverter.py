@@ -1,0 +1,157 @@
+"""Equivalent-inverter reduction of multi-input cells.
+
+Following the paper (Fig. 1(b)) and the classic Weste & Eshraghian treatment,
+any static CMOS gate is mapped, per timing arc, onto an equivalent inverter:
+
+* the network that drives the output transition (pull-down for a falling
+  output, pull-up for a rising output) is collapsed into a single device of
+  the worst-case single-input-switching equivalent width;
+* the opposing (restoring) network is collapsed the same way -- it is being
+  turned off by the same input edge but still conducts during the first part
+  of the transition and therefore influences delay and slew;
+* drain parasitics of all devices adjacent to the output are lumped into a
+  parasitic output capacitance, and gate-drain overlap of the switching
+  devices into a Miller coupling capacitance.
+
+The reduction binds a :class:`~repro.cells.library.Cell` to a
+:class:`~repro.technology.node.TechnologyNode` (and optionally a batch of
+Monte Carlo process seeds), producing the concrete devices the transient
+simulator integrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cells.library import Cell, TimingArc, Transition
+from repro.devices import MOSFET, effective_current
+from repro.technology.node import TechnologyNode
+from repro.technology.variation import VariationSample
+
+
+@dataclass(frozen=True)
+class EquivalentInverter:
+    """The equivalent inverter of one cell timing arc.
+
+    Attributes
+    ----------
+    cell_name:
+        Name of the reduced cell.
+    arc:
+        The timing arc this reduction corresponds to.
+    nmos, pmos:
+        Equivalent pull-down / pull-up devices (possibly carrying per-seed
+        parameter arrays).
+    parasitic_cap:
+        Lumped parasitic capacitance at the output node, in farads
+        (scalar or per-seed array).
+    miller_cap:
+        Gate-to-output coupling capacitance, in farads.
+    input_cap:
+        Gate capacitance presented by the switching input pin, in farads.
+    vdd_nominal:
+        Nominal supply of the bound technology (convenience for callers).
+    """
+
+    cell_name: str
+    arc: TimingArc
+    nmos: MOSFET
+    pmos: MOSFET
+    parasitic_cap: np.ndarray
+    miller_cap: np.ndarray
+    input_cap: np.ndarray
+    vdd_nominal: float
+
+    @property
+    def driving_device(self) -> MOSFET:
+        """The device that drives the output transition of this arc."""
+        if self.arc.output_transition is Transition.FALL:
+            return self.nmos
+        return self.pmos
+
+    @property
+    def restoring_device(self) -> MOSFET:
+        """The device being turned off during this arc."""
+        if self.arc.output_transition is Transition.FALL:
+            return self.pmos
+        return self.nmos
+
+    def effective_current(self, vdd) -> np.ndarray:
+        """``Ieff`` of the driving device at supply ``vdd`` (vectorized)."""
+        return effective_current(self.driving_device, vdd)
+
+    @property
+    def n_seeds(self) -> int:
+        """Number of Monte Carlo seeds carried by this reduction (1 if nominal)."""
+        width = np.asarray(self.driving_device.params.vth0)
+        return int(width.size) if width.ndim else 1
+
+
+def reduce_cell(
+    cell: Cell,
+    technology: TechnologyNode,
+    arc: Optional[TimingArc] = None,
+    variation: Optional[VariationSample] = None,
+) -> EquivalentInverter:
+    """Reduce a cell timing arc onto its equivalent inverter.
+
+    Parameters
+    ----------
+    cell:
+        The cell to reduce.
+    technology:
+        Technology node providing device models and capacitance coefficients.
+    arc:
+        Timing arc to reduce.  Defaults to the first input pin with a falling
+        output transition.
+    variation:
+        Optional batch of Monte Carlo process seeds; when given, the returned
+        devices and capacitances are vectorized over the seeds.
+
+    Returns
+    -------
+    EquivalentInverter
+        The bound equivalent inverter.
+
+    Raises
+    ------
+    KeyError
+        If the arc's input pin does not exist on the cell.
+    """
+    if arc is None:
+        arc = cell.arc(cell.input_pins[0], Transition.FALL)
+    if arc.input_pin not in cell.input_pins:
+        raise KeyError(f"cell {cell.name} has no input pin {arc.input_pin!r}")
+
+    pin = arc.input_pin
+    nmos_width = cell.pull_down.switching_width(pin) * cell.nmos_unit_width_um
+    pmos_width = cell.pull_up.switching_width(pin) * cell.pmos_unit_width_um
+
+    nmos = technology.make_nmos(nmos_width, variation)
+    pmos = technology.make_pmos(pmos_width, variation)
+
+    caps = technology.capacitance
+    pull_up_adjacent = cell.pull_up.output_adjacent_width() * cell.pmos_unit_width_um
+    pull_down_adjacent = cell.pull_down.output_adjacent_width() * cell.nmos_unit_width_um
+    parasitic = caps.output_parasitic(pull_up_adjacent, pull_down_adjacent)
+    miller = caps.miller_capacitance(nmos_width) + caps.miller_capacitance(pmos_width)
+    input_cap = caps.gate_capacitance(cell.input_gate_width_um(pin))
+
+    cap_mult = np.asarray(variation.cap_mult) if variation is not None else np.asarray(1.0)
+    parasitic = np.asarray(parasitic, dtype=float) * cap_mult
+    miller = np.asarray(miller, dtype=float) * cap_mult
+    input_cap = np.asarray(input_cap, dtype=float) * np.ones_like(cap_mult)
+
+    return EquivalentInverter(
+        cell_name=cell.name,
+        arc=arc,
+        nmos=nmos,
+        pmos=pmos,
+        parasitic_cap=parasitic,
+        miller_cap=miller,
+        input_cap=input_cap,
+        vdd_nominal=technology.vdd_nominal,
+    )

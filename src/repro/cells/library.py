@@ -1,0 +1,207 @@
+"""Cell and standard-cell-library containers.
+
+A :class:`Cell` pairs a pull-up and a pull-down transistor network with unit
+device widths and exposes its timing arcs (one per input pin and output
+transition direction, single-input switching).  A
+:class:`StandardCellLibrary` is a named, ordered collection of cells for one
+technology-independent logical view; the characterization flows bind it to a
+:class:`~repro.technology.node.TechnologyNode` at run time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.cells.topology import Network
+
+
+class Transition(str, enum.Enum):
+    """Output transition direction of a timing arc."""
+
+    RISE = "rise"
+    FALL = "fall"
+
+    @property
+    def opposite(self) -> "Transition":
+        """The complementary transition."""
+        return Transition.FALL if self is Transition.RISE else Transition.RISE
+
+
+@dataclass(frozen=True)
+class TimingArc:
+    """One single-input-switching timing arc of a cell.
+
+    Attributes
+    ----------
+    cell_name:
+        Name of the owning cell.
+    input_pin:
+        The switching input pin.
+    output_transition:
+        Direction of the output transition (:class:`Transition`).  Because
+        all catalog cells are negative-unate static CMOS gates, a rising
+        output corresponds to a falling input and vice versa.
+    """
+
+    cell_name: str
+    input_pin: str
+    output_transition: Transition
+
+    @property
+    def name(self) -> str:
+        """A compact arc label such as ``"NAND2_X1:A->Z(fall)"``."""
+        return f"{self.cell_name}:{self.input_pin}->Z({self.output_transition.value})"
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A static CMOS standard cell.
+
+    Attributes
+    ----------
+    name:
+        Cell name, e.g. ``"NAND2_X1"``.
+    function:
+        Human-readable Boolean function of the output, e.g. ``"!(A & B)"``.
+    pull_up:
+        PMOS network between the supply and the output.
+    pull_down:
+        NMOS network between the output and ground.
+    nmos_unit_width_um, pmos_unit_width_um:
+        Physical width (micrometres) corresponding to a width of 1.0 in the
+        network description; drive-strength variants scale these.
+    drive_strength:
+        Nominal drive index (1, 2, 4, ...), informational.
+    """
+
+    name: str
+    function: str
+    pull_up: Network
+    pull_down: Network
+    nmos_unit_width_um: float = 0.40
+    pmos_unit_width_um: float = 0.80
+    drive_strength: int = 1
+
+    def __post_init__(self) -> None:
+        if self.nmos_unit_width_um <= 0.0 or self.pmos_unit_width_um <= 0.0:
+            raise ValueError("unit widths must be positive")
+        up_pins = set(self.pull_up.pins())
+        down_pins = set(self.pull_down.pins())
+        if up_pins != down_pins:
+            raise ValueError(
+                f"cell {self.name}: pull-up pins {sorted(up_pins)} do not match "
+                f"pull-down pins {sorted(down_pins)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Pins and arcs
+    # ------------------------------------------------------------------
+    @property
+    def input_pins(self) -> List[str]:
+        """Input pin names in declaration order."""
+        return self.pull_down.pins()
+
+    @property
+    def output_pin(self) -> str:
+        """Output pin name (all catalog cells have a single output ``Z``)."""
+        return "Z"
+
+    def timing_arcs(self, transitions: Sequence[Transition] = (Transition.RISE,
+                                                               Transition.FALL)
+                    ) -> List[TimingArc]:
+        """All single-input-switching timing arcs of this cell."""
+        arcs = []
+        for pin in self.input_pins:
+            for transition in transitions:
+                arcs.append(TimingArc(cell_name=self.name, input_pin=pin,
+                                      output_transition=Transition(transition)))
+        return arcs
+
+    def arc(self, input_pin: str, output_transition: Transition) -> TimingArc:
+        """Look up one specific timing arc.
+
+        Raises
+        ------
+        KeyError
+            If the pin does not exist on this cell.
+        """
+        if input_pin not in self.input_pins:
+            raise KeyError(f"cell {self.name} has no input pin {input_pin!r}")
+        return TimingArc(cell_name=self.name, input_pin=input_pin,
+                         output_transition=Transition(output_transition))
+
+    # ------------------------------------------------------------------
+    # Simple physical summaries
+    # ------------------------------------------------------------------
+    def input_gate_width_um(self, pin: str) -> float:
+        """Total gate width (um) connected to ``pin`` (for input capacitance)."""
+        if pin not in self.input_pins:
+            raise KeyError(f"cell {self.name} has no input pin {pin!r}")
+        width = 0.0
+        for transistor in self.pull_down.transistors():
+            if transistor.pin == pin:
+                width += transistor.width * self.nmos_unit_width_um
+        for transistor in self.pull_up.transistors():
+            if transistor.pin == pin:
+                width += transistor.width * self.pmos_unit_width_um
+        return width
+
+    def total_device_width_um(self) -> float:
+        """Total transistor width in the cell (area / leakage proxy)."""
+        return (self.pull_down.total_width() * self.nmos_unit_width_um
+                + self.pull_up.total_width() * self.pmos_unit_width_um)
+
+
+class StandardCellLibrary:
+    """An ordered, named collection of :class:`Cell` objects."""
+
+    def __init__(self, name: str, cells: Sequence[Cell] = ()):
+        self._name = name
+        self._cells: Dict[str, Cell] = {}
+        for cell in cells:
+            self.add(cell)
+
+    @property
+    def name(self) -> str:
+        """Library name."""
+        return self._name
+
+    def add(self, cell: Cell) -> None:
+        """Add a cell; raises ``ValueError`` on duplicate names."""
+        if cell.name in self._cells:
+            raise ValueError(f"cell {cell.name!r} already present in library {self._name!r}")
+        self._cells[cell.name] = cell
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self._cells.values())
+
+    def get(self, name: str) -> Cell:
+        """Look up a cell by name (raises ``KeyError`` if missing)."""
+        if name not in self._cells:
+            raise KeyError(f"library {self._name!r} has no cell {name!r}")
+        return self._cells[name]
+
+    def cell_names(self) -> List[str]:
+        """Names of all cells in insertion order."""
+        return list(self._cells)
+
+    def timing_arcs(self) -> List[TimingArc]:
+        """Every timing arc of every cell in the library."""
+        arcs: List[TimingArc] = []
+        for cell in self:
+            arcs.extend(cell.timing_arcs())
+        return arcs
+
+    def subset(self, names: Sequence[str], name: Optional[str] = None
+               ) -> "StandardCellLibrary":
+        """A new library containing only the named cells (in the given order)."""
+        subset_name = name if name is not None else f"{self._name}_subset"
+        return StandardCellLibrary(subset_name, [self.get(n) for n in names])

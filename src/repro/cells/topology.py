@@ -1,0 +1,208 @@
+"""Series/parallel transistor-network topology.
+
+A CMOS standard cell's pull-up and pull-down networks are series/parallel
+compositions of transistors, one per input pin (per network).  For timing
+characterization with single-input switching, the network is collapsed into a
+single equivalent device whose width follows the usual conductance rules:
+
+* devices in **series** combine like conductances in series
+  (``1 / W_eq = sum(1 / W_i)``), because with the non-switching inputs held at
+  their non-controlling values every device in the stack conducts;
+* devices in **parallel** contribute only the branch that actually switches in
+  the worst case (the other branches are held off), so the equivalent width is
+  the switching branch's width.
+
+The module provides a small combinator API (:func:`device`, :func:`series`,
+:func:`parallel`) used by the cell catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TransistorSpec:
+    """A single transistor inside a network.
+
+    Attributes
+    ----------
+    pin:
+        Name of the input pin driving this transistor's gate.
+    width:
+        Channel width in multiples of the cell's unit width for the network's
+        polarity (the catalog upsizes series stacks so each arc presents
+        roughly the drive of the reference inverter).
+    """
+
+    pin: str
+    width: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0.0:
+            raise ValueError(f"transistor width must be positive, got {self.width}")
+        if not self.pin:
+            raise ValueError("transistor pin name must be non-empty")
+
+
+class Network:
+    """A series/parallel tree of transistors.
+
+    Instances are created through the :func:`device`, :func:`series`, and
+    :func:`parallel` combinators rather than directly.
+    """
+
+    _KINDS = ("device", "series", "parallel")
+
+    def __init__(self, kind: str, *, transistor: Optional[TransistorSpec] = None,
+                 children: Sequence["Network"] = ()):  # noqa: D401
+        if kind not in self._KINDS:
+            raise ValueError(f"unknown network kind {kind!r}")
+        if kind == "device":
+            if transistor is None:
+                raise ValueError("device networks require a transistor")
+            if children:
+                raise ValueError("device networks cannot have children")
+        else:
+            if transistor is not None:
+                raise ValueError("composite networks cannot hold a transistor")
+            if len(children) < 1:
+                raise ValueError(f"{kind} networks need at least one child")
+        self._kind = kind
+        self._transistor = transistor
+        self._children: Tuple[Network, ...] = tuple(children)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def kind(self) -> str:
+        """``"device"``, ``"series"``, or ``"parallel"``."""
+        return self._kind
+
+    @property
+    def children(self) -> Tuple["Network", ...]:
+        """Child networks (empty for device leaves)."""
+        return self._children
+
+    @property
+    def transistor(self) -> Optional[TransistorSpec]:
+        """The transistor of a device leaf, or ``None``."""
+        return self._transistor
+
+    def transistors(self) -> Iterator[TransistorSpec]:
+        """Iterate over every transistor in the network (depth first)."""
+        if self._kind == "device":
+            assert self._transistor is not None
+            yield self._transistor
+            return
+        for child in self._children:
+            yield from child.transistors()
+
+    def pins(self) -> List[str]:
+        """All pin names appearing in the network, in first-seen order."""
+        seen: List[str] = []
+        for transistor in self.transistors():
+            if transistor.pin not in seen:
+                seen.append(transistor.pin)
+        return seen
+
+    def contains_pin(self, pin: str) -> bool:
+        """Whether any transistor in the network is driven by ``pin``."""
+        return any(t.pin == pin for t in self.transistors())
+
+    def total_width(self) -> float:
+        """Sum of all transistor widths (used for area/leakage estimates)."""
+        return sum(t.width for t in self.transistors())
+
+    # ------------------------------------------------------------------
+    # Equivalent-width reduction
+    # ------------------------------------------------------------------
+    def on_width(self) -> float:
+        """Equivalent width with every input at its controlling value.
+
+        All devices conduct: series stacks combine harmonically, parallel
+        branches add.
+        """
+        if self._kind == "device":
+            assert self._transistor is not None
+            return self._transistor.width
+        child_widths = [child.on_width() for child in self._children]
+        if self._kind == "series":
+            return 1.0 / sum(1.0 / width for width in child_widths)
+        return sum(child_widths)
+
+    def switching_width(self, pin: str) -> float:
+        """Worst-case equivalent width when only ``pin`` switches.
+
+        Non-switching inputs are held at their *non-controlling* values for
+        this network, which turns series companions on and parallel
+        companions off.
+
+        Raises
+        ------
+        KeyError
+            If ``pin`` does not drive any transistor in this network.
+        """
+        if not self.contains_pin(pin):
+            raise KeyError(f"pin {pin!r} not present in network")
+        if self._kind == "device":
+            assert self._transistor is not None
+            return self._transistor.width
+        if self._kind == "series":
+            inverse = 0.0
+            for child in self._children:
+                if child.contains_pin(pin):
+                    inverse += 1.0 / child.switching_width(pin)
+                else:
+                    inverse += 1.0 / child.on_width()
+            return 1.0 / inverse
+        # Parallel: worst case keeps only the switching branch conducting.
+        for child in self._children:
+            if child.contains_pin(pin):
+                return child.switching_width(pin)
+        raise KeyError(f"pin {pin!r} not present in network")  # pragma: no cover
+
+    def output_adjacent_width(self) -> float:
+        """Total width of devices whose drain touches the output node.
+
+        Used to estimate the cell's parasitic output capacitance.  In a
+        series stack only the outermost device touches the output; in a
+        parallel group every branch does.
+        """
+        if self._kind == "device":
+            assert self._transistor is not None
+            return self._transistor.width
+        if self._kind == "series":
+            return self._children[0].output_adjacent_width()
+        return sum(child.output_adjacent_width() for child in self._children)
+
+    def stack_depth(self) -> int:
+        """Maximum number of devices in series between output and rail."""
+        if self._kind == "device":
+            return 1
+        if self._kind == "series":
+            return sum(child.stack_depth() for child in self._children)
+        return max(child.stack_depth() for child in self._children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._kind == "device":
+            return f"device({self._transistor.pin}, w={self._transistor.width:g})"
+        inner = ", ".join(repr(child) for child in self._children)
+        return f"{self._kind}({inner})"
+
+
+def device(pin: str, width: float = 1.0) -> Network:
+    """A single-transistor network driven by ``pin``."""
+    return Network("device", transistor=TransistorSpec(pin=pin, width=width))
+
+
+def series(*children: Network) -> Network:
+    """A series stack of sub-networks (output node at the first child)."""
+    return Network("series", children=children)
+
+
+def parallel(*children: Network) -> Network:
+    """A parallel combination of sub-networks."""
+    return Network("parallel", children=children)

@@ -1,0 +1,51 @@
+"""Library-input-space handling, baselines, and error metrics.
+
+This package contains everything needed to *compare* the paper's proposed
+flow against conventional approaches:
+
+* :mod:`repro.characterization.input_space` -- the ``(Sin, Cload, Vdd)``
+  library input space, its samplers and grids (the paper's Fig. 5 workload);
+* :mod:`repro.characterization.lut` -- the look-up-table characterization
+  baseline with trilinear interpolation (nominal and statistical variants);
+* :mod:`repro.characterization.lse` -- the "proposed model + least squares"
+  baseline (compact model without the Bayesian prior);
+* :mod:`repro.characterization.monte_carlo` -- brute-force baseline
+  characterization used as the accuracy reference;
+* :mod:`repro.characterization.metrics` -- the error metrics of Eqs. 16-19.
+
+Experiment orchestration (the error-versus-training-samples curves behind
+Figs. 6-8) lives one layer up, in :mod:`repro.experiments`.
+"""
+
+from repro.characterization.input_space import InputCondition, InputSpace
+from repro.characterization.metrics import (
+    StatisticalErrors,
+    mean_abs_error,
+    mean_relative_error,
+    statistical_errors,
+)
+from repro.characterization.lut import LutCharacterizer, LutGrid, StatisticalLutCharacterizer
+from repro.characterization.lse import LseCharacterizer
+from repro.characterization.monte_carlo import (
+    BaselineCharacterization,
+    StatisticalBaseline,
+    nominal_baseline,
+    statistical_baseline,
+)
+
+__all__ = [
+    "BaselineCharacterization",
+    "InputCondition",
+    "InputSpace",
+    "LseCharacterizer",
+    "LutCharacterizer",
+    "LutGrid",
+    "StatisticalBaseline",
+    "StatisticalErrors",
+    "StatisticalLutCharacterizer",
+    "mean_abs_error",
+    "mean_relative_error",
+    "nominal_baseline",
+    "statistical_baseline",
+    "statistical_errors",
+]

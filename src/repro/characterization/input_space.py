@@ -1,0 +1,162 @@
+"""The library input space ``xi = (Sin, Cload, Vdd)``.
+
+The paper's central idea is to exploit structure in this space (rather than
+in process space).  :class:`InputSpace` binds the per-technology ranges into
+samplers for
+
+* the large random validation set (1000 points, Fig. 5),
+* the small space-filling fitting sets (k = 1 ... 100 training points), and
+* the regular grids used by the look-up-table baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.technology.node import TechnologyNode
+from repro.technology.sampling import (
+    full_factorial_grid,
+    latin_hypercube,
+    random_uniform,
+    scale_to_ranges,
+)
+from repro.utils.rng import RandomState
+from repro.utils.units import format_engineering
+
+
+@dataclass(frozen=True)
+class InputCondition:
+    """One operating point of the library input space.
+
+    Attributes
+    ----------
+    sin:
+        Input transition time in seconds.
+    cload:
+        Output load capacitance in farads.
+    vdd:
+        Supply voltage in volts.
+    """
+
+    sin: float
+    cload: float
+    vdd: float
+
+    def __post_init__(self) -> None:
+        if self.sin <= 0.0 or self.cload <= 0.0 or self.vdd <= 0.0:
+            raise ValueError("sin, cload and vdd must all be positive")
+
+    def as_tuple(self) -> Tuple[float, float, float]:
+        """``(sin, cload, vdd)`` as plain floats."""
+        return (self.sin, self.cload, self.vdd)
+
+    def describe(self) -> str:
+        """Human-readable rendering, e.g. ``"Sin=5.09ps, Cload=1.67fF, Vdd=0.734V"``."""
+        return (f"Sin={format_engineering(self.sin, 's')}, "
+                f"Cload={format_engineering(self.cload, 'F')}, "
+                f"Vdd={self.vdd:.3g}V")
+
+
+def conditions_to_arrays(conditions: Sequence[InputCondition]
+                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split a list of conditions into ``(sin, cload, vdd)`` arrays."""
+    if not conditions:
+        raise ValueError("conditions must not be empty")
+    sin = np.array([c.sin for c in conditions])
+    cload = np.array([c.cload for c in conditions])
+    vdd = np.array([c.vdd for c in conditions])
+    return sin, cload, vdd
+
+
+class InputSpace:
+    """Samplers over a technology node's library input space."""
+
+    #: Dimension order used throughout: input slew, load capacitance, supply.
+    DIMENSIONS = ("sin", "cload", "vdd")
+
+    def __init__(self, technology: TechnologyNode):
+        self._technology = technology
+        ranges = technology.input_ranges()
+        self._ranges = [ranges["sin"], ranges["cload"], ranges["vdd"]]
+
+    @property
+    def technology(self) -> TechnologyNode:
+        """The technology node whose ranges define this space."""
+        return self._technology
+
+    @property
+    def ranges(self) -> List[Tuple[float, float]]:
+        """``[(sin_min, sin_max), (cload_min, cload_max), (vdd_min, vdd_max)]``."""
+        return [tuple(r) for r in self._ranges]
+
+    # ------------------------------------------------------------------
+    # Converters
+    # ------------------------------------------------------------------
+    def _to_conditions(self, points: np.ndarray) -> List[InputCondition]:
+        return [InputCondition(sin=float(p[0]), cload=float(p[1]), vdd=float(p[2]))
+                for p in points]
+
+    def normalize(self, conditions: Sequence[InputCondition]) -> np.ndarray:
+        """Map conditions to the unit cube (used for precision-model lookups)."""
+        sin, cload, vdd = conditions_to_arrays(conditions)
+        stacked = np.stack([sin, cload, vdd], axis=-1)
+        lows = np.array([r[0] for r in self._ranges])
+        highs = np.array([r[1] for r in self._ranges])
+        return (stacked - lows) / (highs - lows)
+
+    # ------------------------------------------------------------------
+    # Samplers
+    # ------------------------------------------------------------------
+    def sample_random(self, n_points: int, rng: RandomState = None
+                      ) -> List[InputCondition]:
+        """Uniform random operating points (the Fig. 5 validation workload)."""
+        unit = random_uniform(n_points, 3, rng)
+        return self._to_conditions(scale_to_ranges(unit, self._ranges))
+
+    def sample_lhs(self, n_points: int, rng: RandomState = None
+                   ) -> List[InputCondition]:
+        """Latin-hypercube operating points (used for the small fitting sets)."""
+        unit = latin_hypercube(n_points, 3, rng)
+        return self._to_conditions(scale_to_ranges(unit, self._ranges))
+
+    def grid(self, n_sin: int, n_cload: int, n_vdd: int) -> List[InputCondition]:
+        """Full-factorial grid (the look-up-table baseline's table axes)."""
+        unit = full_factorial_grid([n_sin, n_cload, n_vdd])
+        return self._to_conditions(scale_to_ranges(unit, self._ranges))
+
+    def grid_for_budget(self, n_points: int) -> List[InputCondition]:
+        """A roughly cubic grid containing at most ``n_points`` conditions.
+
+        Used to give the LUT baseline the same simulation budget as a given
+        number of training samples: the grid dimensions are chosen as the
+        most balanced factorization not exceeding the budget.
+        """
+        if n_points < 1:
+            raise ValueError("n_points must be at least 1")
+        best = (1, 1, 1)
+        best_total = 1
+        limit = int(round(n_points ** (1.0 / 3.0))) + 2
+        for n_sin in range(1, max(limit, 2) + 1):
+            for n_cload in range(1, max(limit, 2) + 1):
+                for n_vdd in range(1, max(limit, 2) + 1):
+                    total = n_sin * n_cload * n_vdd
+                    if total <= n_points and total > best_total:
+                        best, best_total = (n_sin, n_cload, n_vdd), total
+                    elif total == best_total and total <= n_points:
+                        # Prefer more balanced grids at equal budget.
+                        if np.std([n_sin, n_cload, n_vdd]) < np.std(best):
+                            best = (n_sin, n_cload, n_vdd)
+        return self.grid(*best)
+
+    def center(self) -> InputCondition:
+        """The mid-range operating point."""
+        mids = [(low + high) / 2.0 for low, high in self._ranges]
+        return InputCondition(sin=mids[0], cload=mids[1], vdd=mids[2])
+
+    def corners(self) -> List[InputCondition]:
+        """The eight extreme corners of the input space."""
+        unit = full_factorial_grid([2, 2, 2])
+        return self._to_conditions(scale_to_ranges(unit, self._ranges))

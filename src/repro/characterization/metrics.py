@@ -1,0 +1,103 @@
+"""Error metrics for characterization accuracy (Eqs. 16-19 of the paper).
+
+The paper reports two families of numbers:
+
+* **nominal** prediction error -- the average relative error of predicted
+  delay / slew against the baseline characterization over the validation
+  input set (the percentage axis of Fig. 6);
+* **statistical** prediction errors -- the average absolute error of the
+  predicted mean and standard deviation of delay / slew against the
+  Monte Carlo baseline (Eqs. 16-19), which the figures again show as
+  percentages of the baseline quantities.
+
+Both absolute and percentage forms are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _validate_pair(predicted, reference) -> tuple:
+    predicted = np.asarray(predicted, dtype=float).reshape(-1)
+    reference = np.asarray(reference, dtype=float).reshape(-1)
+    if predicted.size != reference.size:
+        raise ValueError(
+            f"predicted has {predicted.size} entries, reference has {reference.size}"
+        )
+    if predicted.size == 0:
+        raise ValueError("at least one value is required")
+    return predicted, reference
+
+
+def mean_abs_error(predicted, reference) -> float:
+    """Mean absolute error ``mean(|predicted - reference|)`` (Eqs. 16-19 form)."""
+    predicted, reference = _validate_pair(predicted, reference)
+    return float(np.mean(np.abs(predicted - reference)))
+
+
+def mean_relative_error(predicted, reference) -> float:
+    """Mean absolute relative error ``mean(|predicted - reference| / |reference|)``.
+
+    Raises
+    ------
+    ValueError
+        If any reference value is zero (relative error undefined).
+    """
+    predicted, reference = _validate_pair(predicted, reference)
+    if np.any(reference == 0.0):
+        raise ValueError("reference values must be non-zero for relative error")
+    return float(np.mean(np.abs(predicted - reference) / np.abs(reference)))
+
+
+def mean_relative_error_percent(predicted, reference) -> float:
+    """Mean absolute relative error expressed in percent."""
+    return 100.0 * mean_relative_error(predicted, reference)
+
+
+@dataclass(frozen=True)
+class StatisticalErrors:
+    """Statistical-characterization errors of one response (delay or slew).
+
+    Attributes
+    ----------
+    mean_abs_mu:
+        Eq. 16/17: average absolute error of the predicted mean, in seconds.
+    mean_abs_sigma:
+        Eq. 18/19: average absolute error of the predicted standard
+        deviation, in seconds.
+    relative_mu_percent:
+        Mean-prediction error as a percentage of the baseline mean.
+    relative_sigma_percent:
+        Sigma-prediction error as a percentage of the baseline sigma.
+    """
+
+    mean_abs_mu: float
+    mean_abs_sigma: float
+    relative_mu_percent: float
+    relative_sigma_percent: float
+
+
+def statistical_errors(predicted_mu, predicted_sigma, baseline_mu, baseline_sigma
+                       ) -> StatisticalErrors:
+    """Compute the Eq. 16-19 errors plus their percentage forms.
+
+    All arguments are arrays over the validation input conditions.
+    """
+    predicted_mu, baseline_mu = _validate_pair(predicted_mu, baseline_mu)
+    predicted_sigma, baseline_sigma = _validate_pair(predicted_sigma, baseline_sigma)
+    mu_abs = float(np.mean(np.abs(predicted_mu - baseline_mu)))
+    sigma_abs = float(np.mean(np.abs(predicted_sigma - baseline_sigma)))
+    if np.any(baseline_mu == 0.0) or np.any(baseline_sigma == 0.0):
+        raise ValueError("baseline statistics must be non-zero")
+    mu_rel = float(np.mean(np.abs(predicted_mu - baseline_mu) / np.abs(baseline_mu)))
+    sigma_rel = float(np.mean(np.abs(predicted_sigma - baseline_sigma)
+                              / np.abs(baseline_sigma)))
+    return StatisticalErrors(
+        mean_abs_mu=mu_abs,
+        mean_abs_sigma=sigma_abs,
+        relative_mu_percent=100.0 * mu_rel,
+        relative_sigma_percent=100.0 * sigma_rel,
+    )

@@ -1,0 +1,51 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.timing_model` -- the ultra-compact four-parameter
+  analytical model for gate delay and output slew (Section III of the paper).
+* :mod:`repro.core.prior_learning` -- learning the conjugate Gaussian prior
+  and the input-condition-dependent model precision from historical
+  technology nodes, optionally through Gaussian belief propagation
+  (Section IV).
+* :mod:`repro.core.map_estimation` -- maximum-a-posteriori extraction of the
+  timing-model parameters from a handful of target-technology simulations
+  (Eq. 15).
+* :mod:`repro.core.characterizer` -- the nominal characterization flow.
+* :mod:`repro.core.statistical_flow` -- the per-seed statistical
+  characterization flow of Fig. 4.
+"""
+
+from repro.core.timing_model import (
+    CompactTimingModel,
+    FitResult,
+    TimingModelParameters,
+    fit_least_squares,
+)
+from repro.core.prior_learning import (
+    HistoricalLibraryData,
+    TimingPrior,
+    characterize_historical_library,
+    learn_prior,
+)
+from repro.core.map_estimation import MapObservations, map_estimate
+from repro.core.characterizer import BayesianCharacterizer, NominalCharacterization
+from repro.core.statistical_flow import (
+    StatisticalCharacterization,
+    StatisticalCharacterizer,
+)
+
+__all__ = [
+    "BayesianCharacterizer",
+    "CompactTimingModel",
+    "FitResult",
+    "HistoricalLibraryData",
+    "MapObservations",
+    "NominalCharacterization",
+    "StatisticalCharacterization",
+    "StatisticalCharacterizer",
+    "TimingModelParameters",
+    "TimingPrior",
+    "characterize_historical_library",
+    "fit_least_squares",
+    "learn_prior",
+    "map_estimate",
+]

@@ -1,0 +1,352 @@
+"""Learning priors from historical technology nodes (Section IV of the paper).
+
+The flow of the paper's Fig. 4 has a "historical learning" phase: every cell
+of every available historical library is characterized over its own input
+space, the compact timing model is fitted per cell/arc, and the resulting
+parameter vectors are fused into
+
+* a conjugate Gaussian prior ``N(mu_t0, Sigma_t0)`` over the timing-model
+  parameter mean of the *target* technology, and
+* the input-condition-dependent model precision ``beta(xi)`` of Eq. 9.
+
+Two fusion methods are provided:
+
+``"empirical"``
+    Pool all historical parameter vectors and take their sample mean and
+    covariance (with optional shrinkage) -- the straightforward reading of
+    the paper's equations.
+
+``"bp"``
+    Build a Gaussian factor graph with one variable per historical
+    technology plus a shared global variable, attach each technology's
+    parameter evidence to its node, link every node to the global variable
+    with a technology-drift covariance, and run belief propagation.  The
+    prior for the target technology is the *predictive* distribution of a
+    new leaf: the global belief widened by the drift covariance.  On this
+    star topology BP is exact, and the same machinery supports richer
+    structure (chains ordered by production year, flavor sub-groups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bayes.factor_graph import GaussianFactorGraph
+from repro.bayes.gaussian import GaussianDensity
+from repro.bayes.precision import PrecisionModel
+from repro.cells.equivalent_inverter import reduce_cell
+from repro.cells.library import Cell, Transition
+from repro.characterization.input_space import InputSpace
+from repro.core.timing_model import (
+    CompactTimingModel,
+    FitResult,
+    N_PARAMETERS,
+    fit_least_squares,
+)
+from repro.spice.sweep import sweep_conditions
+from repro.spice.testbench import SimulationCounter
+from repro.technology.node import TechnologyNode
+from repro.technology.sampling import latin_hypercube
+from repro.utils.rng import RandomState, ensure_rng
+
+#: Response names handled throughout the flow.
+RESPONSES = ("delay", "slew")
+
+#: Default number of reference conditions used to characterize each
+#: historical library (the paper uses the full LUT grid; a moderate
+#: space-filling set gives the same parameter estimates far cheaper).
+DEFAULT_REFERENCE_CONDITIONS = 24
+
+
+@dataclass(frozen=True)
+class ArcFit:
+    """Compact-model fits of one cell arc in one historical technology."""
+
+    cell_name: str
+    arc_name: str
+    delay_fit: FitResult
+    slew_fit: FitResult
+
+
+@dataclass(frozen=True)
+class HistoricalLibraryData:
+    """Everything learned from characterizing one historical library.
+
+    Attributes
+    ----------
+    technology_name:
+        Name of the historical technology node.
+    unit_conditions:
+        Normalized (unit-cube) reference conditions shared across
+        technologies, shape ``(n_conditions, 3)``.
+    arc_fits:
+        Per-arc compact-model fits.
+    delay_residuals, slew_residuals:
+        Relative model residuals averaged across arcs, one per reference
+        condition (inputs to the Eq. 9 precision estimate).
+    simulation_runs:
+        Number of simulator invocations spent on this library.
+    """
+
+    technology_name: str
+    unit_conditions: np.ndarray
+    arc_fits: Tuple[ArcFit, ...]
+    delay_residuals: np.ndarray
+    slew_residuals: np.ndarray
+    simulation_runs: int
+
+    def parameter_matrix(self, response: str) -> np.ndarray:
+        """Stack of fitted parameter vectors, shape ``(n_arcs, 4)``."""
+        _check_response(response)
+        rows = []
+        for fit in self.arc_fits:
+            result = fit.delay_fit if response == "delay" else fit.slew_fit
+            rows.append(result.params.as_array())
+        return np.array(rows)
+
+    def mean_parameters(self, response: str) -> np.ndarray:
+        """Average parameter vector across the library's arcs."""
+        return self.parameter_matrix(response).mean(axis=0)
+
+    def mean_fit_error(self, response: str) -> float:
+        """Average of the per-arc mean absolute relative fitting errors."""
+        _check_response(response)
+        errors = [fit.delay_fit.mean_abs_relative_error if response == "delay"
+                  else fit.slew_fit.mean_abs_relative_error
+                  for fit in self.arc_fits]
+        return float(np.mean(errors))
+
+
+@dataclass(frozen=True)
+class TimingPrior:
+    """The learned prior for one response (delay or slew).
+
+    Attributes
+    ----------
+    response:
+        ``"delay"`` or ``"slew"``.
+    density:
+        Gaussian prior over the timing-model parameters (natural units).
+    precision_model:
+        The Eq. 9 model precision as a function of the normalized operating
+        point.
+    technology_names:
+        Historical technologies that contributed.
+    method:
+        ``"bp"`` or ``"empirical"``.
+    """
+
+    response: str
+    density: GaussianDensity
+    precision_model: PrecisionModel
+    technology_names: Tuple[str, ...]
+    method: str
+
+    def describe(self) -> str:
+        """One-line summary of the prior."""
+        stds = self.density.standard_deviations()
+        return (f"{self.response} prior from {len(self.technology_names)} technologies "
+                f"({self.method}): mean={np.round(self.density.mean, 3)}, "
+                f"std={np.round(stds, 3)}")
+
+
+def _check_response(response: str) -> None:
+    if response not in RESPONSES:
+        raise ValueError(f"response must be one of {RESPONSES}, got {response!r}")
+
+
+def shared_reference_conditions(n_conditions: int = DEFAULT_REFERENCE_CONDITIONS,
+                                rng: RandomState = 1234) -> np.ndarray:
+    """Normalized reference conditions shared by all historical libraries.
+
+    Using the *same* unit-cube points for every technology (each mapped into
+    that technology's own physical ranges) is what makes the cross-technology
+    residual variance of Eq. 9 well defined per condition.
+    """
+    if n_conditions < N_PARAMETERS + 1:
+        raise ValueError(
+            f"need at least {N_PARAMETERS + 1} reference conditions to fit the model"
+        )
+    return latin_hypercube(n_conditions, 3, ensure_rng(rng))
+
+
+def characterize_historical_library(
+    technology: TechnologyNode,
+    cells: Sequence[Cell],
+    unit_conditions: Optional[np.ndarray] = None,
+    transitions: Sequence[Transition] = (Transition.FALL, Transition.RISE),
+    counter: Optional[SimulationCounter] = None,
+) -> HistoricalLibraryData:
+    """Characterize one historical library and fit the compact model per arc.
+
+    For every cell and requested output transition (using the first input pin
+    of each cell, as the paper models one timing arc at a time), the shared
+    normalized reference conditions are mapped into the technology's ranges,
+    simulated nominally, and fitted with plain least squares.
+
+    Parameters
+    ----------
+    technology:
+        The historical node.
+    cells:
+        Cells to characterize (e.g. the Table I set INV/NAND2/NOR2).
+    unit_conditions:
+        Normalized reference conditions; defaults to
+        :func:`shared_reference_conditions`.
+    transitions:
+        Output transitions to cover.
+    counter:
+        Optional simulation-run accounting.
+    """
+    if unit_conditions is None:
+        unit_conditions = shared_reference_conditions()
+    unit_conditions = np.atleast_2d(np.asarray(unit_conditions, dtype=float))
+    space = InputSpace(technology)
+    lows = np.array([r[0] for r in space.ranges])
+    highs = np.array([r[1] for r in space.ranges])
+    physical = lows + unit_conditions * (highs - lows)
+    conditions = [tuple(row) for row in physical]
+
+    local_counter = counter if counter is not None else SimulationCounter()
+    runs_before = local_counter.total
+
+    arc_fits: List[ArcFit] = []
+    delay_residual_rows: List[np.ndarray] = []
+    slew_residual_rows: List[np.ndarray] = []
+
+    for cell in cells:
+        for transition in transitions:
+            arc = cell.arc(cell.input_pins[0], Transition(transition))
+            measurements = sweep_conditions(
+                cell, technology, conditions, arc=arc,
+                counter=local_counter,
+                counter_label=f"historical:{technology.name}:{cell.name}",
+            )
+            sin = physical[:, 0]
+            cload = physical[:, 1]
+            vdd = physical[:, 2]
+            inverter = reduce_cell(cell, technology, arc=arc)
+            ieff = np.array([float(inverter.effective_current(v)) for v in vdd])
+            delays = np.array([m.nominal_delay() for m in measurements])
+            slews = np.array([m.nominal_slew() for m in measurements])
+
+            delay_fit = fit_least_squares(sin, cload, vdd, ieff, delays)
+            slew_fit = fit_least_squares(sin, cload, vdd, ieff, slews)
+            arc_fits.append(ArcFit(cell_name=cell.name, arc_name=arc.name,
+                                   delay_fit=delay_fit, slew_fit=slew_fit))
+            delay_residual_rows.append(delay_fit.residuals)
+            slew_residual_rows.append(slew_fit.residuals)
+
+    delay_residuals = np.mean(np.array(delay_residual_rows), axis=0)
+    slew_residuals = np.mean(np.array(slew_residual_rows), axis=0)
+    runs = local_counter.total - runs_before
+
+    return HistoricalLibraryData(
+        technology_name=technology.name,
+        unit_conditions=unit_conditions,
+        arc_fits=tuple(arc_fits),
+        delay_residuals=delay_residuals,
+        slew_residuals=slew_residuals,
+        simulation_runs=runs,
+    )
+
+
+def learn_prior(
+    historical: Sequence[HistoricalLibraryData],
+    response: str = "delay",
+    method: str = "bp",
+    shrinkage: float = 0.1,
+    prior_widening: float = 1.0,
+) -> TimingPrior:
+    """Fuse historical libraries into a :class:`TimingPrior`.
+
+    Parameters
+    ----------
+    historical:
+        Characterized historical libraries (at least one).
+    response:
+        ``"delay"`` or ``"slew"``.
+    method:
+        ``"bp"`` (Gaussian belief propagation over the technology star) or
+        ``"empirical"`` (pooled sample mean / covariance).
+    shrinkage:
+        Covariance shrinkage toward the diagonal, useful because the number
+        of historical technologies is small.
+    prior_widening:
+        Multiplier applied to the final prior covariance (ablation knob; 1.0
+        reproduces the paper's flow).
+
+    Raises
+    ------
+    ValueError
+        If no historical data is given or the method is unknown.
+    """
+    _check_response(response)
+    if not historical:
+        raise ValueError("at least one historical library is required")
+    if method not in ("bp", "empirical"):
+        raise ValueError(f"method must be 'bp' or 'empirical', got {method!r}")
+    if prior_widening <= 0.0:
+        raise ValueError("prior_widening must be positive")
+
+    technology_names = tuple(data.technology_name for data in historical)
+    pooled = np.vstack([data.parameter_matrix(response) for data in historical])
+
+    if method == "empirical" or len(historical) == 1:
+        density = GaussianDensity.from_samples(pooled, shrinkage=shrinkage,
+                                               jitter=1e-8)
+        effective_method = "empirical"
+    else:
+        per_tech_means = np.array([data.mean_parameters(response)
+                                   for data in historical])
+        # Technology-drift covariance: spread of per-technology means, with
+        # shrinkage and a floor so the star links never collapse.
+        drift = np.cov(per_tech_means, rowvar=False, ddof=1)
+        drift = np.atleast_2d(drift)
+        drift = (1.0 - shrinkage) * drift + shrinkage * np.diag(np.diag(drift))
+        drift = drift + 1e-8 * np.eye(N_PARAMETERS)
+
+        leaves: Dict[str, GaussianDensity] = {}
+        for data in historical:
+            matrix = data.parameter_matrix(response)
+            within = GaussianDensity.from_samples(matrix, shrinkage=shrinkage,
+                                                  jitter=1e-8)
+            # Evidence of the technology mean: sample mean with standard
+            # error of the mean as covariance.
+            sem_cov = within.covariance / max(matrix.shape[0], 1)
+            leaves[data.technology_name] = GaussianDensity(within.mean,
+                                                           sem_cov + 1e-10 * np.eye(N_PARAMETERS))
+        graph = GaussianFactorGraph.star("global", leaves, drift)
+        beliefs = graph.run_belief_propagation()
+        global_belief = beliefs["global"]
+        # Predictive distribution for a new technology node: global belief
+        # widened by the technology-drift covariance.
+        density = GaussianDensity(global_belief.mean,
+                                  global_belief.covariance + drift)
+        effective_method = "bp"
+
+    if prior_widening != 1.0:
+        density = density.scaled_covariance(prior_widening)
+
+    residual_key = "delay_residuals" if response == "delay" else "slew_residuals"
+    residual_matrix = np.array([getattr(data, residual_key) for data in historical])
+    precision_model = PrecisionModel.from_residuals(historical[0].unit_conditions,
+                                                    residual_matrix)
+    return TimingPrior(
+        response=response,
+        density=density,
+        precision_model=precision_model,
+        technology_names=technology_names,
+        method=effective_method,
+    )
+
+
+def learn_priors(historical: Sequence[HistoricalLibraryData], method: str = "bp",
+                 shrinkage: float = 0.1) -> Dict[str, TimingPrior]:
+    """Learn both the delay and the slew prior from the same historical data."""
+    return {response: learn_prior(historical, response=response, method=method,
+                                  shrinkage=shrinkage)
+            for response in RESPONSES}

@@ -1,0 +1,277 @@
+"""Statistical (process-variation-aware) characterization flow (Fig. 4).
+
+The statistical half of the paper's flow works per Monte Carlo process seed:
+
+1. draw ``Nsample`` process seeds;
+2. simulate each of the ``k`` fitting input conditions once per seed (the
+   ``.ALTER``-style batched sweep is vectorized over seeds here);
+3. extract the compact-model parameters ``P_T^(j)`` / ``P_S^(j)`` of every
+   seed ``j`` by MAP estimation against the historical prior;
+4. for any queried operating point, evaluate the compact model with every
+   seed's parameters to obtain the full delay / slew *distribution* -- mean,
+   standard deviation, and the (generally non-Gaussian) probability density
+   of the paper's Fig. 9.
+
+The total simulation cost is ``O(k * Nsample)``, compared with
+``O(N_LUT * Nsample)`` for a statistical look-up table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cells.equivalent_inverter import EquivalentInverter, reduce_cell
+from repro.cells.library import Cell, TimingArc
+from repro.characterization.input_space import (
+    InputCondition,
+    InputSpace,
+    conditions_to_arrays,
+)
+from repro.core.map_estimation import MapObservations, map_estimate
+from repro.core.prior_learning import TimingPrior
+from repro.core.timing_model import CompactTimingModel, TimingModelParameters
+from repro.spice.sweep import sweep_conditions
+from repro.spice.testbench import SimulationCounter
+from repro.technology.node import TechnologyNode
+from repro.technology.variation import VariationSample
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass(frozen=True)
+class StatisticalCharacterization:
+    """Per-seed compact-model parameters of one arc plus prediction helpers.
+
+    Attributes
+    ----------
+    cell_name, arc_name:
+        Identification of the characterized arc.
+    delay_parameters, slew_parameters:
+        Arrays of shape ``(n_seeds, 4)`` with one extracted parameter vector
+        per Monte Carlo seed (natural units).
+    inverter:
+        The seed-vectorized equivalent inverter (needed to evaluate ``Ieff``
+        per seed at prediction time).
+    fitting_conditions:
+        The ``k`` input conditions that were simulated.
+    simulation_runs:
+        Total simulator invocations spent (``k * n_seeds``).
+    """
+
+    cell_name: str
+    arc_name: str
+    delay_parameters: np.ndarray
+    slew_parameters: np.ndarray
+    inverter: EquivalentInverter
+    fitting_conditions: Tuple[InputCondition, ...]
+    simulation_runs: int
+    _model: CompactTimingModel = CompactTimingModel()
+
+    @property
+    def n_seeds(self) -> int:
+        """Number of Monte Carlo seeds."""
+        return int(self.delay_parameters.shape[0])
+
+    @property
+    def k(self) -> int:
+        """Number of fitting input conditions."""
+        return len(self.fitting_conditions)
+
+    # ------------------------------------------------------------------
+    # Per-seed prediction
+    # ------------------------------------------------------------------
+    def _samples(self, condition: InputCondition, parameters: np.ndarray
+                 ) -> np.ndarray:
+        ieff = np.asarray(self.inverter.effective_current(condition.vdd),
+                          dtype=float).reshape(-1)
+        if ieff.size == 1:
+            ieff = np.full(self.n_seeds, float(ieff[0]))
+        # evaluate_array broadcasts per-seed parameter rows against the
+        # per-seed effective currents, so the whole ensemble evaluates at once.
+        return np.asarray(self._model.evaluate_array(
+            parameters, condition.sin, condition.cload, condition.vdd, ieff),
+            dtype=float).reshape(-1)
+
+    def delay_samples(self, condition: InputCondition) -> np.ndarray:
+        """Per-seed delay predictions (seconds) at one operating point."""
+        return self._samples(condition, self.delay_parameters)
+
+    def slew_samples(self, condition: InputCondition) -> np.ndarray:
+        """Per-seed output-slew predictions (seconds) at one operating point."""
+        return self._samples(condition, self.slew_parameters)
+
+    def delay_statistics(self, condition: InputCondition) -> Dict[str, float]:
+        """Mean / std / skew of the predicted delay distribution."""
+        return _moments(self.delay_samples(condition))
+
+    def slew_statistics(self, condition: InputCondition) -> Dict[str, float]:
+        """Mean / std / skew of the predicted slew distribution."""
+        return _moments(self.slew_samples(condition))
+
+    def predict_statistics(self, conditions: Sequence[InputCondition]
+                           ) -> Dict[str, np.ndarray]:
+        """Vectorized mean/std prediction over many operating points.
+
+        Returns a dictionary with arrays ``mu_delay``, ``sigma_delay``,
+        ``mu_slew``, ``sigma_slew`` of length ``len(conditions)``.
+        """
+        conditions = list(conditions)
+        mu_delay = np.empty(len(conditions))
+        sigma_delay = np.empty(len(conditions))
+        mu_slew = np.empty(len(conditions))
+        sigma_slew = np.empty(len(conditions))
+        for index, condition in enumerate(conditions):
+            delay = self.delay_samples(condition)
+            slew = self.slew_samples(condition)
+            mu_delay[index] = delay.mean()
+            sigma_delay[index] = delay.std()
+            mu_slew[index] = slew.mean()
+            sigma_slew[index] = slew.std()
+        return {"mu_delay": mu_delay, "sigma_delay": sigma_delay,
+                "mu_slew": mu_slew, "sigma_slew": sigma_slew}
+
+    def mean_parameters(self, response: str = "delay") -> TimingModelParameters:
+        """Average extracted parameters across seeds."""
+        matrix = (self.delay_parameters if response == "delay"
+                  else self.slew_parameters)
+        return TimingModelParameters.from_array(matrix.mean(axis=0))
+
+
+def _moments(values: np.ndarray) -> Dict[str, float]:
+    values = np.asarray(values, dtype=float).reshape(-1)
+    mean = float(np.mean(values))
+    std = float(np.std(values))
+    skew = float(np.mean(((values - mean) / std) ** 3)) if std > 0 else 0.0
+    return {"mean": mean, "std": std, "skew": skew}
+
+
+class StatisticalCharacterizer:
+    """Proposed-flow statistical characterizer for one cell timing arc."""
+
+    def __init__(
+        self,
+        technology: TechnologyNode,
+        cell: Cell,
+        delay_prior: TimingPrior,
+        slew_prior: TimingPrior,
+        arc: Optional[TimingArc] = None,
+        n_seeds: int = 200,
+        rng: RandomState = None,
+        counter: Optional[SimulationCounter] = None,
+    ):
+        if n_seeds < 2:
+            raise ValueError("statistical characterization needs at least 2 seeds")
+        self._technology = technology
+        self._cell = cell
+        self._arc = arc if arc is not None else cell.timing_arcs()[1]
+        self._delay_prior = delay_prior
+        self._slew_prior = slew_prior
+        self._n_seeds = int(n_seeds)
+        self._rng = ensure_rng(rng)
+        self._counter = counter
+        self._space = InputSpace(technology)
+        self._model = CompactTimingModel()
+        self._variation: Optional[VariationSample] = None
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_seeds(self) -> int:
+        """Number of Monte Carlo seeds used per characterization."""
+        return self._n_seeds
+
+    @property
+    def variation(self) -> Optional[VariationSample]:
+        """The Monte Carlo seeds of the latest characterization (if any)."""
+        return self._variation
+
+    def use_variation(self, variation: VariationSample) -> None:
+        """Force a specific seed batch (so baselines share the same seeds)."""
+        if variation.n_seeds < 2:
+            raise ValueError("need at least 2 seeds")
+        self._variation = variation
+        self._n_seeds = variation.n_seeds
+
+    # ------------------------------------------------------------------
+    # Characterization
+    # ------------------------------------------------------------------
+    def characterize(self, conditions: Union[int, Sequence[InputCondition]],
+                     rng: RandomState = None) -> StatisticalCharacterization:
+        """Run the statistical flow with ``k`` fitting conditions.
+
+        Parameters
+        ----------
+        conditions:
+            Number of fitting conditions (chosen by Latin hypercube) or an
+            explicit condition list.
+        rng:
+            Random source for automatic condition selection.
+        """
+        if isinstance(conditions, int):
+            conditions = self._space.sample_lhs(conditions,
+                                                ensure_rng(rng) if rng is not None
+                                                else self._rng)
+        conditions = list(conditions)
+        if not conditions:
+            raise ValueError("at least one fitting condition is required")
+
+        if self._variation is None:
+            self._variation = self._technology.variation.sample(self._n_seeds,
+                                                                self._rng)
+        variation = self._variation
+        inverter = reduce_cell(self._cell, self._technology, arc=self._arc,
+                               variation=variation)
+
+        runs_before = self._counter.total if self._counter is not None else 0
+        measurements = sweep_conditions(
+            self._cell, self._technology, [c.as_tuple() for c in conditions],
+            arc=self._arc, variation=variation, counter=self._counter,
+            counter_label=f"proposed_statistical:{self._cell.name}",
+        )
+        runs = ((self._counter.total - runs_before) if self._counter is not None
+                else len(conditions) * variation.n_seeds)
+
+        sin, cload, vdd = conditions_to_arrays(conditions)
+        unit = self._space.normalize(conditions)
+        delay_beta = self._delay_prior.precision_model.beta(unit)
+        slew_beta = self._slew_prior.precision_model.beta(unit)
+
+        # Per-seed effective currents at each fitting condition's supply.
+        ieff_matrix = np.stack(
+            [np.asarray(inverter.effective_current(v), dtype=float).reshape(-1)
+             for v in vdd], axis=0)  # (k, n_seeds)
+
+        delay_matrix = np.stack([np.asarray(m.delay).reshape(-1)
+                                 for m in measurements], axis=0)
+        slew_matrix = np.stack([np.asarray(m.output_slew).reshape(-1)
+                                for m in measurements], axis=0)
+
+        n_seeds = variation.n_seeds
+        delay_params = np.empty((n_seeds, 4))
+        slew_params = np.empty((n_seeds, 4))
+        for seed in range(n_seeds):
+            delay_obs = MapObservations(sin=sin, cload=cload, vdd=vdd,
+                                        ieff=ieff_matrix[:, seed],
+                                        response=delay_matrix[:, seed],
+                                        beta=delay_beta)
+            slew_obs = MapObservations(sin=sin, cload=cload, vdd=vdd,
+                                       ieff=ieff_matrix[:, seed],
+                                       response=slew_matrix[:, seed],
+                                       beta=slew_beta)
+            delay_params[seed] = map_estimate(self._delay_prior, delay_obs,
+                                              model=self._model).params.as_array()
+            slew_params[seed] = map_estimate(self._slew_prior, slew_obs,
+                                             model=self._model).params.as_array()
+
+        return StatisticalCharacterization(
+            cell_name=self._cell.name,
+            arc_name=self._arc.name,
+            delay_parameters=delay_params,
+            slew_parameters=slew_params,
+            inverter=inverter,
+            fitting_conditions=tuple(conditions),
+            simulation_runs=runs,
+        )

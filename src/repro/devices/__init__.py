@@ -1,0 +1,35 @@
+"""Transistor-level device models.
+
+This package provides the compact MOSFET models that power the transient
+circuit simulator in :mod:`repro.spice`.  Two model families are available:
+
+* :class:`~repro.devices.alpha_power.AlphaPowerMOSFET` -- a smooth variant of
+  the classic Sakurai-Newton alpha-power law, appropriate for planar bulk and
+  SOI technologies (45 nm down to 20 nm in the synthetic PDKs).
+* :class:`~repro.devices.virtual_source.VirtualSourceMOSFET` -- a simplified
+  virtual-source / MVS-style model with a saturation-function drain current,
+  used for the FinFET nodes (16 nm / 14 nm).
+
+Both expose the same interface (:class:`~repro.devices.mosfet.MOSFET`), accept
+NumPy-array parameters so a single instance can represent thousands of Monte
+Carlo seeds, and provide the effective-current evaluation
+(:func:`~repro.devices.effective_current.effective_current`) that the paper's
+compact timing model requires.
+"""
+
+from repro.devices.mosfet import DeviceParameters, MOSFET, Polarity
+from repro.devices.alpha_power import AlphaPowerMOSFET
+from repro.devices.virtual_source import VirtualSourceMOSFET
+from repro.devices.capacitance import CapacitanceModel
+from repro.devices.effective_current import effective_current, on_current
+
+__all__ = [
+    "AlphaPowerMOSFET",
+    "CapacitanceModel",
+    "DeviceParameters",
+    "MOSFET",
+    "Polarity",
+    "VirtualSourceMOSFET",
+    "effective_current",
+    "on_current",
+]

@@ -1,0 +1,90 @@
+"""Gate and parasitic capacitance model.
+
+Standard-cell timing depends on three capacitive contributions:
+
+* the external load ``Cload`` (an input to characterization),
+* the parasitic drain/junction capacitance of the devices tied to the output
+  node (the ``Cpar`` the compact timing model extracts), and
+* the gate capacitance presented by a cell input (needed to express loads in
+  "standard loads" and by the downstream STA engine).
+
+The model is intentionally simple -- per-micrometre coefficients scaled by
+device width -- because the paper's flow only needs the *dependence* of delay
+on these capacitances, not layout-accurate extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class CapacitanceModel:
+    """Per-width capacitance coefficients of a technology node.
+
+    Attributes
+    ----------
+    cgate_per_um:
+        Gate capacitance per micrometre of channel width, in farads.
+    cdrain_per_um:
+        Drain junction + local interconnect capacitance per micrometre of
+        channel width, in farads.
+    cmiller_per_um:
+        Gate-to-drain overlap (Miller) capacitance per micrometre, in farads.
+        This couples the switching input into the output node and produces
+        the characteristic overshoot at the start of a transition.
+    cwire_fixed:
+        Fixed wiring capacitance added to every output node, in farads.
+    """
+
+    cgate_per_um: float
+    cdrain_per_um: float
+    cmiller_per_um: float
+    cwire_fixed: float = 0.0
+
+    def gate_capacitance(self, width_um: ArrayLike) -> np.ndarray:
+        """Gate capacitance of a device of the given width, in farads."""
+        return np.asarray(width_um, dtype=float) * self.cgate_per_um
+
+    def drain_capacitance(self, width_um: ArrayLike) -> np.ndarray:
+        """Drain parasitic capacitance of a device of the given width."""
+        return np.asarray(width_um, dtype=float) * self.cdrain_per_um
+
+    def miller_capacitance(self, width_um: ArrayLike) -> np.ndarray:
+        """Gate-to-drain coupling capacitance of a device of the given width."""
+        return np.asarray(width_um, dtype=float) * self.cmiller_per_um
+
+    def output_parasitic(
+        self, pull_up_width_um: ArrayLike, pull_down_width_um: ArrayLike
+    ) -> np.ndarray:
+        """Total parasitic capacitance on a cell output node, in farads.
+
+        Sums the drain contributions of the pull-up and pull-down devices
+        connected to the output plus the fixed wiring term.
+        """
+        total = (
+            self.drain_capacitance(pull_up_width_um)
+            + self.drain_capacitance(pull_down_width_um)
+            + self.cwire_fixed
+        )
+        return np.asarray(total, dtype=float)
+
+    def scaled(self, multiplier: float) -> "CapacitanceModel":
+        """Return a copy with all per-width coefficients multiplied.
+
+        Used by the process-variation model to represent parasitic-cap
+        variation (e.g. junction depth or spacer thickness variation).
+        """
+        if multiplier <= 0.0:
+            raise ValueError("capacitance multiplier must be positive")
+        return CapacitanceModel(
+            cgate_per_um=self.cgate_per_um * multiplier,
+            cdrain_per_um=self.cdrain_per_um * multiplier,
+            cmiller_per_um=self.cmiller_per_um * multiplier,
+            cwire_fixed=self.cwire_fixed * multiplier,
+        )

@@ -1,0 +1,213 @@
+"""Common MOSFET interface and parameter container.
+
+The characterization flows never touch SPICE-level model cards; they interact
+with devices exclusively through the small interface defined here:
+
+* ``current(vgs, vds)`` -- drain current magnitude for source-referenced
+  terminal voltages given as *magnitudes* (PMOS devices are handled by the
+  circuit code mirroring voltages around the supply rail), broadcast over
+  NumPy arrays so thousands of Monte Carlo seeds evaluate in one call;
+* ``with_variation(...)`` -- return a copy of the device with per-seed
+  threshold-voltage shifts, drive-strength multipliers and effective-length
+  multipliers applied;
+* ``scaled(width_multiplier)`` -- return a copy with the channel width scaled,
+  used by the equivalent-inverter reduction of multi-input cells.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class Polarity(str, enum.Enum):
+    """Transistor polarity."""
+
+    NMOS = "nmos"
+    PMOS = "pmos"
+
+
+@dataclass(frozen=True)
+class DeviceParameters:
+    """Parameters shared by all compact MOSFET models in this library.
+
+    All voltage-like fields are in volts, widths in micrometres and currents
+    in amperes.  Every field may be a scalar or a NumPy array; arrays are
+    interpreted as per-seed values for vectorized Monte Carlo evaluation.
+
+    Attributes
+    ----------
+    polarity:
+        NMOS or PMOS.
+    width_um:
+        Drawn channel width in micrometres.
+    vth0:
+        Zero-bias threshold voltage magnitude.
+    alpha:
+        Velocity-saturation exponent of the alpha-power law (between 1 for
+        fully velocity-saturated short-channel devices and 2 for long-channel
+        square-law devices).
+    k_drive:
+        Drive factor in A / (um * V**alpha): saturation current per unit width
+        at one volt of gate overdrive.
+    dibl:
+        Drain-induced barrier lowering coefficient (V/V); lowers the threshold
+        voltage proportionally to the drain bias.
+    lambda_clm:
+        Channel-length-modulation coefficient (1/V).
+    vdsat_coeff:
+        Coefficient mapping gate overdrive to the saturation drain voltage:
+        ``Vdsat = vdsat_coeff * Vov ** (alpha / 2)``.
+    subthreshold_swing:
+        Subthreshold swing in V/decade; controls leakage below threshold and
+        the smoothness of the transition around ``vth0``.
+    leff_nm:
+        Effective channel length in nanometres (informational; drive scaling
+        with length variation is applied through ``k_drive`` multipliers).
+    temperature_c:
+        Junction temperature in Celsius (informational; the synthetic PDKs
+        pre-bake temperature into ``vth0``/``k_drive``).
+    """
+
+    polarity: Polarity
+    width_um: ArrayLike = 1.0
+    vth0: ArrayLike = 0.35
+    alpha: ArrayLike = 1.3
+    k_drive: ArrayLike = 6.0e-4
+    dibl: ArrayLike = 0.08
+    lambda_clm: ArrayLike = 0.05
+    vdsat_coeff: ArrayLike = 0.55
+    subthreshold_swing: ArrayLike = 0.085
+    leff_nm: ArrayLike = 30.0
+    temperature_c: float = 25.0
+
+    def replace(self, **changes) -> "DeviceParameters":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+class MOSFET:
+    """Abstract compact MOSFET model.
+
+    Concrete models implement :meth:`current`.  The remaining helpers
+    (variation application, width scaling) are shared.
+    """
+
+    def __init__(self, params: DeviceParameters):
+        self._params = params
+
+    @property
+    def params(self) -> DeviceParameters:
+        """The device parameters backing this model instance."""
+        return self._params
+
+    @property
+    def polarity(self) -> Polarity:
+        """Transistor polarity (NMOS or PMOS)."""
+        return self._params.polarity
+
+    @property
+    def width_um(self) -> ArrayLike:
+        """Channel width in micrometres."""
+        return self._params.width_um
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    def current(self, vgs: ArrayLike, vds: ArrayLike) -> np.ndarray:
+        """Drain current magnitude in amperes.
+
+        ``vgs`` and ``vds`` are source-referenced voltage *magnitudes*
+        (already mirrored for PMOS by the caller).  Negative ``vds`` values
+        are clamped to zero; gate voltages below threshold produce the
+        (small) subthreshold current of the specific model.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def scaled(self, width_multiplier: ArrayLike) -> "MOSFET":
+        """Return a copy of this device with its width multiplied.
+
+        Used by the equivalent-inverter reduction: a series stack of two
+        identical transistors behaves (to first order) like a single device
+        of half the width.
+        """
+        new_params = self._params.replace(
+            width_um=np.asarray(self._params.width_um) * np.asarray(width_multiplier)
+        )
+        return type(self)(new_params)
+
+    def with_variation(
+        self,
+        delta_vth: ArrayLike = 0.0,
+        drive_multiplier: ArrayLike = 1.0,
+        leff_multiplier: ArrayLike = 1.0,
+    ) -> "MOSFET":
+        """Return a copy with process variation applied.
+
+        Parameters
+        ----------
+        delta_vth:
+            Additive threshold-voltage shift in volts (per seed).
+        drive_multiplier:
+            Multiplicative factor on the drive strength ``k_drive`` (per
+            seed); captures mobility / saturation-velocity variation.
+        leff_multiplier:
+            Multiplicative factor on the effective channel length.  Shorter
+            channels drive more current, so ``k_drive`` is scaled by
+            ``1 / leff_multiplier`` and DIBL increases for shorter channels.
+        """
+        delta_vth = np.asarray(delta_vth, dtype=float)
+        drive_multiplier = np.asarray(drive_multiplier, dtype=float)
+        leff_multiplier = np.asarray(leff_multiplier, dtype=float)
+        if np.any(leff_multiplier <= 0.0):
+            raise ValueError("leff_multiplier must be strictly positive")
+        if np.any(drive_multiplier <= 0.0):
+            raise ValueError("drive_multiplier must be strictly positive")
+        params = self._params
+        new_params = params.replace(
+            vth0=np.asarray(params.vth0) + delta_vth,
+            k_drive=np.asarray(params.k_drive) * drive_multiplier / leff_multiplier,
+            dibl=np.asarray(params.dibl) / leff_multiplier,
+            leff_nm=np.asarray(params.leff_nm) * leff_multiplier,
+        )
+        return type(self)(new_params)
+
+    # ------------------------------------------------------------------
+    # Convenience metrics
+    # ------------------------------------------------------------------
+    def on_current(self, vdd: ArrayLike) -> np.ndarray:
+        """Saturated on-current ``Id(Vgs=Vdd, Vds=Vdd)``."""
+        vdd = np.asarray(vdd, dtype=float)
+        return self.current(vdd, vdd)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        width = np.asarray(self._params.width_um)
+        width_repr = f"{width!r}" if width.ndim else f"{float(width):.3g}um"
+        return f"{type(self).__name__}({self.polarity.value}, W={width_repr})"
+
+
+def _softplus(x: np.ndarray, sharpness: np.ndarray) -> np.ndarray:
+    """Numerically stable softplus used for smooth threshold clamping.
+
+    ``softplus(x) = sharpness * log(1 + exp(x / sharpness))`` approaches
+    ``max(x, 0)`` as ``sharpness`` goes to zero while staying differentiable,
+    which keeps the transient solver well behaved around the threshold.
+    """
+    x = np.asarray(x, dtype=float)
+    sharpness = np.asarray(sharpness, dtype=float)
+    scaled = x / sharpness
+    out = np.where(
+        scaled > 30.0,
+        x,
+        sharpness * np.log1p(np.exp(np.minimum(scaled, 30.0))),
+    )
+    return out

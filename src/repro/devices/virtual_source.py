@@ -1,0 +1,78 @@
+"""Virtual-source-style MOSFET model for FinFET nodes.
+
+The MIT virtual-source (VS/MVS) model describes nanoscale transistors with a
+charge-times-velocity formulation ``Id = W * Qx0 * vx0 * Fsat`` where ``Qx0``
+is the charge at the virtual source (an empirical function of gate overdrive)
+and ``Fsat`` is a saturation function of the drain bias.  The authors of the
+reproduced paper used exactly this family of models for their 14 nm test case
+(reference [20] and [24] of the paper).
+
+This implementation keeps the structure but uses compact empirical forms:
+
+* virtual-source charge: ``Qx0 = Cinv * n * phi_t * log(1 + exp(Vov / (n*phi_t)))``
+  which transitions smoothly from exponential subthreshold behaviour to the
+  linear strong-inversion charge;
+* saturation function: ``Fsat = (Vds/Vdsat) / (1 + (Vds/Vdsat)**beta)**(1/beta)``
+  with ``beta`` around 1.8, the form used by the MVS model;
+* DIBL and a mild channel-length-modulation term as in the alpha-power model.
+
+The different functional shape relative to :class:`AlphaPowerMOSFET` is
+intentional: the paper's point is that the *compact timing model* transfers
+across technologies with different underlying device physics, so the FinFET
+PDKs should not share the planar drain-current equation exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices.mosfet import ArrayLike, MOSFET
+
+#: Thermal voltage at room temperature, in volts.
+_PHI_T = 0.0258
+
+#: Shape exponent of the MVS saturation function.
+_BETA_SAT = 1.8
+
+
+class VirtualSourceMOSFET(MOSFET):
+    """Simplified virtual-source (MVS-style) drain-current model.
+
+    Interprets the shared :class:`~repro.devices.mosfet.DeviceParameters`
+    fields as follows:
+
+    * ``k_drive`` -- product of inversion capacitance and injection velocity,
+      i.e. the drive current per micrometre of width per volt of charge
+      overdrive (A / (um * V));
+    * ``alpha`` -- strong-inversion charge exponent (close to 1 for FinFETs);
+    * ``vdsat_coeff`` -- saturation voltage per volt of overdrive.
+    """
+
+    def current(self, vgs: ArrayLike, vds: ArrayLike) -> np.ndarray:
+        """Drain current magnitude in amperes (vectorized)."""
+        p = self._params
+        vgs = np.asarray(vgs, dtype=float)
+        vds = np.maximum(np.asarray(vds, dtype=float), 0.0)
+
+        swing = np.asarray(p.subthreshold_swing, dtype=float)
+        ideality = np.maximum(swing / (_PHI_T * np.log(10.0)), 1.0)
+        n_phi_t = ideality * _PHI_T
+
+        vth_eff = np.asarray(p.vth0, dtype=float) - np.asarray(p.dibl, dtype=float) * vds
+        scaled = (vgs - vth_eff) / n_phi_t
+        charge_overdrive = n_phi_t * np.where(
+            scaled > 30.0, scaled, np.log1p(np.exp(np.minimum(scaled, 30.0)))
+        )
+
+        alpha = np.asarray(p.alpha, dtype=float)
+        drive = (
+            np.asarray(p.k_drive, dtype=float)
+            * np.asarray(p.width_um, dtype=float)
+            * np.power(charge_overdrive, alpha)
+            * (1.0 + np.asarray(p.lambda_clm, dtype=float) * vds)
+        )
+
+        vdsat = np.asarray(p.vdsat_coeff, dtype=float) * charge_overdrive + 1e-3
+        ratio = vds / vdsat
+        fsat = ratio / np.power(1.0 + np.power(ratio, _BETA_SAT), 1.0 / _BETA_SAT)
+        return drive * fsat

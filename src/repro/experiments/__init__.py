@@ -1,0 +1,28 @@
+"""Experiment orchestration for the paper's evaluation section.
+
+This package sits above both :mod:`repro.core` (the proposed flow) and
+:mod:`repro.characterization` (the baselines) and produces the artefacts the
+paper reports: accuracy-versus-training-samples curves with error bars over
+cells and transitions (Figs. 6-8), and the simulation-run speedups read off
+those curves.
+"""
+
+from repro.experiments.runner import (
+    AccuracyCurve,
+    ExperimentRunner,
+    NOMINAL_METHODS,
+    STATISTICAL_METHODS,
+    STATISTICAL_METRICS,
+    SpeedupSummary,
+    compute_speedup,
+)
+
+__all__ = [
+    "AccuracyCurve",
+    "ExperimentRunner",
+    "NOMINAL_METHODS",
+    "STATISTICAL_METHODS",
+    "STATISTICAL_METRICS",
+    "SpeedupSummary",
+    "compute_speedup",
+]

@@ -1,0 +1,381 @@
+"""Experiment orchestration: accuracy-versus-training-samples curves.
+
+The paper's key evaluation artefacts (Figs. 6-8) plot the prediction error of
+each characterization flow against the number of training samples (fitting
+input conditions) it was given, with error bars over cells and RISE/FALL
+transitions, and read speedups off those curves ("the LUT needs 15-20x more
+samples to reach the same accuracy").  :class:`ExperimentRunner` produces
+exactly those curves for the synthetic PDKs, and
+:func:`compute_speedup` extracts the headline speedup numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cells.library import Cell, TimingArc, Transition
+from repro.characterization.input_space import InputCondition, InputSpace
+from repro.characterization.lse import LseCharacterizer
+from repro.characterization.lut import LutCharacterizer, StatisticalLutCharacterizer
+from repro.characterization.metrics import (
+    mean_relative_error_percent,
+    statistical_errors,
+)
+from repro.characterization.monte_carlo import nominal_baseline, statistical_baseline
+from repro.core.characterizer import BayesianCharacterizer
+from repro.core.prior_learning import (
+    HistoricalLibraryData,
+    TimingPrior,
+    characterize_historical_library,
+    learn_prior,
+    shared_reference_conditions,
+)
+from repro.core.statistical_flow import StatisticalCharacterizer
+from repro.spice.testbench import SimulationCounter
+from repro.technology.node import TechnologyNode
+from repro.technology.pdk import historical_technologies
+from repro.cells.catalog import DEFAULT_CELL_NAMES, make_cell
+from repro.utils.rng import RandomState, ensure_rng
+
+#: Methods understood by the nominal experiment.
+NOMINAL_METHODS = ("bayesian", "lse", "lut")
+#: Methods understood by the statistical experiment.
+STATISTICAL_METHODS = ("bayesian", "lut")
+#: Metrics produced by the statistical experiment.
+STATISTICAL_METRICS = ("mu_delay", "sigma_delay", "mu_slew", "sigma_slew")
+
+
+@dataclass(frozen=True)
+class AccuracyCurve:
+    """Prediction error versus number of training samples for one method.
+
+    Attributes
+    ----------
+    method:
+        Flow name (``"bayesian"``, ``"lse"`` or ``"lut"``).
+    metric:
+        What the error measures: ``"delay"`` / ``"slew"`` for nominal runs,
+        or one of ``mu_delay`` / ``sigma_delay`` / ``mu_slew`` / ``sigma_slew``
+        for statistical runs.
+    training_sizes:
+        Requested numbers of training samples.
+    mean_error_percent:
+        Error averaged over cells and transitions, one entry per size.
+    std_error_percent:
+        Standard deviation of the error over cells/transitions (the paper's
+        error bars).
+    simulation_runs:
+        Average simulator invocations actually spent per arc at each size
+        (for the LUT this is the realized grid size, which may be slightly
+        below the requested budget).
+    """
+
+    method: str
+    metric: str
+    training_sizes: Tuple[int, ...]
+    mean_error_percent: np.ndarray
+    std_error_percent: np.ndarray
+    simulation_runs: np.ndarray
+
+    def error_at(self, training_size: int) -> float:
+        """Mean error (percent) at one of the evaluated training sizes."""
+        sizes = list(self.training_sizes)
+        if training_size not in sizes:
+            raise KeyError(f"training size {training_size} was not evaluated")
+        return float(self.mean_error_percent[sizes.index(training_size)])
+
+    def runs_to_reach(self, target_error_percent: float) -> Optional[float]:
+        """Smallest simulated-run budget achieving the target error, or ``None``."""
+        achieved = np.nonzero(self.mean_error_percent <= target_error_percent)[0]
+        if achieved.size == 0:
+            return None
+        return float(np.min(self.simulation_runs[achieved]))
+
+    def rows(self) -> List[Tuple[int, float, float, float]]:
+        """Table rows ``(size, mean%, std%, runs)`` for report printing."""
+        return [(int(size), float(mean), float(std), float(runs))
+                for size, mean, std, runs in zip(self.training_sizes,
+                                                 self.mean_error_percent,
+                                                 self.std_error_percent,
+                                                 self.simulation_runs)]
+
+
+@dataclass(frozen=True)
+class SpeedupSummary:
+    """Simulation-run speedup of one method over another at equal accuracy."""
+
+    fast_method: str
+    slow_method: str
+    metric: str
+    target_error_percent: float
+    fast_runs: float
+    slow_runs: float
+
+    @property
+    def speedup(self) -> float:
+        """``slow_runs / fast_runs``."""
+        return self.slow_runs / self.fast_runs
+
+    def describe(self) -> str:
+        """One-line textual summary."""
+        return (f"{self.metric}: {self.fast_method} reaches "
+                f"{self.target_error_percent:.1f}% with {self.fast_runs:.0f} runs vs "
+                f"{self.slow_runs:.0f} for {self.slow_method} "
+                f"({self.speedup:.1f}x fewer simulations)")
+
+
+def compute_speedup(fast: AccuracyCurve, slow: AccuracyCurve,
+                    target_error_percent: Optional[float] = None
+                    ) -> Optional[SpeedupSummary]:
+    """Speedup of ``fast`` over ``slow`` at equal accuracy.
+
+    If no target error is given, the loosest error both methods can reach is
+    used (so the comparison is always feasible).  Returns ``None`` when one
+    of the methods never reaches the target.
+    """
+    if target_error_percent is None:
+        target_error_percent = float(max(fast.mean_error_percent.min(),
+                                         slow.mean_error_percent.min()))
+    fast_runs = fast.runs_to_reach(target_error_percent)
+    slow_runs = slow.runs_to_reach(target_error_percent)
+    if fast_runs is None or slow_runs is None:
+        return None
+    return SpeedupSummary(fast_method=fast.method, slow_method=slow.method,
+                          metric=fast.metric,
+                          target_error_percent=target_error_percent,
+                          fast_runs=fast_runs, slow_runs=slow_runs)
+
+
+class ExperimentRunner:
+    """Runs the paper's accuracy-versus-samples experiments on one technology."""
+
+    def __init__(
+        self,
+        technology: TechnologyNode,
+        cells: Optional[Sequence[Cell]] = None,
+        transitions: Sequence[Transition] = (Transition.FALL, Transition.RISE),
+        historical: Optional[Sequence[HistoricalLibraryData]] = None,
+        n_validation: int = 100,
+        n_reference_conditions: int = 24,
+        rng: RandomState = 0,
+        counter: Optional[SimulationCounter] = None,
+    ):
+        self._technology = technology
+        self._cells = list(cells) if cells is not None else [
+            make_cell(name) for name in DEFAULT_CELL_NAMES]
+        self._transitions = tuple(Transition(t) for t in transitions)
+        self._rng = ensure_rng(rng)
+        self._counter = counter if counter is not None else SimulationCounter()
+        self._space = InputSpace(technology)
+        self._validation = self._space.sample_random(n_validation, self._rng)
+
+        if historical is None:
+            unit_conditions = shared_reference_conditions(n_reference_conditions)
+            historical = [
+                characterize_historical_library(node, self._cells,
+                                                unit_conditions=unit_conditions,
+                                                counter=self._counter)
+                for node in historical_technologies(exclude=technology.name)
+            ]
+        self._historical = list(historical)
+        self._delay_prior = learn_prior(self._historical, response="delay")
+        self._slew_prior = learn_prior(self._historical, response="slew")
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def technology(self) -> TechnologyNode:
+        """The target technology."""
+        return self._technology
+
+    @property
+    def counter(self) -> SimulationCounter:
+        """Simulation-run accounting shared by all flows."""
+        return self._counter
+
+    @property
+    def validation_conditions(self) -> List[InputCondition]:
+        """The random validation set (Fig. 5 workload)."""
+        return list(self._validation)
+
+    @property
+    def delay_prior(self) -> TimingPrior:
+        """The learned delay prior."""
+        return self._delay_prior
+
+    @property
+    def slew_prior(self) -> TimingPrior:
+        """The learned slew prior."""
+        return self._slew_prior
+
+    def arcs(self) -> List[Tuple[Cell, TimingArc]]:
+        """The (cell, arc) pairs evaluated by the experiments."""
+        pairs = []
+        for cell in self._cells:
+            for transition in self._transitions:
+                pairs.append((cell, cell.arc(cell.input_pins[0], transition)))
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Nominal experiment (Fig. 6)
+    # ------------------------------------------------------------------
+    def nominal_curves(self, training_sizes: Sequence[int],
+                       methods: Sequence[str] = NOMINAL_METHODS,
+                       response: str = "delay") -> Dict[str, AccuracyCurve]:
+        """Error-versus-samples curves for nominal characterization.
+
+        Parameters
+        ----------
+        training_sizes:
+            Numbers of fitting samples to evaluate (the paper uses
+            1, 2, 3, 5, 10, 20, 50, 100).
+        methods:
+            Subset of ``("bayesian", "lse", "lut")``.
+        response:
+            ``"delay"`` or ``"slew"``.
+        """
+        if response not in ("delay", "slew"):
+            raise ValueError("response must be 'delay' or 'slew'")
+        for method in methods:
+            if method not in NOMINAL_METHODS:
+                raise ValueError(f"unknown nominal method {method!r}")
+        training_sizes = tuple(int(size) for size in training_sizes)
+
+        baselines = {}
+        for cell, arc in self.arcs():
+            baseline = nominal_baseline(cell, self._technology, self._validation,
+                                        arc=arc, counter=self._counter)
+            reference = baseline.delay if response == "delay" else baseline.slew
+            baselines[arc.name] = (cell, arc, reference)
+
+        curves: Dict[str, AccuracyCurve] = {}
+        for method in methods:
+            mean_errors, std_errors, runs = [], [], []
+            for size in training_sizes:
+                errors, arc_runs = [], []
+                for cell, arc, reference in baselines.values():
+                    prediction, used_runs = self._nominal_predict(
+                        method, cell, arc, size, response)
+                    errors.append(mean_relative_error_percent(prediction, reference))
+                    arc_runs.append(used_runs)
+                mean_errors.append(float(np.mean(errors)))
+                std_errors.append(float(np.std(errors)))
+                runs.append(float(np.mean(arc_runs)))
+            curves[method] = AccuracyCurve(
+                method=method, metric=response, training_sizes=training_sizes,
+                mean_error_percent=np.array(mean_errors),
+                std_error_percent=np.array(std_errors),
+                simulation_runs=np.array(runs))
+        return curves
+
+    def _nominal_predict(self, method: str, cell: Cell, arc: TimingArc,
+                         size: int, response: str) -> Tuple[np.ndarray, int]:
+        fit_rng = ensure_rng(self._rng.integers(0, 2 ** 31))
+        if method == "bayesian":
+            characterizer = BayesianCharacterizer(
+                self._technology, cell, self._delay_prior, self._slew_prior,
+                arc=arc, counter=self._counter)
+            characterizer.fit(size, rng=fit_rng)
+            runs = characterizer.result.simulation_runs
+            prediction = (characterizer.predict_delay(self._validation)
+                          if response == "delay"
+                          else characterizer.predict_slew(self._validation))
+            return prediction, runs
+        if method == "lse":
+            characterizer = LseCharacterizer(self._technology, cell, arc=arc,
+                                             counter=self._counter)
+            characterizer.fit(size, rng=fit_rng)
+            prediction = (characterizer.predict_delay(self._validation)
+                          if response == "delay"
+                          else characterizer.predict_slew(self._validation))
+            return prediction, characterizer.simulation_runs
+        characterizer = LutCharacterizer(self._technology, cell, arc=arc,
+                                         counter=self._counter)
+        characterizer.build(size)
+        prediction = (characterizer.predict_delay(self._validation)
+                      if response == "delay"
+                      else characterizer.predict_slew(self._validation))
+        return prediction, characterizer.simulation_runs
+
+    # ------------------------------------------------------------------
+    # Statistical experiment (Figs. 7-8)
+    # ------------------------------------------------------------------
+    def statistical_curves(self, training_sizes: Sequence[int],
+                           n_seeds: int = 200,
+                           methods: Sequence[str] = STATISTICAL_METHODS,
+                           ) -> Dict[Tuple[str, str], AccuracyCurve]:
+        """Error-versus-samples curves for statistical characterization.
+
+        Returns a dictionary keyed by ``(method, metric)`` with metric in
+        ``("mu_delay", "sigma_delay", "mu_slew", "sigma_slew")``.  The same
+        Monte Carlo seeds are shared by the baseline, the proposed flow and
+        the LUT flow so that differences reflect the flows, not sampling
+        noise.
+        """
+        for method in methods:
+            if method not in STATISTICAL_METHODS:
+                raise ValueError(f"unknown statistical method {method!r}")
+        training_sizes = tuple(int(size) for size in training_sizes)
+        variation = self._technology.variation.sample(n_seeds, self._rng)
+
+        baselines = {}
+        for cell, arc in self.arcs():
+            baseline = statistical_baseline(cell, self._technology, self._validation,
+                                            variation, arc=arc, counter=self._counter)
+            baselines[arc.name] = (cell, arc, baseline.statistics())
+
+        curves: Dict[Tuple[str, str], AccuracyCurve] = {}
+        for method in methods:
+            per_metric_errors = {metric: [] for metric in STATISTICAL_METRICS}
+            per_metric_std = {metric: [] for metric in STATISTICAL_METRICS}
+            run_counts = []
+            for size in training_sizes:
+                errors_by_metric = {metric: [] for metric in STATISTICAL_METRICS}
+                arc_runs = []
+                for cell, arc, reference in baselines.values():
+                    predicted, used_runs = self._statistical_predict(
+                        method, cell, arc, size, variation)
+                    arc_runs.append(used_runs)
+                    delay_err = statistical_errors(predicted["mu_delay"],
+                                                   predicted["sigma_delay"],
+                                                   reference["mu_delay"],
+                                                   reference["sigma_delay"])
+                    slew_err = statistical_errors(predicted["mu_slew"],
+                                                  predicted["sigma_slew"],
+                                                  reference["mu_slew"],
+                                                  reference["sigma_slew"])
+                    errors_by_metric["mu_delay"].append(delay_err.relative_mu_percent)
+                    errors_by_metric["sigma_delay"].append(delay_err.relative_sigma_percent)
+                    errors_by_metric["mu_slew"].append(slew_err.relative_mu_percent)
+                    errors_by_metric["sigma_slew"].append(slew_err.relative_sigma_percent)
+                for metric in STATISTICAL_METRICS:
+                    per_metric_errors[metric].append(float(np.mean(errors_by_metric[metric])))
+                    per_metric_std[metric].append(float(np.std(errors_by_metric[metric])))
+                run_counts.append(float(np.mean(arc_runs)))
+            for metric in STATISTICAL_METRICS:
+                curves[(method, metric)] = AccuracyCurve(
+                    method=method, metric=metric, training_sizes=training_sizes,
+                    mean_error_percent=np.array(per_metric_errors[metric]),
+                    std_error_percent=np.array(per_metric_std[metric]),
+                    simulation_runs=np.array(run_counts))
+        return curves
+
+    def _statistical_predict(self, method: str, cell: Cell, arc: TimingArc,
+                             size: int, variation) -> Tuple[Dict[str, np.ndarray], int]:
+        if method == "bayesian":
+            characterizer = StatisticalCharacterizer(
+                self._technology, cell, self._delay_prior, self._slew_prior,
+                arc=arc, n_seeds=variation.n_seeds, counter=self._counter)
+            characterizer.use_variation(variation)
+            result = characterizer.characterize(
+                size, rng=ensure_rng(self._rng.integers(0, 2 ** 31)))
+            return result.predict_statistics(self._validation), result.simulation_runs
+        characterizer = StatisticalLutCharacterizer(
+            self._technology, cell, variation, arc=arc, counter=self._counter)
+        characterizer.build(size)
+        return (characterizer.predict_statistics(self._validation),
+                characterizer.simulation_runs)

@@ -1,0 +1,24 @@
+"""Liberty-subset export / import of characterized libraries.
+
+Downstream STA tools consume characterized libraries in the Liberty (``.lib``)
+format: NLDM tables of delay and output slew indexed by input slew and load
+capacitance, one per timing arc, plus pin capacitances.  This package writes
+a well-formed subset of Liberty from any characterization flow in this
+library (proposed, LUT, or baseline) -- including sigma tables for
+statistical characterizations -- and parses that subset back, so round-trip
+tests can confirm nothing is lost.
+"""
+
+from repro.liberty.tables import NldmTable, build_nldm_table
+from repro.liberty.writer import CellTimingData, LibertyWriter, TimingTableSet
+from repro.liberty.parser import LibertyLibrary, parse_liberty
+
+__all__ = [
+    "CellTimingData",
+    "LibertyLibrary",
+    "LibertyWriter",
+    "NldmTable",
+    "TimingTableSet",
+    "build_nldm_table",
+    "parse_liberty",
+]

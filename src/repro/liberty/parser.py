@@ -1,0 +1,200 @@
+"""Parser for the Liberty subset emitted by :class:`repro.liberty.writer.LibertyWriter`.
+
+The parser understands the group-based Liberty syntax (``name (args) { ... }``
+groups, ``attribute : value;`` statements, quoted index/value lists with line
+continuations) well enough to round-trip everything the writer produces:
+library attributes, cell areas, pin capacitances, and the NLDM delay /
+transition / sigma tables of every timing arc.  It is not a general Liberty
+front end -- exotic constructs of commercial libraries are out of scope.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cells.library import Transition
+from repro.liberty.tables import NldmTable
+
+
+@dataclass
+class ParsedArc:
+    """One timing group of a parsed cell."""
+
+    related_pin: str
+    output_transition: Transition
+    delay: NldmTable
+    transition: NldmTable
+    sigma_delay: Optional[NldmTable] = None
+
+
+@dataclass
+class ParsedCell:
+    """One parsed Liberty cell."""
+
+    name: str
+    area: float
+    function: str
+    input_pin_caps_pf: Dict[str, float] = field(default_factory=dict)
+    arcs: List[ParsedArc] = field(default_factory=list)
+
+
+@dataclass
+class LibertyLibrary:
+    """A parsed Liberty library (subset)."""
+
+    name: str
+    nom_voltage: float
+    nom_temperature: float
+    cells: Dict[str, ParsedCell] = field(default_factory=dict)
+
+    def cell(self, name: str) -> ParsedCell:
+        """Look up a parsed cell by name."""
+        if name not in self.cells:
+            raise KeyError(f"library {self.name!r} has no cell {name!r}")
+        return self.cells[name]
+
+
+# ----------------------------------------------------------------------
+# Tokenization into a group tree
+# ----------------------------------------------------------------------
+@dataclass
+class _Group:
+    kind: str
+    argument: str
+    attributes: Dict[str, str] = field(default_factory=dict)
+    complex_attributes: List[Tuple[str, str]] = field(default_factory=list)
+    children: List["_Group"] = field(default_factory=list)
+
+    def find_all(self, kind: str) -> List["_Group"]:
+        return [child for child in self.children if child.kind == kind]
+
+    def find_one(self, kind: str) -> Optional["_Group"]:
+        groups = self.find_all(kind)
+        return groups[0] if groups else None
+
+
+_GROUP_RE = re.compile(r"^(\w+)\s*\(([^)]*)\)\s*\{$")
+_ATTR_RE = re.compile(r"^(\w+)\s*:\s*(.+?);$")
+_COMPLEX_RE = re.compile(r"^(\w+)\s*\((.*)\)\s*;$", re.DOTALL)
+
+
+def _logical_lines(text: str) -> List[str]:
+    """Split Liberty text into logical lines, joining ``\\`` continuations."""
+    joined = text.replace("\\\n", " ")
+    lines = []
+    for raw in joined.splitlines():
+        stripped = raw.strip()
+        if stripped and not stripped.startswith("/*") and not stripped.startswith("//"):
+            lines.append(stripped)
+    return lines
+
+
+def _parse_group_tree(lines: List[str], start: int) -> Tuple[_Group, int]:
+    match = _GROUP_RE.match(lines[start])
+    if not match:
+        raise ValueError(f"expected a group header, got {lines[start]!r}")
+    group = _Group(kind=match.group(1), argument=match.group(2).strip())
+    index = start + 1
+    while index < len(lines):
+        line = lines[index]
+        if line == "}":
+            return group, index + 1
+        if _GROUP_RE.match(line):
+            child, index = _parse_group_tree(lines, index)
+            group.children.append(child)
+            continue
+        attr_match = _ATTR_RE.match(line)
+        if attr_match:
+            group.attributes[attr_match.group(1)] = attr_match.group(2).strip().strip('"')
+            index += 1
+            continue
+        complex_match = _COMPLEX_RE.match(line)
+        if complex_match:
+            group.complex_attributes.append(
+                (complex_match.group(1), complex_match.group(2)))
+            index += 1
+            continue
+        raise ValueError(f"cannot parse Liberty line: {line!r}")
+    raise ValueError("unterminated Liberty group (missing closing brace)")
+
+
+def _parse_number_list(text: str) -> np.ndarray:
+    cleaned = text.replace('"', " ").replace(",", " ")
+    values = [float(token) for token in cleaned.split()]
+    return np.array(values)
+
+
+def _table_from_group(group: _Group) -> NldmTable:
+    index_1 = index_2 = values = None
+    for name, payload in group.complex_attributes:
+        if name == "index_1":
+            index_1 = _parse_number_list(payload)
+        elif name == "index_2":
+            index_2 = _parse_number_list(payload)
+        elif name == "values":
+            values = _parse_number_list(payload)
+    if index_1 is None or index_2 is None or values is None:
+        raise ValueError(f"incomplete NLDM table in group {group.kind!r}")
+    return NldmTable(input_slews_ns=index_1, load_caps_pf=index_2,
+                     values_ns=values.reshape(index_1.size, index_2.size))
+
+
+# ----------------------------------------------------------------------
+# Public entry point
+# ----------------------------------------------------------------------
+def parse_liberty(text: str) -> LibertyLibrary:
+    """Parse Liberty text (the writer's subset) into a :class:`LibertyLibrary`."""
+    lines = _logical_lines(text)
+    if not lines:
+        raise ValueError("empty Liberty source")
+    root, _ = _parse_group_tree(lines, 0)
+    if root.kind != "library":
+        raise ValueError(f"expected a library group, got {root.kind!r}")
+
+    library = LibertyLibrary(
+        name=root.argument,
+        nom_voltage=float(root.attributes.get("nom_voltage", "0") or 0.0),
+        nom_temperature=float(root.attributes.get("nom_temperature", "25") or 25.0),
+    )
+
+    for cell_group in root.find_all("cell"):
+        cell = ParsedCell(
+            name=cell_group.argument,
+            area=float(cell_group.attributes.get("area", "0")),
+            function="",
+        )
+        for pin_group in cell_group.find_all("pin"):
+            direction = pin_group.attributes.get("direction", "input")
+            if direction == "input":
+                cell.input_pin_caps_pf[pin_group.argument] = float(
+                    pin_group.attributes.get("capacitance", "0"))
+                continue
+            cell.function = pin_group.attributes.get("function", "")
+            for timing_group in pin_group.find_all("timing"):
+                related_pin = timing_group.attributes.get("related_pin", "")
+                delay_group = (timing_group.find_one("cell_rise")
+                               or timing_group.find_one("cell_fall"))
+                transition_group = (timing_group.find_one("rise_transition")
+                                    or timing_group.find_one("fall_transition"))
+                if delay_group is None or transition_group is None:
+                    raise ValueError(
+                        f"timing group of {cell.name}/{related_pin} lacks tables")
+                output_transition = (Transition.RISE
+                                     if delay_group.kind == "cell_rise"
+                                     else Transition.FALL)
+                sigma_group = (timing_group.find_one("ocv_sigma_cell_rise")
+                               or timing_group.find_one("ocv_sigma_cell_fall"))
+                cell.arcs.append(ParsedArc(
+                    related_pin=related_pin,
+                    output_transition=output_transition,
+                    delay=_table_from_group(delay_group),
+                    transition=_table_from_group(transition_group),
+                    sigma_delay=(_table_from_group(sigma_group)
+                                 if sigma_group is not None else None),
+                ))
+        library.cells[cell.name] = cell
+    return library

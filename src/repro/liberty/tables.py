@@ -1,0 +1,105 @@
+"""NLDM-style two-dimensional timing tables.
+
+Liberty's non-linear delay model (NLDM) stores delay and transition time in
+tables indexed by input transition time (``index_1``) and output load
+capacitance (``index_2``), at a fixed characterization supply.  The tables
+here use the library's customary units -- nanoseconds and picofarads -- and
+provide the bilinear lookup STA engines perform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.units import NANO, PICO
+
+
+@dataclass(frozen=True)
+class NldmTable:
+    """A 2-D table of values indexed by input slew and load capacitance.
+
+    Attributes
+    ----------
+    input_slews_ns:
+        ``index_1`` values in nanoseconds, strictly increasing.
+    load_caps_pf:
+        ``index_2`` values in picofarads, strictly increasing.
+    values_ns:
+        Table values (delay or transition) in nanoseconds, shape
+        ``(len(input_slews_ns), len(load_caps_pf))``.
+    """
+
+    input_slews_ns: np.ndarray
+    load_caps_pf: np.ndarray
+    values_ns: np.ndarray
+
+    def __post_init__(self) -> None:
+        slews = np.asarray(self.input_slews_ns, dtype=float)
+        caps = np.asarray(self.load_caps_pf, dtype=float)
+        values = np.asarray(self.values_ns, dtype=float)
+        if slews.ndim != 1 or caps.ndim != 1:
+            raise ValueError("table indices must be 1-D arrays")
+        if np.any(np.diff(slews) <= 0) or np.any(np.diff(caps) <= 0):
+            raise ValueError("table indices must be strictly increasing")
+        if values.shape != (slews.size, caps.size):
+            raise ValueError(
+                f"values shape {values.shape} does not match indices "
+                f"({slews.size}, {caps.size})"
+            )
+        object.__setattr__(self, "input_slews_ns", slews)
+        object.__setattr__(self, "load_caps_pf", caps)
+        object.__setattr__(self, "values_ns", values)
+
+    def lookup(self, input_slew_s: float, load_cap_f: float) -> float:
+        """Bilinear lookup; arguments in SI units, result in seconds."""
+        slew_ns = input_slew_s / NANO
+        cap_pf = load_cap_f / PICO
+        slew_ns = float(np.clip(slew_ns, self.input_slews_ns[0], self.input_slews_ns[-1]))
+        cap_pf = float(np.clip(cap_pf, self.load_caps_pf[0], self.load_caps_pf[-1]))
+
+        def bracket(axis: np.ndarray, value: float) -> Tuple[int, int, float]:
+            if axis.size == 1:
+                return 0, 0, 0.0
+            high = int(np.clip(np.searchsorted(axis, value), 1, axis.size - 1))
+            low = high - 1
+            span = axis[high] - axis[low]
+            return low, high, 0.0 if span == 0 else (value - axis[low]) / span
+
+        i0, i1, fi = bracket(self.input_slews_ns, slew_ns)
+        j0, j1, fj = bracket(self.load_caps_pf, cap_pf)
+        v00, v01 = self.values_ns[i0, j0], self.values_ns[i0, j1]
+        v10, v11 = self.values_ns[i1, j0], self.values_ns[i1, j1]
+        value_ns = ((1 - fi) * ((1 - fj) * v00 + fj * v01)
+                    + fi * ((1 - fj) * v10 + fj * v11))
+        return float(value_ns) * NANO
+
+
+def build_nldm_table(
+    evaluate: Callable[[float, float], float],
+    input_slews_s: Sequence[float],
+    load_caps_f: Sequence[float],
+) -> NldmTable:
+    """Build an :class:`NldmTable` by evaluating a response function on a grid.
+
+    Parameters
+    ----------
+    evaluate:
+        Callable mapping ``(input_slew_seconds, load_cap_farads)`` to a
+        response in seconds -- typically a closure over a characterizer's
+        ``predict_delay`` / ``predict_slew`` at a fixed supply.
+    input_slews_s, load_caps_f:
+        Grid axes in SI units.
+    """
+    slews = np.asarray(list(input_slews_s), dtype=float)
+    caps = np.asarray(list(load_caps_f), dtype=float)
+    if slews.size < 1 or caps.size < 1:
+        raise ValueError("at least one slew and one load value are required")
+    values = np.empty((slews.size, caps.size))
+    for i, slew in enumerate(slews):
+        for j, cap in enumerate(caps):
+            values[i, j] = evaluate(float(slew), float(cap)) / NANO
+    return NldmTable(input_slews_ns=slews / NANO, load_caps_pf=caps / PICO,
+                     values_ns=values)

@@ -1,0 +1,181 @@
+"""Liberty (.lib) writer for characterized libraries.
+
+The writer emits a well-formed subset of the Liberty format: a ``library``
+group with unit declarations, one ``cell`` group per characterized cell with
+pin capacitances and a ``timing`` group per arc holding ``cell_rise`` /
+``cell_fall`` and ``rise_transition`` / ``fall_transition`` NLDM tables.  For
+statistical characterizations, sigma tables are emitted as
+``ocv_sigma_cell_rise`` / ``ocv_sigma_cell_fall`` groups (the LVF-style
+extension used by variation-aware sign-off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cells.library import Transition
+from repro.liberty.tables import NldmTable
+
+
+@dataclass(frozen=True)
+class TimingTableSet:
+    """Delay and transition tables of one timing arc (one related pin).
+
+    ``sigma_delay`` is optional and only present for statistical
+    characterizations.
+    """
+
+    related_pin: str
+    output_transition: Transition
+    delay: NldmTable
+    transition: NldmTable
+    sigma_delay: Optional[NldmTable] = None
+
+
+@dataclass
+class CellTimingData:
+    """Everything the writer needs to emit one cell.
+
+    Attributes
+    ----------
+    name:
+        Cell name.
+    function:
+        Boolean function of the output pin (Liberty ``function`` attribute).
+    input_pin_caps_pf:
+        Input pin capacitances in picofarads.
+    arcs:
+        Timing tables, one entry per (related pin, output transition).
+    area:
+        Cell area in square micrometres (informational).
+    """
+
+    name: str
+    function: str
+    input_pin_caps_pf: Dict[str, float]
+    arcs: List[TimingTableSet] = field(default_factory=list)
+    area: float = 1.0
+
+
+_TEMPLATE_NAME = "delay_template"
+
+
+class LibertyWriter:
+    """Serialize characterized cells into Liberty text."""
+
+    def __init__(self, library_name: str, nominal_voltage: float,
+                 temperature_c: float = 25.0):
+        if not library_name:
+            raise ValueError("library_name must be non-empty")
+        if nominal_voltage <= 0.0:
+            raise ValueError("nominal_voltage must be positive")
+        self._library_name = library_name
+        self._voltage = nominal_voltage
+        self._temperature = temperature_c
+        self._cells: List[CellTimingData] = []
+
+    def add_cell(self, cell_data: CellTimingData) -> None:
+        """Queue a cell for emission; duplicate names are rejected."""
+        if any(existing.name == cell_data.name for existing in self._cells):
+            raise ValueError(f"cell {cell_data.name!r} already added")
+        if not cell_data.arcs:
+            raise ValueError(f"cell {cell_data.name!r} has no timing arcs")
+        self._cells.append(cell_data)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Render the full library as Liberty text."""
+        if not self._cells:
+            raise ValueError("add at least one cell before rendering")
+        lines: List[str] = []
+        lines.append(f"library ({self._library_name}) {{")
+        lines.append('  delay_model : "table_lookup";')
+        lines.append('  time_unit : "1ns";')
+        lines.append('  voltage_unit : "1V";')
+        lines.append('  capacitive_load_unit (1, pf);')
+        lines.append(f"  nom_voltage : {self._voltage:.4g};")
+        lines.append(f"  nom_temperature : {self._temperature:.4g};")
+        lines.append(self._render_template(self._cells[0].arcs[0].delay))
+        for cell in self._cells:
+            lines.append(self._render_cell(cell))
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    def write(self, path: str) -> None:
+        """Render and write to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())
+
+    # ------------------------------------------------------------------
+    # Internal rendering helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _format_values(values) -> str:
+        rows = [", ".join(f"{value:.6g}" for value in row) for row in values]
+        return ", \\\n        ".join(f'"{row}"' for row in rows)
+
+    def _render_template(self, table: NldmTable) -> str:
+        slews = ", ".join(f"{value:.6g}" for value in table.input_slews_ns)
+        caps = ", ".join(f"{value:.6g}" for value in table.load_caps_pf)
+        return (
+            f"  lu_table_template ({_TEMPLATE_NAME}) {{\n"
+            "    variable_1 : input_net_transition;\n"
+            "    variable_2 : total_output_net_capacitance;\n"
+            f'    index_1 ("{slews}");\n'
+            f'    index_2 ("{caps}");\n'
+            "  }"
+        )
+
+    def _render_table(self, group_name: str, table: NldmTable) -> str:
+        slews = ", ".join(f"{value:.6g}" for value in table.input_slews_ns)
+        caps = ", ".join(f"{value:.6g}" for value in table.load_caps_pf)
+        return (
+            f"        {group_name} ({_TEMPLATE_NAME}) {{\n"
+            f'          index_1 ("{slews}");\n'
+            f'          index_2 ("{caps}");\n'
+            f"          values ({self._format_values(table.values_ns)});\n"
+            "        }"
+        )
+
+    def _render_arc(self, arc: TimingTableSet) -> str:
+        if arc.output_transition is Transition.RISE:
+            delay_group, transition_group = "cell_rise", "rise_transition"
+            sigma_group = "ocv_sigma_cell_rise"
+        else:
+            delay_group, transition_group = "cell_fall", "fall_transition"
+            sigma_group = "ocv_sigma_cell_fall"
+        blocks = [
+            "      timing () {",
+            f'        related_pin : "{arc.related_pin}";',
+            "        timing_sense : negative_unate;",
+            self._render_table(delay_group, arc.delay),
+            self._render_table(transition_group, arc.transition),
+        ]
+        if arc.sigma_delay is not None:
+            blocks.append(self._render_table(sigma_group, arc.sigma_delay))
+        blocks.append("      }")
+        return "\n".join(blocks)
+
+    def _render_cell(self, cell: CellTimingData) -> str:
+        blocks = [f"  cell ({cell.name}) {{", f"    area : {cell.area:.4g};"]
+        for pin_name, cap_pf in cell.input_pin_caps_pf.items():
+            blocks.append(
+                f"    pin ({pin_name}) {{\n"
+                "      direction : input;\n"
+                f"      capacitance : {cap_pf:.6g};\n"
+                "    }"
+            )
+        output_blocks = [
+            "    pin (Z) {",
+            "      direction : output;",
+            f'      function : "{cell.function}";',
+        ]
+        for arc in cell.arcs:
+            output_blocks.append(self._render_arc(arc))
+        output_blocks.append("    }")
+        blocks.append("\n".join(output_blocks))
+        blocks.append("  }")
+        return "\n".join(blocks)

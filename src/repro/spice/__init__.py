@@ -1,0 +1,45 @@
+"""Transistor-level transient circuit simulation.
+
+This package is the reproduction's stand-in for the HSPICE + BSIM design-kit
+simulations of the paper.  It integrates the output-node differential
+equation of an equivalent inverter driven by a voltage ramp, vectorized over
+Monte Carlo process seeds, and measures propagation delay and output
+transition time from the resulting waveforms.
+
+Layering note: this package sits *below* :mod:`repro.characterization`; it
+speaks plain ``(sin, cload, vdd)`` floats rather than the higher-level
+``InputCondition`` objects.
+"""
+
+from repro.spice.waveform import (
+    DELAY_THRESHOLD,
+    SLEW_DERATE,
+    SLEW_HIGH_THRESHOLD,
+    SLEW_LOW_THRESHOLD,
+    Waveform,
+)
+from repro.spice.stimulus import RampStimulus
+from repro.spice.transient import TransientResult, simulate_arc_transition
+from repro.spice.testbench import (
+    SimulationCounter,
+    TimingMeasurement,
+    characterize_arc,
+    characterize_cell_nominal,
+)
+from repro.spice.sweep import sweep_conditions
+
+__all__ = [
+    "DELAY_THRESHOLD",
+    "RampStimulus",
+    "SLEW_DERATE",
+    "SLEW_HIGH_THRESHOLD",
+    "SLEW_LOW_THRESHOLD",
+    "SimulationCounter",
+    "TimingMeasurement",
+    "TransientResult",
+    "Waveform",
+    "characterize_arc",
+    "characterize_cell_nominal",
+    "simulate_arc_transition",
+    "sweep_conditions",
+]

@@ -1,0 +1,79 @@
+"""Batched condition sweeps (the ``.ALTER`` analogue).
+
+The paper batches per-seed simulations with SPICE ``.ALTER`` statements so
+each netlist is elaborated once and re-simulated for every process seed.  In
+this reproduction the analogue is a sweep that reduces the cell to its
+equivalent inverter once per seed batch and then integrates every requested
+``(Sin, Cload, Vdd)`` condition against it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cells.equivalent_inverter import reduce_cell
+from repro.cells.library import Cell, TimingArc
+from repro.spice.testbench import SimulationCounter, TimingMeasurement
+from repro.spice.transient import DEFAULT_STEPS, simulate_arc_transition
+from repro.technology.node import TechnologyNode
+from repro.technology.variation import VariationSample
+
+
+def sweep_conditions(
+    cell: Cell,
+    technology: TechnologyNode,
+    conditions: Sequence[Sequence[float]],
+    arc: Optional[TimingArc] = None,
+    variation: Optional[VariationSample] = None,
+    n_steps: int = DEFAULT_STEPS,
+    counter: Optional[SimulationCounter] = None,
+    counter_label: Optional[str] = None,
+) -> List[TimingMeasurement]:
+    """Simulate one arc across a list of operating points.
+
+    Parameters
+    ----------
+    cell, technology, arc, variation, n_steps:
+        As in :func:`repro.spice.testbench.characterize_arc`.
+    conditions:
+        Sequence of ``(sin, cload, vdd)`` triples.
+    counter, counter_label:
+        Optional simulation-run accounting; each condition charges one run
+        per seed.
+
+    Returns
+    -------
+    list of TimingMeasurement
+        One measurement per condition, in the input order.
+    """
+    conditions = [tuple(float(value) for value in condition) for condition in conditions]
+    for condition in conditions:
+        if len(condition) != 3:
+            raise ValueError(
+                f"conditions must be (sin, cload, vdd) triples, got {condition}"
+            )
+
+    inverter = reduce_cell(cell, technology, arc=arc, variation=variation)
+    label = counter_label or f"sweep:{cell.name}"
+    measurements: List[TimingMeasurement] = []
+    for sin, cload, vdd in conditions:
+        result = simulate_arc_transition(inverter, sin=sin, cload=cload, vdd=vdd,
+                                         n_steps=n_steps)
+        delay = result.delay()
+        slew = result.output_slew()
+        if counter is not None:
+            counter.add(delay.size, label=label)
+        measurements.append(
+            TimingMeasurement(
+                cell_name=cell.name,
+                arc=inverter.arc,
+                sin=sin,
+                cload=cload,
+                vdd=vdd,
+                delay=np.asarray(delay, dtype=float),
+                output_slew=np.asarray(slew, dtype=float),
+            )
+        )
+    return measurements

@@ -1,0 +1,182 @@
+"""Characterization test benches.
+
+These helpers wrap the equivalent-inverter reduction and the transient solver
+into the measurements library characterization actually consumes: the
+propagation delay ``Td`` and output transition time ``Sout`` of one timing
+arc at one ``(Sin, Cload, Vdd)`` operating point, optionally vectorized over
+a batch of Monte Carlo process seeds.
+
+The module also provides :class:`SimulationCounter`, the bookkeeping object
+behind every speedup number reported by the benchmark harness: each call that
+performs a transient integration charges ``n_seeds`` "SPICE runs" to the
+counter, mirroring how the paper counts simulator invocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cells.equivalent_inverter import EquivalentInverter, reduce_cell
+from repro.cells.library import Cell, TimingArc, Transition
+from repro.spice.transient import DEFAULT_STEPS, simulate_arc_transition
+from repro.technology.node import TechnologyNode
+from repro.technology.variation import VariationSample
+
+
+class SimulationCounter:
+    """Counts transient-simulation invocations ("SPICE runs").
+
+    The paper's efficiency claims are expressed in numbers of simulation runs
+    (``O(k * Nsample)`` for the proposed flow versus ``O(N_LUT * Nsample)``
+    for the look-up-table flow).  All characterization flows in this library
+    accept an optional counter and charge one run per seed per input
+    condition, so those complexities can be measured rather than asserted.
+    """
+
+    def __init__(self) -> None:
+        self._total = 0
+        self._by_label: Dict[str, int] = {}
+
+    @property
+    def total(self) -> int:
+        """Total number of simulation runs charged so far."""
+        return self._total
+
+    def by_label(self) -> Dict[str, int]:
+        """Breakdown of runs by label (flow name, cell name, ...)."""
+        return dict(self._by_label)
+
+    def add(self, runs: int, label: str = "unlabelled") -> None:
+        """Charge ``runs`` simulation runs under ``label``."""
+        if runs < 0:
+            raise ValueError("runs must be non-negative")
+        self._total += int(runs)
+        self._by_label[label] = self._by_label.get(label, 0) + int(runs)
+
+    def reset(self) -> None:
+        """Reset all counts to zero."""
+        self._total = 0
+        self._by_label.clear()
+
+
+@dataclass(frozen=True)
+class TimingMeasurement:
+    """Delay and output slew of one arc at one operating point.
+
+    ``delay`` and ``output_slew`` are arrays over Monte Carlo seeds (length 1
+    for nominal characterization).
+    """
+
+    cell_name: str
+    arc: TimingArc
+    sin: float
+    cload: float
+    vdd: float
+    delay: np.ndarray
+    output_slew: np.ndarray
+
+    @property
+    def n_seeds(self) -> int:
+        """Number of process seeds in this measurement."""
+        return int(np.asarray(self.delay).size)
+
+    def nominal_delay(self) -> float:
+        """Delay of the first (nominal) seed."""
+        return float(np.asarray(self.delay).reshape(-1)[0])
+
+    def nominal_slew(self) -> float:
+        """Output slew of the first (nominal) seed."""
+        return float(np.asarray(self.output_slew).reshape(-1)[0])
+
+    def delay_statistics(self) -> Dict[str, float]:
+        """Mean / standard deviation / skewness of the delay ensemble."""
+        return _ensemble_statistics(np.asarray(self.delay, dtype=float))
+
+    def slew_statistics(self) -> Dict[str, float]:
+        """Mean / standard deviation / skewness of the slew ensemble."""
+        return _ensemble_statistics(np.asarray(self.output_slew, dtype=float))
+
+
+def _ensemble_statistics(values: np.ndarray) -> Dict[str, float]:
+    values = values.reshape(-1)
+    mean = float(np.mean(values))
+    std = float(np.std(values))
+    if std > 0.0 and values.size > 2:
+        skew = float(np.mean(((values - mean) / std) ** 3))
+    else:
+        skew = 0.0
+    return {"mean": mean, "std": std, "skew": skew}
+
+
+def characterize_arc(
+    cell: Cell,
+    technology: TechnologyNode,
+    sin: float,
+    cload: float,
+    vdd: float,
+    arc: Optional[TimingArc] = None,
+    variation: Optional[VariationSample] = None,
+    n_steps: int = DEFAULT_STEPS,
+    counter: Optional[SimulationCounter] = None,
+    counter_label: str = "characterize_arc",
+) -> TimingMeasurement:
+    """Measure ``Td`` and ``Sout`` of one cell arc at one operating point.
+
+    Parameters
+    ----------
+    cell, technology:
+        The cell and the technology node to bind it to.
+    sin, cload, vdd:
+        Input slew (seconds), load capacitance (farads), supply (volts).
+    arc:
+        Timing arc; defaults to the first input pin, falling output.
+    variation:
+        Optional batch of process seeds (vectorized simulation).
+    n_steps:
+        RK4 steps for the transient solver.
+    counter:
+        Optional :class:`SimulationCounter` charged with one run per seed.
+    counter_label:
+        Label under which runs are charged.
+    """
+    inverter = reduce_cell(cell, technology, arc=arc, variation=variation)
+    result = simulate_arc_transition(inverter, sin=sin, cload=cload, vdd=vdd,
+                                     n_steps=n_steps)
+    delay = result.delay()
+    slew = result.output_slew()
+    if counter is not None:
+        counter.add(delay.size, label=counter_label)
+    return TimingMeasurement(
+        cell_name=cell.name,
+        arc=inverter.arc,
+        sin=float(sin),
+        cload=float(cload),
+        vdd=float(vdd),
+        delay=np.asarray(delay, dtype=float),
+        output_slew=np.asarray(slew, dtype=float),
+    )
+
+
+def characterize_cell_nominal(
+    cell: Cell,
+    technology: TechnologyNode,
+    conditions: Sequence[Sequence[float]],
+    arc: Optional[TimingArc] = None,
+    n_steps: int = DEFAULT_STEPS,
+    counter: Optional[SimulationCounter] = None,
+) -> List[TimingMeasurement]:
+    """Nominal characterization of one arc over a list of operating points.
+
+    ``conditions`` is a sequence of ``(sin, cload, vdd)`` triples.
+    """
+    measurements = []
+    for sin, cload, vdd in conditions:
+        measurements.append(
+            characterize_arc(cell, technology, sin=sin, cload=cload, vdd=vdd,
+                             arc=arc, n_steps=n_steps, counter=counter,
+                             counter_label=f"nominal:{cell.name}")
+        )
+    return measurements

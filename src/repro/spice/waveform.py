@@ -1,0 +1,163 @@
+"""Waveforms and timing measurements.
+
+A :class:`Waveform` stores a shared time axis and per-seed voltage samples
+(shape ``(n_time,)`` or ``(n_time, n_seeds)``) and provides the measurements
+library characterization needs:
+
+* threshold-crossing times with linear interpolation between samples,
+* propagation delay relative to an input waveform (50 %-to-50 %), and
+* transition time (slew), measured between the 20 % and 80 % points and
+  rescaled by the usual 0.6 derate so the reported value approximates the
+  full-swing transition time.  The same convention is applied to input ramps,
+  keeping ``Sin`` and ``Sout`` directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+#: Delay measurement threshold as a fraction of the supply.
+DELAY_THRESHOLD = 0.5
+#: Lower / upper slew measurement thresholds as fractions of the supply.
+SLEW_LOW_THRESHOLD = 0.2
+SLEW_HIGH_THRESHOLD = 0.8
+#: Fraction of the full swing covered between the slew thresholds.
+SLEW_DERATE = SLEW_HIGH_THRESHOLD - SLEW_LOW_THRESHOLD
+
+
+class Waveform:
+    """Sampled voltage waveform(s) on a common time axis."""
+
+    def __init__(self, time: np.ndarray, voltage: np.ndarray):
+        time = np.asarray(time, dtype=float)
+        voltage = np.asarray(voltage, dtype=float)
+        if time.ndim != 1:
+            raise ValueError("time must be a 1-D array")
+        if time.size < 2:
+            raise ValueError("waveforms need at least two samples")
+        if np.any(np.diff(time) <= 0.0):
+            raise ValueError("time samples must be strictly increasing")
+        if voltage.ndim == 1:
+            voltage = voltage[:, np.newaxis]
+        if voltage.ndim != 2 or voltage.shape[0] != time.size:
+            raise ValueError(
+                f"voltage must have shape (n_time,) or (n_time, n_seeds); "
+                f"got {voltage.shape} for {time.size} time points"
+            )
+        self._time = time
+        self._voltage = voltage
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def time(self) -> np.ndarray:
+        """Time samples in seconds, shape ``(n_time,)``."""
+        return self._time
+
+    @property
+    def voltage(self) -> np.ndarray:
+        """Voltage samples in volts, shape ``(n_time, n_seeds)``."""
+        return self._voltage
+
+    @property
+    def n_seeds(self) -> int:
+        """Number of per-seed traces stored in this waveform."""
+        return self._voltage.shape[1]
+
+    def seed(self, index: int) -> "Waveform":
+        """Extract the waveform of a single seed."""
+        return Waveform(self._time, self._voltage[:, index])
+
+    def value_at(self, when: float) -> np.ndarray:
+        """Linearly interpolated voltage at time ``when`` for every seed."""
+        when = float(when)
+        result = np.empty(self.n_seeds)
+        for seed_index in range(self.n_seeds):
+            result[seed_index] = np.interp(when, self._time, self._voltage[:, seed_index])
+        return result
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def crossing_time(self, threshold: float, rising: Optional[bool] = None
+                      ) -> np.ndarray:
+        """First time each seed crosses ``threshold`` (volts).
+
+        Parameters
+        ----------
+        threshold:
+            Voltage level to detect.
+        rising:
+            If ``True`` only upward crossings are considered, if ``False``
+            only downward crossings, if ``None`` the overall waveform
+            direction (last minus first sample) decides per seed.
+
+        Returns
+        -------
+        numpy.ndarray
+            Crossing times per seed; ``numpy.nan`` where the waveform never
+            crosses the threshold.
+        """
+        time = self._time
+        volts = self._voltage
+        n_seeds = self.n_seeds
+        crossings = np.full(n_seeds, np.nan)
+
+        for seed_index in range(n_seeds):
+            trace = volts[:, seed_index]
+            direction = rising
+            if direction is None:
+                direction = trace[-1] >= trace[0]
+            if direction:
+                above = trace >= threshold
+            else:
+                above = trace <= threshold
+            if above[0]:
+                crossings[seed_index] = time[0]
+                continue
+            indices = np.nonzero(above)[0]
+            if indices.size == 0:
+                continue
+            hit = indices[0]
+            v0, v1 = trace[hit - 1], trace[hit]
+            t0, t1 = time[hit - 1], time[hit]
+            if v1 == v0:
+                crossings[seed_index] = t1
+            else:
+                fraction = (threshold - v0) / (v1 - v0)
+                crossings[seed_index] = t0 + fraction * (t1 - t0)
+        return crossings
+
+    def transition_time(self, vdd: float, rising: Optional[bool] = None) -> np.ndarray:
+        """Slew (transition time) per seed, derated to full swing.
+
+        Measures the time between the 20 % and 80 % supply crossings and
+        divides by 0.6 so the result approximates the 0-to-100 % transition
+        time of an equivalent linear ramp.
+        """
+        if vdd <= 0.0:
+            raise ValueError("vdd must be positive")
+        low = self.crossing_time(SLEW_LOW_THRESHOLD * vdd, rising)
+        high = self.crossing_time(SLEW_HIGH_THRESHOLD * vdd, rising)
+        return np.abs(high - low) / SLEW_DERATE
+
+    def propagation_delay(self, reference: "Waveform", vdd: float) -> np.ndarray:
+        """50 %-to-50 % propagation delay relative to ``reference`` (the input)."""
+        if vdd <= 0.0:
+            raise ValueError("vdd must be positive")
+        input_cross = reference.crossing_time(DELAY_THRESHOLD * vdd)
+        output_cross = self.crossing_time(DELAY_THRESHOLD * vdd)
+        if input_cross.size == 1 and output_cross.size > 1:
+            input_cross = np.broadcast_to(input_cross, output_cross.shape)
+        return output_cross - input_cross
+
+    def final_value(self) -> np.ndarray:
+        """Voltage at the last time sample, per seed."""
+        return self._voltage[-1, :].copy()
+
+    def settled(self, target: float, tolerance: float) -> np.ndarray:
+        """Boolean per seed: has the waveform settled within ``tolerance`` of ``target``?"""
+        return np.abs(self.final_value() - target) <= tolerance

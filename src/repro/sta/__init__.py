@@ -1,0 +1,37 @@
+"""Gate-level static timing analysis (STA / SSTA) on characterized libraries.
+
+Statistical library characterization exists to feed statistical static timing
+analysis; this package closes that loop so the examples can demonstrate the
+full use case.  It provides gate-level netlists, a topological STA engine
+with slew propagation and capacitive loading derived from the characterized
+cells, and a Monte Carlo SSTA variant that consumes the per-seed delay
+ensembles of the statistical flow.
+"""
+
+from repro.sta.netlist import Gate, Netlist, inverter_chain, nand_nor_tree, c17_benchmark
+from repro.sta.timing_view import (
+    CellTiming,
+    StatisticalTimingView,
+    TimingView,
+    timing_view_from_characterizers,
+    timing_view_from_statistical,
+)
+from repro.sta.analysis import PathReport, StaticTimingAnalyzer
+from repro.sta.ssta import MonteCarloSsta, SstaReport
+
+__all__ = [
+    "CellTiming",
+    "Gate",
+    "MonteCarloSsta",
+    "Netlist",
+    "PathReport",
+    "SstaReport",
+    "StaticTimingAnalyzer",
+    "StatisticalTimingView",
+    "TimingView",
+    "c17_benchmark",
+    "inverter_chain",
+    "nand_nor_tree",
+    "timing_view_from_characterizers",
+    "timing_view_from_statistical",
+]

@@ -1,0 +1,123 @@
+"""Deterministic static timing analysis.
+
+A classic block-based STA: gates are visited in topological order, each net's
+arrival time and transition time are computed from its driver's delay/slew at
+the actual capacitive load (sum of fanout input-pin capacitances plus any
+external load), and the worst primary-output arrival together with its
+critical path is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.sta.netlist import Gate, Netlist
+from repro.sta.timing_view import TimingView
+
+
+@dataclass(frozen=True)
+class PathReport:
+    """Result of a deterministic STA run.
+
+    Attributes
+    ----------
+    arrival_times:
+        Arrival time (seconds) of every net.
+    transition_times:
+        Transition time (seconds) of every net.
+    critical_output:
+        Primary output with the latest arrival.
+    critical_delay:
+        That latest arrival time, in seconds.
+    critical_path:
+        Gate instance names from inputs to the critical output.
+    """
+
+    arrival_times: Dict[str, float]
+    transition_times: Dict[str, float]
+    critical_output: str
+    critical_delay: float
+    critical_path: Tuple[str, ...]
+
+
+class StaticTimingAnalyzer:
+    """Topological STA over a :class:`Netlist` and a :class:`TimingView`."""
+
+    def __init__(self, netlist: Netlist, timing_view: TimingView,
+                 primary_input_slew: float = 5e-12,
+                 primary_input_arrival: float = 0.0):
+        if primary_input_slew <= 0.0:
+            raise ValueError("primary_input_slew must be positive")
+        netlist.validate()
+        for gate in netlist.gates:
+            if not timing_view.has_cell(gate.cell_name):
+                raise KeyError(
+                    f"timing view does not cover cell {gate.cell_name!r} "
+                    f"(gate {gate.name})"
+                )
+        self._netlist = netlist
+        self._view = timing_view
+        self._input_slew = float(primary_input_slew)
+        self._input_arrival = float(primary_input_arrival)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def net_load(self, net: str) -> float:
+        """Total capacitive load on a net, in farads."""
+        load = self._netlist.external_load(net)
+        for consumer in self._netlist.fanout_gates(net):
+            load += self._view.input_capacitance(consumer.cell_name)
+        return load
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def run(self) -> PathReport:
+        """Propagate arrivals and slews and return the timing report."""
+        arrivals: Dict[str, float] = {}
+        slews: Dict[str, float] = {}
+        worst_input_gate: Dict[str, Optional[str]] = {}
+
+        for net in self._netlist.primary_inputs:
+            arrivals[net] = self._input_arrival
+            slews[net] = self._input_slew
+            worst_input_gate[net] = None
+
+        for gate in self._netlist.topological_gates():
+            input_arrival = max(arrivals[net] for net in gate.input_nets)
+            worst_net = max(gate.input_nets, key=lambda net: arrivals[net])
+            input_slew = slews[worst_net]
+            load = self.net_load(gate.output_net)
+            # A gate must see a non-zero load even on dangling outputs.
+            load = max(load, 1e-17)
+            delay, output_slew = self._view.gate_timing(gate.cell_name, input_slew,
+                                                        load)
+            arrivals[gate.output_net] = input_arrival + delay
+            slews[gate.output_net] = output_slew
+            worst_input_gate[gate.output_net] = gate.name
+
+        critical_output = max(self._netlist.primary_outputs,
+                              key=lambda net: arrivals[net])
+        critical_path = self._trace_path(critical_output, worst_input_gate, arrivals)
+        return PathReport(
+            arrival_times=arrivals,
+            transition_times=slews,
+            critical_output=critical_output,
+            critical_delay=float(arrivals[critical_output]),
+            critical_path=tuple(critical_path),
+        )
+
+    def _trace_path(self, output_net: str,
+                    worst_input_gate: Dict[str, Optional[str]],
+                    arrivals: Dict[str, float]) -> List[str]:
+        path: List[str] = []
+        net = output_net
+        while worst_input_gate.get(net) is not None:
+            gate_name = worst_input_gate[net]
+            path.append(gate_name)
+            gate = self._netlist.gate(gate_name)
+            net = max(gate.input_nets, key=lambda candidate: arrivals[candidate])
+        path.reverse()
+        return path

@@ -1,0 +1,237 @@
+"""Gate-level netlists and benchmark circuit generators.
+
+A netlist is a directed acyclic graph of gate instances connected by named
+nets.  Every net has at most one driver (a gate output or a primary input);
+combinational loops are rejected at construction time.  Three generators
+provide the circuits used by the examples and tests: an inverter chain (the
+classic ring-oscillator-style delay line), a balanced NAND/NOR reduction
+tree, and the ISCAS-85 C17 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instance.
+
+    Attributes
+    ----------
+    name:
+        Unique instance name.
+    cell_name:
+        Library cell implementing the gate (e.g. ``"NAND2_X1"``).
+    input_nets:
+        Nets driving the gate's input pins, in pin order.
+    output_net:
+        Net driven by the gate's output.
+    """
+
+    name: str
+    cell_name: str
+    input_nets: Tuple[str, ...]
+    output_net: str
+
+    def __post_init__(self) -> None:
+        if not self.input_nets:
+            raise ValueError(f"gate {self.name} needs at least one input net")
+        if self.output_net in self.input_nets:
+            raise ValueError(f"gate {self.name} drives one of its own inputs")
+
+
+class Netlist:
+    """A combinational gate-level netlist."""
+
+    def __init__(self, name: str, primary_inputs: Sequence[str],
+                 primary_outputs: Sequence[str],
+                 output_loads_f: Optional[Dict[str, float]] = None):
+        if not primary_inputs:
+            raise ValueError("a netlist needs at least one primary input")
+        self._name = name
+        self._primary_inputs = list(dict.fromkeys(primary_inputs))
+        self._primary_outputs = list(dict.fromkeys(primary_outputs))
+        self._gates: Dict[str, Gate] = {}
+        self._driver_of: Dict[str, str] = {}
+        self._output_loads = dict(output_loads_f or {})
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_gate(self, gate: Gate) -> None:
+        """Add a gate instance; net driver conflicts are rejected."""
+        if gate.name in self._gates:
+            raise ValueError(f"gate {gate.name!r} already exists")
+        if gate.output_net in self._driver_of:
+            raise ValueError(f"net {gate.output_net!r} already has a driver")
+        if gate.output_net in self._primary_inputs:
+            raise ValueError(f"net {gate.output_net!r} is a primary input")
+        self._gates[gate.name] = gate
+        self._driver_of[gate.output_net] = gate.name
+
+    def set_output_load(self, net: str, capacitance_f: float) -> None:
+        """Attach an external load capacitance to a net (typically a PO)."""
+        if capacitance_f < 0.0:
+            raise ValueError("load capacitance must be non-negative")
+        self._output_loads[net] = float(capacitance_f)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Netlist name."""
+        return self._name
+
+    @property
+    def primary_inputs(self) -> List[str]:
+        """Primary input nets."""
+        return list(self._primary_inputs)
+
+    @property
+    def primary_outputs(self) -> List[str]:
+        """Primary output nets."""
+        return list(self._primary_outputs)
+
+    @property
+    def gates(self) -> List[Gate]:
+        """All gate instances."""
+        return list(self._gates.values())
+
+    def gate(self, name: str) -> Gate:
+        """Look up a gate by instance name."""
+        if name not in self._gates:
+            raise KeyError(f"netlist {self._name!r} has no gate {name!r}")
+        return self._gates[name]
+
+    def driver_of(self, net: str) -> Optional[Gate]:
+        """The gate driving a net, or ``None`` for primary inputs."""
+        gate_name = self._driver_of.get(net)
+        return self._gates[gate_name] if gate_name is not None else None
+
+    def fanout_gates(self, net: str) -> List[Gate]:
+        """Gates whose inputs are connected to a net."""
+        return [gate for gate in self._gates.values() if net in gate.input_nets]
+
+    def external_load(self, net: str) -> float:
+        """External load capacitance attached to a net (0 if none)."""
+        return self._output_loads.get(net, 0.0)
+
+    def nets(self) -> List[str]:
+        """Every net in the design (inputs, internal, outputs)."""
+        names = list(self._primary_inputs)
+        for gate in self._gates.values():
+            for net in (*gate.input_nets, gate.output_net):
+                if net not in names:
+                    names.append(net)
+        return names
+
+    # ------------------------------------------------------------------
+    # Graph view
+    # ------------------------------------------------------------------
+    def gate_graph(self) -> nx.DiGraph:
+        """Directed graph with gate names as nodes (edges follow nets)."""
+        graph = nx.DiGraph()
+        for gate in self._gates.values():
+            graph.add_node(gate.name)
+        for gate in self._gates.values():
+            for consumer in self.fanout_gates(gate.output_net):
+                graph.add_edge(gate.name, consumer.name)
+        return graph
+
+    def topological_gates(self) -> List[Gate]:
+        """Gates in topological (input-to-output) order.
+
+        Raises
+        ------
+        ValueError
+            If the netlist contains a combinational loop.
+        """
+        graph = self.gate_graph()
+        if not nx.is_directed_acyclic_graph(graph):
+            raise ValueError(f"netlist {self._name!r} contains a combinational loop")
+        return [self._gates[name] for name in nx.topological_sort(graph)]
+
+    def validate(self) -> None:
+        """Check that every gate input and primary output has a driver."""
+        known = set(self._primary_inputs) | set(self._driver_of)
+        for gate in self._gates.values():
+            for net in gate.input_nets:
+                if net not in known:
+                    raise ValueError(f"net {net!r} (input of {gate.name}) has no driver")
+        for net in self._primary_outputs:
+            if net not in known:
+                raise ValueError(f"primary output {net!r} has no driver")
+        self.topological_gates()
+
+
+# ----------------------------------------------------------------------
+# Benchmark generators
+# ----------------------------------------------------------------------
+def inverter_chain(n_stages: int, cell_name: str = "INV_X1",
+                   load_f: float = 2e-15) -> Netlist:
+    """A chain of ``n_stages`` inverters from net ``in`` to net ``out``."""
+    if n_stages < 1:
+        raise ValueError("the chain needs at least one stage")
+    netlist = Netlist("inv_chain", ["in"], ["out"])
+    previous = "in"
+    for stage in range(n_stages):
+        output = "out" if stage == n_stages - 1 else f"n{stage + 1}"
+        netlist.add_gate(Gate(name=f"u{stage + 1}", cell_name=cell_name,
+                              input_nets=(previous,), output_net=output))
+        previous = output
+    netlist.set_output_load("out", load_f)
+    netlist.validate()
+    return netlist
+
+
+def nand_nor_tree(n_leaves: int = 8, load_f: float = 2e-15) -> Netlist:
+    """A balanced reduction tree alternating NAND2 and NOR2 levels."""
+    if n_leaves < 2 or (n_leaves & (n_leaves - 1)) != 0:
+        raise ValueError("n_leaves must be a power of two and at least 2")
+    inputs = [f"in{i}" for i in range(n_leaves)]
+    netlist = Netlist("nand_nor_tree", inputs, ["out"])
+    level_nets = list(inputs)
+    level = 0
+    gate_index = 0
+    while len(level_nets) > 1:
+        cell = "NAND2_X1" if level % 2 == 0 else "NOR2_X1"
+        next_nets = []
+        for pair_start in range(0, len(level_nets), 2):
+            gate_index += 1
+            is_root = len(level_nets) == 2
+            output = "out" if is_root else f"t{level}_{pair_start // 2}"
+            netlist.add_gate(Gate(name=f"g{gate_index}", cell_name=cell,
+                                  input_nets=(level_nets[pair_start],
+                                              level_nets[pair_start + 1]),
+                                  output_net=output))
+            next_nets.append(output)
+        level_nets = next_nets
+        level += 1
+    netlist.set_output_load("out", load_f)
+    netlist.validate()
+    return netlist
+
+
+def c17_benchmark(load_f: float = 2e-15) -> Netlist:
+    """The ISCAS-85 C17 benchmark (six NAND2 gates, five inputs, two outputs)."""
+    netlist = Netlist("c17", ["N1", "N2", "N3", "N6", "N7"], ["N22", "N23"])
+    connections = [
+        ("g10", ("N1", "N3"), "N10"),
+        ("g11", ("N3", "N6"), "N11"),
+        ("g16", ("N2", "N11"), "N16"),
+        ("g19", ("N11", "N7"), "N19"),
+        ("g22", ("N10", "N16"), "N22"),
+        ("g23", ("N16", "N19"), "N23"),
+    ]
+    for name, inputs, output in connections:
+        netlist.add_gate(Gate(name=name, cell_name="NAND2_X1",
+                              input_nets=inputs, output_net=output))
+    netlist.set_output_load("N22", load_f)
+    netlist.set_output_load("N23", load_f)
+    netlist.validate()
+    return netlist

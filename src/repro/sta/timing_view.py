@@ -1,0 +1,183 @@
+"""Timing views: how the STA engine queries characterized cells.
+
+The STA engine does not care where the timing numbers come from -- the
+proposed compact-model flow, a look-up table, or raw Monte Carlo -- it only
+needs, for each cell type, the input pin capacitance and a function from
+``(input slew, load capacitance)`` to ``(delay, output slew)`` at the
+analysis supply.  :class:`TimingView` provides the nominal interface and
+:class:`StatisticalTimingView` the per-seed vectorized variant used by SSTA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.characterization.input_space import InputCondition
+from repro.core.characterizer import BayesianCharacterizer
+from repro.core.statistical_flow import StatisticalCharacterization
+
+#: Signature of a nominal timing callback: (sin, cload) -> (delay, slew).
+TimingCallback = Callable[[float, float], Tuple[float, float]]
+#: Signature of a statistical callback: (sin, cload) -> (delay[], slew[]).
+SampleCallback = Callable[[float, float], Tuple[np.ndarray, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Timing data of one cell type in a view.
+
+    Attributes
+    ----------
+    cell_name:
+        Library cell name.
+    input_cap_f:
+        Capacitance presented by one input pin, in farads.
+    callback:
+        Function mapping ``(input_slew_s, load_cap_f)`` to either
+        ``(delay_s, slew_s)`` floats (nominal view) or per-seed arrays
+        (statistical view).
+    """
+
+    cell_name: str
+    input_cap_f: float
+    callback: Callable
+
+
+class TimingView:
+    """Nominal timing view over a set of cell types."""
+
+    def __init__(self, vdd: float, cells: Mapping[str, CellTiming]):
+        if vdd <= 0.0:
+            raise ValueError("vdd must be positive")
+        if not cells:
+            raise ValueError("at least one cell timing entry is required")
+        self._vdd = vdd
+        self._cells = dict(cells)
+
+    @property
+    def vdd(self) -> float:
+        """Supply voltage the view was characterized at."""
+        return self._vdd
+
+    def has_cell(self, cell_name: str) -> bool:
+        """Whether the view covers a cell type."""
+        return cell_name in self._cells
+
+    def input_capacitance(self, cell_name: str) -> float:
+        """Input pin capacitance of a cell type, in farads."""
+        return self._entry(cell_name).input_cap_f
+
+    def gate_timing(self, cell_name: str, input_slew_s: float, load_cap_f: float
+                    ) -> Tuple[float, float]:
+        """Delay and output slew of a cell at the given loading, in seconds."""
+        delay, slew = self._entry(cell_name).callback(input_slew_s, load_cap_f)
+        return float(delay), float(slew)
+
+    def _entry(self, cell_name: str) -> CellTiming:
+        if cell_name not in self._cells:
+            raise KeyError(f"timing view has no cell {cell_name!r}")
+        return self._cells[cell_name]
+
+
+class StatisticalTimingView(TimingView):
+    """Per-seed timing view used by Monte Carlo SSTA."""
+
+    def __init__(self, vdd: float, cells: Mapping[str, CellTiming], n_seeds: int):
+        super().__init__(vdd, cells)
+        if n_seeds < 2:
+            raise ValueError("a statistical view needs at least 2 seeds")
+        self._n_seeds = int(n_seeds)
+
+    @property
+    def n_seeds(self) -> int:
+        """Number of Monte Carlo seeds carried per query."""
+        return self._n_seeds
+
+    def gate_timing_samples(self, cell_name: str, input_slew_s, load_cap_f: float
+                            ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-seed delay and output-slew arrays of a cell.
+
+        ``input_slew_s`` may be a scalar or a per-seed array; it is collapsed
+        to its mean for the table query (slew variation is second order for
+        the circuits used here) while the returned delay/slew remain
+        per-seed.
+        """
+        slew_scalar = float(np.mean(np.asarray(input_slew_s, dtype=float)))
+        delay, slew = self._entry(cell_name).callback(slew_scalar, load_cap_f)
+        delay = np.asarray(delay, dtype=float).reshape(-1)
+        slew = np.asarray(slew, dtype=float).reshape(-1)
+        if delay.size != self._n_seeds or slew.size != self._n_seeds:
+            raise ValueError(
+                f"cell {cell_name!r} returned {delay.size} seeds, expected {self._n_seeds}"
+            )
+        return delay, slew
+
+
+# ----------------------------------------------------------------------
+# Factories
+# ----------------------------------------------------------------------
+def timing_view_from_characterizers(
+    characterizers: Mapping[str, BayesianCharacterizer],
+    vdd: float,
+) -> TimingView:
+    """Build a nominal :class:`TimingView` from fitted proposed-flow characterizers.
+
+    Every characterizer must already have been fitted (``fit()`` called); the
+    view queries its analytical model at the requested slew and load.
+    """
+    cells: Dict[str, CellTiming] = {}
+    for cell_name, characterizer in characterizers.items():
+        input_cap = characterizer.input_capacitance
+
+        def make_callback(bound=characterizer):
+            def callback(input_slew_s: float, load_cap_f: float):
+                condition = InputCondition(sin=input_slew_s, cload=load_cap_f, vdd=vdd)
+                delay = float(bound.predict_delay([condition])[0])
+                slew = float(bound.predict_slew([condition])[0])
+                return delay, slew
+            return callback
+
+        cells[cell_name] = CellTiming(cell_name=cell_name, input_cap_f=input_cap,
+                                      callback=make_callback())
+    return TimingView(vdd=vdd, cells=cells)
+
+
+def timing_view_from_statistical(
+    characterizations: Mapping[str, StatisticalCharacterization],
+    input_caps_f: Mapping[str, float],
+    vdd: float,
+) -> StatisticalTimingView:
+    """Build a :class:`StatisticalTimingView` from statistical characterizations.
+
+    Parameters
+    ----------
+    characterizations:
+        Mapping of cell name to its per-seed characterization.
+    input_caps_f:
+        Input pin capacitance per cell name, in farads.
+    vdd:
+        Analysis supply voltage.
+    """
+    seeds = {char.n_seeds for char in characterizations.values()}
+    if len(seeds) != 1:
+        raise ValueError("all statistical characterizations must share the seed count")
+    n_seeds = seeds.pop()
+
+    cells: Dict[str, CellTiming] = {}
+    for cell_name, characterization in characterizations.items():
+        if cell_name not in input_caps_f:
+            raise KeyError(f"missing input capacitance for cell {cell_name!r}")
+
+        def make_callback(bound=characterization):
+            def callback(input_slew_s: float, load_cap_f: float):
+                condition = InputCondition(sin=input_slew_s, cload=load_cap_f, vdd=vdd)
+                return bound.delay_samples(condition), bound.slew_samples(condition)
+            return callback
+
+        cells[cell_name] = CellTiming(cell_name=cell_name,
+                                      input_cap_f=float(input_caps_f[cell_name]),
+                                      callback=make_callback())
+    return StatisticalTimingView(vdd=vdd, cells=cells, n_seeds=n_seeds)

@@ -1,0 +1,45 @@
+"""Synthetic technology nodes (PDKs), process variation, and samplers.
+
+The paper characterizes production libraries from six fabrication processes
+(14 nm to 45 nm, bulk and SOI, FinFET and planar).  Those design kits are
+proprietary, so this package provides *synthetic* PDKs with the same
+qualitative structure: per-node device parameters, capacitance coefficients,
+supply/slew/load ranges, and a parametric process-variation model.  The
+compact-model parameters extracted from these nodes exhibit the same
+cross-node similarity the paper exploits (its Table I), which is what the
+belief-propagation prior needs.
+"""
+
+from repro.technology.node import TechnologyNode
+from repro.technology.variation import ProcessVariationModel, VariationSample
+from repro.technology.corners import ProcessCorner, corner_sample
+from repro.technology.pdk import (
+    TECHNOLOGY_REGISTRY,
+    get_technology,
+    historical_technologies,
+    list_technologies,
+    make_technology,
+)
+from repro.technology.sampling import (
+    full_factorial_grid,
+    latin_hypercube,
+    random_uniform,
+    scale_to_ranges,
+)
+
+__all__ = [
+    "ProcessCorner",
+    "ProcessVariationModel",
+    "TECHNOLOGY_REGISTRY",
+    "TechnologyNode",
+    "VariationSample",
+    "corner_sample",
+    "full_factorial_grid",
+    "get_technology",
+    "historical_technologies",
+    "latin_hypercube",
+    "list_technologies",
+    "make_technology",
+    "random_uniform",
+    "scale_to_ranges",
+]

@@ -1,0 +1,77 @@
+"""Deterministic process corners.
+
+Besides Monte Carlo seeds, library characterization traditionally uses fixed
+process corners (typical, fast, slow and the skewed fast/slow combinations).
+Corners are represented as deterministic :class:`VariationSample` instances a
+fixed number of global sigmas away from nominal, so they plug into the same
+vectorized simulation paths as Monte Carlo seeds.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.technology.variation import ProcessVariationModel, VariationSample
+
+
+class ProcessCorner(str, enum.Enum):
+    """Named process corners (NMOS letter first, PMOS letter second)."""
+
+    TT = "tt"
+    FF = "ff"
+    SS = "ss"
+    FS = "fs"
+    SF = "sf"
+
+
+#: Signed sigma multipliers (nmos, pmos); "fast" means lower threshold and
+#: stronger drive, "slow" the opposite.
+_CORNER_SIGNS = {
+    ProcessCorner.TT: (0.0, 0.0),
+    ProcessCorner.FF: (-1.0, -1.0),
+    ProcessCorner.SS: (+1.0, +1.0),
+    ProcessCorner.FS: (-1.0, +1.0),
+    ProcessCorner.SF: (+1.0, -1.0),
+}
+
+
+def corner_sample(model: ProcessVariationModel,
+                  corner: ProcessCorner,
+                  n_sigma: float = 3.0) -> VariationSample:
+    """Build the deterministic variation sample for a process corner.
+
+    Parameters
+    ----------
+    model:
+        The node's process-variation model (provides the sigma magnitudes).
+    corner:
+        Which corner to generate.
+    n_sigma:
+        How many global sigmas the corner sits from nominal (3 by default,
+        the usual sign-off convention).
+
+    Returns
+    -------
+    VariationSample
+        A single-seed sample; fast corners have negative threshold shifts and
+        drive multipliers above one.
+    """
+    if n_sigma < 0.0:
+        raise ValueError("n_sigma must be non-negative")
+    sign_n, sign_p = _CORNER_SIGNS[ProcessCorner(corner)]
+    dvth_n = sign_n * n_sigma * model.sigma_vth_global
+    dvth_p = sign_p * n_sigma * model.sigma_vth_global
+    drive_n = 1.0 - sign_n * n_sigma * model.sigma_drive
+    drive_p = 1.0 - sign_p * n_sigma * model.sigma_drive
+    drive_n = max(drive_n, 0.05)
+    drive_p = max(drive_p, 0.05)
+    return VariationSample(
+        delta_vth_nmos=np.array([dvth_n]),
+        delta_vth_pmos=np.array([dvth_p]),
+        drive_mult_nmos=np.array([drive_n]),
+        drive_mult_pmos=np.array([drive_p]),
+        leff_mult=np.array([1.0]),
+        cap_mult=np.array([1.0]),
+    )

@@ -1,0 +1,169 @@
+"""Technology-node descriptor.
+
+A :class:`TechnologyNode` bundles everything the characterization flows need
+to know about one fabrication process: nominal device parameters for both
+polarities, which compact device model to use (planar alpha-power vs FinFET
+virtual-source), capacitance coefficients, the supported supply / input-slew /
+load-capacitance ranges that define the library input space, and a
+process-variation model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple, Type
+
+import numpy as np
+
+from repro.devices import (
+    AlphaPowerMOSFET,
+    CapacitanceModel,
+    DeviceParameters,
+    MOSFET,
+    Polarity,
+    VirtualSourceMOSFET,
+)
+from repro.technology.variation import ProcessVariationModel, VariationSample
+
+#: Mapping from the ``device_family`` string to the compact model class.
+_DEVICE_MODELS: dict = {
+    "planar": AlphaPowerMOSFET,
+    "finfet": VirtualSourceMOSFET,
+}
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """Description of one synthetic fabrication process.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier, e.g. ``"n14_finfet"``.
+    node_nm:
+        Nominal feature size in nanometres (14, 16, 20, 28, 32, 45).
+    device_family:
+        ``"planar"`` (alpha-power model) or ``"finfet"`` (virtual-source).
+    substrate:
+        ``"bulk"`` or ``"soi"``.
+    flavor:
+        ``"hp"`` (high performance) or ``"lp"`` (low power); used by the
+        prior-selection logic when matching historical libraries.
+    vdd_nominal:
+        Nominal supply voltage in volts.
+    vdd_range:
+        ``(min, max)`` supply range covered by characterization, in volts.
+    slew_range:
+        ``(min, max)`` input transition times in seconds.
+    cload_range:
+        ``(min, max)`` output load capacitances in farads.
+    nmos, pmos:
+        Nominal :class:`~repro.devices.mosfet.DeviceParameters` of unit-width
+        devices for each polarity.
+    capacitance:
+        Per-width capacitance coefficients.
+    variation:
+        Process-variation magnitudes for Monte Carlo characterization.
+    year:
+        Approximate production year; used to order nodes in the historical
+        chain of the belief-propagation prior.
+    """
+
+    name: str
+    node_nm: float
+    device_family: str
+    substrate: str
+    flavor: str
+    vdd_nominal: float
+    vdd_range: Tuple[float, float]
+    slew_range: Tuple[float, float]
+    cload_range: Tuple[float, float]
+    nmos: DeviceParameters
+    pmos: DeviceParameters
+    capacitance: CapacitanceModel
+    variation: ProcessVariationModel = field(default_factory=ProcessVariationModel)
+    year: int = 2015
+
+    def __post_init__(self) -> None:
+        if self.device_family not in _DEVICE_MODELS:
+            raise ValueError(
+                f"unknown device_family {self.device_family!r}; "
+                f"expected one of {sorted(_DEVICE_MODELS)}"
+            )
+        if self.substrate not in ("bulk", "soi"):
+            raise ValueError(f"unknown substrate {self.substrate!r}")
+        if self.nmos.polarity is not Polarity.NMOS:
+            raise ValueError("nmos parameters must have NMOS polarity")
+        if self.pmos.polarity is not Polarity.PMOS:
+            raise ValueError("pmos parameters must have PMOS polarity")
+        for label, (low, high) in (
+            ("vdd_range", self.vdd_range),
+            ("slew_range", self.slew_range),
+            ("cload_range", self.cload_range),
+        ):
+            if not (0.0 < low < high):
+                raise ValueError(f"{label} must satisfy 0 < min < max, got {(low, high)}")
+
+    # ------------------------------------------------------------------
+    # Device construction
+    # ------------------------------------------------------------------
+    @property
+    def device_model(self) -> Type[MOSFET]:
+        """The compact device-model class used by this node."""
+        return _DEVICE_MODELS[self.device_family]
+
+    def make_nmos(self, width_um: float = 1.0,
+                  variation: VariationSample | None = None) -> MOSFET:
+        """Instantiate an NMOS device of the given width.
+
+        If a :class:`VariationSample` is supplied, the returned device carries
+        per-seed parameter arrays and all current evaluations are vectorized
+        over the seeds.
+        """
+        device = self.device_model(self.nmos.replace(width_um=width_um))
+        if variation is not None:
+            device = device.with_variation(
+                delta_vth=variation.delta_vth_nmos,
+                drive_multiplier=variation.drive_mult_nmos,
+                leff_multiplier=variation.leff_mult,
+            )
+        return device
+
+    def make_pmos(self, width_um: float = 2.0,
+                  variation: VariationSample | None = None) -> MOSFET:
+        """Instantiate a PMOS device of the given width (see :meth:`make_nmos`)."""
+        device = self.device_model(self.pmos.replace(width_um=width_um))
+        if variation is not None:
+            device = device.with_variation(
+                delta_vth=variation.delta_vth_pmos,
+                drive_multiplier=variation.drive_mult_pmos,
+                leff_multiplier=variation.leff_mult,
+            )
+        return device
+
+    # ------------------------------------------------------------------
+    # Input-space helpers
+    # ------------------------------------------------------------------
+    def input_ranges(self) -> dict:
+        """The library input space of this node as ``{name: (min, max)}``.
+
+        Order matches the paper's convention: input slew, load capacitance,
+        supply voltage.
+        """
+        return {
+            "sin": self.slew_range,
+            "cload": self.cload_range,
+            "vdd": self.vdd_range,
+        }
+
+    def clip_vdd(self, vdd: float) -> float:
+        """Clamp a supply value into this node's supported range."""
+        low, high = self.vdd_range
+        return float(np.clip(vdd, low, high))
+
+    def describe(self) -> str:
+        """One-line human-readable summary used in reports."""
+        return (
+            f"{self.name}: {self.node_nm:g} nm {self.device_family} "
+            f"({self.substrate}, {self.flavor}), Vdd={self.vdd_nominal:g} V"
+        )

@@ -1,0 +1,342 @@
+"""Synthetic process design kits (PDKs).
+
+The paper's experiments use six proprietary industrial design kits spanning
+14 nm to 45 nm, bulk and SOI substrates, FinFET and planar devices.  This
+module defines synthetic stand-ins with the same qualitative spread:
+
+================  ========  ========  =========  =======  ==========
+name              node      family    substrate  flavor   Vdd (nom)
+================  ========  ========  =========  =======  ==========
+``n14_finfet``    14 nm     finfet    bulk       hp       0.80 V
+``n16_finfet_soi``16 nm     finfet    soi        hp       0.85 V
+``n20_planar``    20 nm     planar    bulk       hp       0.90 V
+``n28_bulk``      28 nm     planar    bulk       hp       0.90 V
+``n28_lp``        28 nm     planar    bulk       lp       1.00 V
+``n32_soi``       32 nm     planar    soi        hp       0.95 V
+``n45_bulk``      45 nm     planar    bulk       hp       1.10 V
+================  ========  ========  =========  =======  ==========
+
+Device parameters follow published trends (threshold voltages rising and
+drive currents falling toward older nodes; FinFETs with near-ideal
+subthreshold swing and balanced N/P drive).  Absolute values are not intended
+to match any foundry; what matters for the reproduction is that the compact
+timing-model parameters extracted from these nodes are *similar but not
+identical* across nodes, which is the property the Bayesian prior exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.devices import CapacitanceModel, DeviceParameters, Polarity
+from repro.technology.node import TechnologyNode
+from repro.technology.variation import ProcessVariationModel
+from repro.utils.units import FEMTO, PICO
+
+
+def make_technology(
+    name: str,
+    node_nm: float,
+    device_family: str,
+    substrate: str,
+    flavor: str,
+    vdd_nominal: float,
+    vdd_range: tuple,
+    slew_range_ps: tuple,
+    cload_range_ff: tuple,
+    nmos_kwargs: dict,
+    pmos_kwargs: dict,
+    cap_kwargs: dict,
+    variation_kwargs: dict,
+    year: int,
+) -> TechnologyNode:
+    """Assemble a :class:`TechnologyNode` from plain keyword dictionaries.
+
+    This is the factory the registry uses; it is exported so users can define
+    additional synthetic nodes (e.g. a skewed copy of an existing node for
+    prior-selection studies) without touching the library internals.
+    """
+    nmos = DeviceParameters(polarity=Polarity.NMOS, **nmos_kwargs)
+    pmos = DeviceParameters(polarity=Polarity.PMOS, **pmos_kwargs)
+    capacitance = CapacitanceModel(**cap_kwargs)
+    variation = ProcessVariationModel(**variation_kwargs)
+    return TechnologyNode(
+        name=name,
+        node_nm=node_nm,
+        device_family=device_family,
+        substrate=substrate,
+        flavor=flavor,
+        vdd_nominal=vdd_nominal,
+        vdd_range=vdd_range,
+        slew_range=(slew_range_ps[0] * PICO, slew_range_ps[1] * PICO),
+        cload_range=(cload_range_ff[0] * FEMTO, cload_range_ff[1] * FEMTO),
+        nmos=nmos,
+        pmos=pmos,
+        capacitance=capacitance,
+        variation=variation,
+        year=year,
+    )
+
+
+def _n14_finfet() -> TechnologyNode:
+    return make_technology(
+        name="n14_finfet",
+        node_nm=14,
+        device_family="finfet",
+        substrate="bulk",
+        flavor="hp",
+        vdd_nominal=0.80,
+        vdd_range=(0.65, 1.00),
+        slew_range_ps=(1.0, 15.0),
+        cload_range_ff=(0.2, 6.0),
+        nmos_kwargs=dict(vth0=0.32, alpha=1.05, k_drive=1.40e-3, dibl=0.060,
+                         lambda_clm=0.030, vdsat_coeff=0.34,
+                         subthreshold_swing=0.068, leff_nm=16.0),
+        pmos_kwargs=dict(vth0=0.30, alpha=1.08, k_drive=1.20e-3, dibl=0.065,
+                         lambda_clm=0.032, vdsat_coeff=0.36,
+                         subthreshold_swing=0.070, leff_nm=16.0),
+        cap_kwargs=dict(cgate_per_um=1.10e-15, cdrain_per_um=0.70e-15,
+                        cmiller_per_um=0.24e-15, cwire_fixed=0.05e-15),
+        variation_kwargs=dict(sigma_vth_global=0.018, avt_mv_um=1.30,
+                              sigma_drive=0.050, sigma_leff=0.025,
+                              sigma_cap=0.035, reference_width_um=0.35,
+                              reference_length_um=0.016),
+        year=2015,
+    )
+
+
+def _n16_finfet_soi() -> TechnologyNode:
+    return make_technology(
+        name="n16_finfet_soi",
+        node_nm=16,
+        device_family="finfet",
+        substrate="soi",
+        flavor="hp",
+        vdd_nominal=0.85,
+        vdd_range=(0.70, 1.00),
+        slew_range_ps=(1.5, 18.0),
+        cload_range_ff=(0.2, 7.0),
+        nmos_kwargs=dict(vth0=0.33, alpha=1.08, k_drive=1.30e-3, dibl=0.058,
+                         lambda_clm=0.028, vdsat_coeff=0.35,
+                         subthreshold_swing=0.066, leff_nm=18.0),
+        pmos_kwargs=dict(vth0=0.31, alpha=1.10, k_drive=1.10e-3, dibl=0.062,
+                         lambda_clm=0.030, vdsat_coeff=0.37,
+                         subthreshold_swing=0.068, leff_nm=18.0),
+        cap_kwargs=dict(cgate_per_um=1.05e-15, cdrain_per_um=0.62e-15,
+                        cmiller_per_um=0.22e-15, cwire_fixed=0.05e-15),
+        variation_kwargs=dict(sigma_vth_global=0.017, avt_mv_um=1.35,
+                              sigma_drive=0.048, sigma_leff=0.024,
+                              sigma_cap=0.034, reference_width_um=0.35,
+                              reference_length_um=0.018),
+        year=2014,
+    )
+
+
+def _n20_planar() -> TechnologyNode:
+    return make_technology(
+        name="n20_planar",
+        node_nm=20,
+        device_family="planar",
+        substrate="bulk",
+        flavor="hp",
+        vdd_nominal=0.90,
+        vdd_range=(0.75, 1.05),
+        slew_range_ps=(2.0, 20.0),
+        cload_range_ff=(0.3, 8.0),
+        nmos_kwargs=dict(vth0=0.36, alpha=1.22, k_drive=9.0e-4, dibl=0.085,
+                         lambda_clm=0.050, vdsat_coeff=0.48,
+                         subthreshold_swing=0.086, leff_nm=24.0),
+        pmos_kwargs=dict(vth0=0.34, alpha=1.28, k_drive=5.6e-4, dibl=0.090,
+                         lambda_clm=0.055, vdsat_coeff=0.52,
+                         subthreshold_swing=0.090, leff_nm=24.0),
+        cap_kwargs=dict(cgate_per_um=0.98e-15, cdrain_per_um=0.58e-15,
+                        cmiller_per_um=0.21e-15, cwire_fixed=0.06e-15),
+        variation_kwargs=dict(sigma_vth_global=0.016, avt_mv_um=1.60,
+                              sigma_drive=0.045, sigma_leff=0.022,
+                              sigma_cap=0.032, reference_width_um=0.45,
+                              reference_length_um=0.024),
+        year=2013,
+    )
+
+
+def _n28_bulk() -> TechnologyNode:
+    return make_technology(
+        name="n28_bulk",
+        node_nm=28,
+        device_family="planar",
+        substrate="bulk",
+        flavor="hp",
+        vdd_nominal=0.90,
+        vdd_range=(0.70, 1.05),
+        slew_range_ps=(2.0, 25.0),
+        cload_range_ff=(0.3, 10.0),
+        nmos_kwargs=dict(vth0=0.38, alpha=1.30, k_drive=7.5e-4, dibl=0.090,
+                         lambda_clm=0.055, vdsat_coeff=0.52,
+                         subthreshold_swing=0.088, leff_nm=32.0),
+        pmos_kwargs=dict(vth0=0.36, alpha=1.35, k_drive=4.6e-4, dibl=0.095,
+                         lambda_clm=0.060, vdsat_coeff=0.56,
+                         subthreshold_swing=0.092, leff_nm=32.0),
+        cap_kwargs=dict(cgate_per_um=0.92e-15, cdrain_per_um=0.55e-15,
+                        cmiller_per_um=0.20e-15, cwire_fixed=0.07e-15),
+        variation_kwargs=dict(sigma_vth_global=0.016, avt_mv_um=1.80,
+                              sigma_drive=0.042, sigma_leff=0.020,
+                              sigma_cap=0.030, reference_width_um=0.50,
+                              reference_length_um=0.032),
+        year=2012,
+    )
+
+
+def _n28_lp() -> TechnologyNode:
+    return make_technology(
+        name="n28_lp",
+        node_nm=28,
+        device_family="planar",
+        substrate="bulk",
+        flavor="lp",
+        vdd_nominal=1.00,
+        vdd_range=(0.80, 1.15),
+        slew_range_ps=(3.0, 30.0),
+        cload_range_ff=(0.3, 10.0),
+        nmos_kwargs=dict(vth0=0.46, alpha=1.32, k_drive=6.2e-4, dibl=0.075,
+                         lambda_clm=0.045, vdsat_coeff=0.55,
+                         subthreshold_swing=0.084, leff_nm=34.0),
+        pmos_kwargs=dict(vth0=0.44, alpha=1.38, k_drive=3.8e-4, dibl=0.080,
+                         lambda_clm=0.050, vdsat_coeff=0.58,
+                         subthreshold_swing=0.088, leff_nm=34.0),
+        cap_kwargs=dict(cgate_per_um=0.95e-15, cdrain_per_um=0.56e-15,
+                        cmiller_per_um=0.20e-15, cwire_fixed=0.07e-15),
+        variation_kwargs=dict(sigma_vth_global=0.015, avt_mv_um=1.85,
+                              sigma_drive=0.040, sigma_leff=0.020,
+                              sigma_cap=0.030, reference_width_um=0.50,
+                              reference_length_um=0.034),
+        year=2012,
+    )
+
+
+def _n32_soi() -> TechnologyNode:
+    return make_technology(
+        name="n32_soi",
+        node_nm=32,
+        device_family="planar",
+        substrate="soi",
+        flavor="hp",
+        vdd_nominal=0.95,
+        vdd_range=(0.80, 1.10),
+        slew_range_ps=(3.0, 35.0),
+        cload_range_ff=(0.4, 12.0),
+        nmos_kwargs=dict(vth0=0.40, alpha=1.32, k_drive=6.6e-4, dibl=0.080,
+                         lambda_clm=0.050, vdsat_coeff=0.55,
+                         subthreshold_swing=0.086, leff_nm=36.0),
+        pmos_kwargs=dict(vth0=0.38, alpha=1.38, k_drive=4.0e-4, dibl=0.085,
+                         lambda_clm=0.055, vdsat_coeff=0.58,
+                         subthreshold_swing=0.090, leff_nm=36.0),
+        cap_kwargs=dict(cgate_per_um=0.88e-15, cdrain_per_um=0.50e-15,
+                        cmiller_per_um=0.19e-15, cwire_fixed=0.08e-15),
+        variation_kwargs=dict(sigma_vth_global=0.015, avt_mv_um=1.90,
+                              sigma_drive=0.040, sigma_leff=0.018,
+                              sigma_cap=0.028, reference_width_um=0.55,
+                              reference_length_um=0.036),
+        year=2010,
+    )
+
+
+def _n45_bulk() -> TechnologyNode:
+    return make_technology(
+        name="n45_bulk",
+        node_nm=45,
+        device_family="planar",
+        substrate="bulk",
+        flavor="hp",
+        vdd_nominal=1.10,
+        vdd_range=(0.90, 1.20),
+        slew_range_ps=(5.0, 60.0),
+        cload_range_ff=(0.5, 20.0),
+        nmos_kwargs=dict(vth0=0.45, alpha=1.40, k_drive=5.4e-4, dibl=0.100,
+                         lambda_clm=0.060, vdsat_coeff=0.60,
+                         subthreshold_swing=0.092, leff_nm=50.0),
+        pmos_kwargs=dict(vth0=0.42, alpha=1.45, k_drive=3.2e-4, dibl=0.105,
+                         lambda_clm=0.065, vdsat_coeff=0.64,
+                         subthreshold_swing=0.096, leff_nm=50.0),
+        cap_kwargs=dict(cgate_per_um=0.85e-15, cdrain_per_um=0.48e-15,
+                        cmiller_per_um=0.18e-15, cwire_fixed=0.10e-15),
+        variation_kwargs=dict(sigma_vth_global=0.014, avt_mv_um=2.20,
+                              sigma_drive=0.038, sigma_leff=0.016,
+                              sigma_cap=0.026, reference_width_um=0.60,
+                              reference_length_um=0.050),
+        year=2008,
+    )
+
+
+#: Factory functions for every synthetic node, keyed by node name.
+TECHNOLOGY_REGISTRY = {
+    "n14_finfet": _n14_finfet,
+    "n16_finfet_soi": _n16_finfet_soi,
+    "n20_planar": _n20_planar,
+    "n28_bulk": _n28_bulk,
+    "n28_lp": _n28_lp,
+    "n32_soi": _n32_soi,
+    "n45_bulk": _n45_bulk,
+}
+
+#: The six nodes used as the paper's default historical set (Ntech = 6).
+DEFAULT_HISTORICAL_SET = (
+    "n14_finfet",
+    "n16_finfet_soi",
+    "n20_planar",
+    "n28_bulk",
+    "n32_soi",
+    "n45_bulk",
+)
+
+
+def list_technologies() -> List[str]:
+    """Names of every synthetic technology node, sorted by feature size."""
+    names = list(TECHNOLOGY_REGISTRY)
+    return sorted(names, key=lambda name: (get_technology(name).node_nm, name))
+
+
+def get_technology(name: str) -> TechnologyNode:
+    """Look up a synthetic technology node by name.
+
+    Raises
+    ------
+    KeyError
+        If no node with that name is registered.
+    """
+    try:
+        factory = TECHNOLOGY_REGISTRY[name]
+    except KeyError:
+        available = ", ".join(sorted(TECHNOLOGY_REGISTRY))
+        raise KeyError(f"unknown technology {name!r}; available: {available}") from None
+    return factory()
+
+
+def historical_technologies(exclude: str | Sequence[str] = (),
+                            flavor: str | None = None) -> List[TechnologyNode]:
+    """The historical library set used to learn priors.
+
+    Parameters
+    ----------
+    exclude:
+        Name (or names) of the *target* technology to leave out, mirroring
+        the paper's setup where the target node never contributes to its own
+        prior.
+    flavor:
+        Optionally restrict to one process flavor (``"hp"`` or ``"lp"``) --
+        the bias/variance trade-off in historical-library selection discussed
+        in Section IV of the paper.
+
+    Returns
+    -------
+    list of TechnologyNode
+        The selected historical nodes ordered from newest to oldest.
+    """
+    if isinstance(exclude, str):
+        excluded = {exclude}
+    else:
+        excluded = set(exclude)
+    nodes = [get_technology(name) for name in DEFAULT_HISTORICAL_SET
+             if name not in excluded]
+    if flavor is not None:
+        nodes = [node for node in nodes if node.flavor == flavor]
+    return sorted(nodes, key=lambda node: node.year, reverse=True)

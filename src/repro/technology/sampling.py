@@ -1,0 +1,123 @@
+"""Generic experiment-design samplers.
+
+These helpers generate points in a unit hypercube (or directly in physical
+ranges) and are shared by the process-space Monte Carlo flow and the
+library-input-space sampling used for training / validation sets:
+
+* :func:`random_uniform` -- plain Monte Carlo sampling (the paper's 1000-point
+  validation set of Fig. 5);
+* :func:`latin_hypercube` -- space-filling designs for small fitting sets, so
+  two or three training points do not accidentally land on top of each other;
+* :func:`full_factorial_grid` -- the regular grids used by the look-up-table
+  baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+
+
+def random_uniform(n_points: int, n_dims: int, rng: RandomState = None) -> np.ndarray:
+    """Uniform random points in the unit hypercube, shape ``(n_points, n_dims)``."""
+    if n_points < 1 or n_dims < 1:
+        raise ValueError("n_points and n_dims must be at least 1")
+    generator = ensure_rng(rng)
+    return generator.random((n_points, n_dims))
+
+
+def latin_hypercube(n_points: int, n_dims: int, rng: RandomState = None) -> np.ndarray:
+    """Latin-hypercube sample in the unit hypercube, shape ``(n_points, n_dims)``.
+
+    Each dimension is divided into ``n_points`` equal strata and exactly one
+    point is placed (uniformly) inside each stratum, with an independent
+    random permutation per dimension.
+    """
+    if n_points < 1 or n_dims < 1:
+        raise ValueError("n_points and n_dims must be at least 1")
+    generator = ensure_rng(rng)
+    samples = np.empty((n_points, n_dims))
+    for dim in range(n_dims):
+        permutation = generator.permutation(n_points)
+        offsets = generator.random(n_points)
+        samples[:, dim] = (permutation + offsets) / n_points
+    return samples
+
+
+def full_factorial_grid(levels: Sequence[int]) -> np.ndarray:
+    """Full-factorial grid in the unit hypercube.
+
+    Parameters
+    ----------
+    levels:
+        Number of levels per dimension; a dimension with ``L`` levels places
+        points at the centres of ``L`` equal strata (so single-level
+        dimensions sit at 0.5 rather than at an edge).
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(prod(levels), len(levels))``.
+    """
+    levels = [int(level) for level in levels]
+    if not levels or any(level < 1 for level in levels):
+        raise ValueError("levels must be a non-empty sequence of positive integers")
+    axes = []
+    for level in levels:
+        if level == 1:
+            axes.append(np.array([0.5]))
+        else:
+            axes.append(np.linspace(0.0, 1.0, level))
+    mesh = np.meshgrid(*axes, indexing="ij")
+    return np.stack([m.reshape(-1) for m in mesh], axis=-1)
+
+
+def scale_to_ranges(unit_points: np.ndarray,
+                    ranges: Sequence[Tuple[float, float]],
+                    log_scale: Sequence[bool] | None = None) -> np.ndarray:
+    """Map unit-hypercube points into physical ranges.
+
+    Parameters
+    ----------
+    unit_points:
+        Array of shape ``(n_points, n_dims)`` with entries in ``[0, 1]``.
+    ranges:
+        One ``(min, max)`` pair per dimension.
+    log_scale:
+        Optional per-dimension flags; when true the dimension is mapped
+        logarithmically (useful for load capacitance, which spans more than a
+        decade).
+
+    Returns
+    -------
+    numpy.ndarray
+        Points of the same shape in physical units.
+    """
+    unit_points = np.asarray(unit_points, dtype=float)
+    if unit_points.ndim != 2:
+        raise ValueError("unit_points must be a 2-D array")
+    if unit_points.shape[1] != len(ranges):
+        raise ValueError(
+            f"dimension mismatch: points have {unit_points.shape[1]} dims, "
+            f"{len(ranges)} ranges given"
+        )
+    if log_scale is None:
+        log_scale = [False] * len(ranges)
+    if len(log_scale) != len(ranges):
+        raise ValueError("log_scale must have one entry per dimension")
+
+    scaled = np.empty_like(unit_points)
+    for dim, ((low, high), is_log) in enumerate(zip(ranges, log_scale)):
+        if not (low < high):
+            raise ValueError(f"range for dimension {dim} must satisfy min < max")
+        column = unit_points[:, dim]
+        if is_log:
+            if low <= 0.0:
+                raise ValueError("log-scaled ranges require positive bounds")
+            scaled[:, dim] = np.exp(np.log(low) + column * (np.log(high) - np.log(low)))
+        else:
+            scaled[:, dim] = low + column * (high - low)
+    return scaled

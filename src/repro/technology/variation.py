@@ -1,0 +1,190 @@
+"""Process-variation model and Monte Carlo variation samples.
+
+Statistical characterization needs an ensemble of "process seeds": concrete
+realizations of the manufacturing variation that perturb every device in a
+cell.  The model here separates
+
+* **global (inter-die) variation** -- shared by all devices of a seed:
+  threshold-voltage shifts common to all NMOS (and, separately, all PMOS)
+  devices, drive-strength (mobility / saturation velocity) multipliers, an
+  effective-channel-length multiplier, and a parasitic-capacitance
+  multiplier;
+* **local (intra-die mismatch) variation** -- independent per device:
+  Pelgrom-style threshold mismatch whose sigma scales as
+  ``avt / sqrt(W * L)``.
+
+The magnitudes are configured per technology node (newer nodes have larger
+relative variation), which is what makes the 28 nm statistical experiments of
+the paper (Figs. 7-9) meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass(frozen=True)
+class VariationSample:
+    """A batch of process seeds.
+
+    Every field is a NumPy array of shape ``(n_seeds,)``.  A sample with all
+    zeros / ones represents the nominal process.
+
+    Attributes
+    ----------
+    delta_vth_nmos, delta_vth_pmos:
+        Additive threshold-voltage shifts in volts (global + local component
+        for the switching device of the cell under characterization).
+    drive_mult_nmos, drive_mult_pmos:
+        Multiplicative drive-strength factors.
+    leff_mult:
+        Multiplicative effective-channel-length factor (shared polarity).
+    cap_mult:
+        Multiplicative factor on parasitic capacitances.
+    """
+
+    delta_vth_nmos: np.ndarray
+    delta_vth_pmos: np.ndarray
+    drive_mult_nmos: np.ndarray
+    drive_mult_pmos: np.ndarray
+    leff_mult: np.ndarray
+    cap_mult: np.ndarray
+
+    def __post_init__(self) -> None:
+        arrays = [
+            self.delta_vth_nmos,
+            self.delta_vth_pmos,
+            self.drive_mult_nmos,
+            self.drive_mult_pmos,
+            self.leff_mult,
+            self.cap_mult,
+        ]
+        sizes = {np.asarray(a).shape for a in arrays}
+        if len(sizes) != 1:
+            raise ValueError(f"all variation arrays must share a shape, got {sizes}")
+
+    @property
+    def n_seeds(self) -> int:
+        """Number of process seeds in this sample."""
+        return int(np.asarray(self.delta_vth_nmos).size)
+
+    @classmethod
+    def nominal(cls, n_seeds: int = 1) -> "VariationSample":
+        """A sample representing the nominal (typical) process."""
+        if n_seeds < 1:
+            raise ValueError("n_seeds must be at least 1")
+        zeros = np.zeros(n_seeds)
+        ones = np.ones(n_seeds)
+        return cls(
+            delta_vth_nmos=zeros.copy(),
+            delta_vth_pmos=zeros.copy(),
+            drive_mult_nmos=ones.copy(),
+            drive_mult_pmos=ones.copy(),
+            leff_mult=ones.copy(),
+            cap_mult=ones.copy(),
+        )
+
+    def subset(self, indices) -> "VariationSample":
+        """Return a sample containing only the selected seed indices."""
+        indices = np.asarray(indices)
+        return VariationSample(
+            delta_vth_nmos=np.asarray(self.delta_vth_nmos)[indices],
+            delta_vth_pmos=np.asarray(self.delta_vth_pmos)[indices],
+            drive_mult_nmos=np.asarray(self.drive_mult_nmos)[indices],
+            drive_mult_pmos=np.asarray(self.drive_mult_pmos)[indices],
+            leff_mult=np.asarray(self.leff_mult)[indices],
+            cap_mult=np.asarray(self.cap_mult)[indices],
+        )
+
+    def shifted(self, **changes) -> "VariationSample":
+        """Return a copy with the given arrays replaced (for corner analysis)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ProcessVariationModel:
+    """Per-node configuration of process-variation magnitudes.
+
+    Attributes
+    ----------
+    sigma_vth_global:
+        Standard deviation of the inter-die threshold shift, in volts.
+    avt_mv_um:
+        Pelgrom mismatch coefficient in mV*um; the local threshold-mismatch
+        sigma for a device of width ``W`` um and length ``L`` um is
+        ``avt_mv_um / sqrt(W * L) * 1e-3`` volts.
+    sigma_drive:
+        Relative standard deviation of the drive-strength multiplier.
+    sigma_leff:
+        Relative standard deviation of the effective-length multiplier.
+    sigma_cap:
+        Relative standard deviation of the parasitic-capacitance multiplier.
+    nmos_pmos_vth_correlation:
+        Correlation coefficient between the NMOS and PMOS global threshold
+        shifts (process steps such as gate-stack deposition affect both).
+    reference_width_um, reference_length_um:
+        Device geometry used when converting the Pelgrom coefficient into a
+        mismatch sigma for the equivalent switching device.
+    """
+
+    sigma_vth_global: float = 0.015
+    avt_mv_um: float = 1.8
+    sigma_drive: float = 0.04
+    sigma_leff: float = 0.02
+    sigma_cap: float = 0.03
+    nmos_pmos_vth_correlation: float = 0.6
+    reference_width_um: float = 0.5
+    reference_length_um: float = 0.03
+
+    def local_vth_sigma(self, width_um: Optional[float] = None,
+                        length_um: Optional[float] = None) -> float:
+        """Pelgrom mismatch sigma in volts for the given device geometry."""
+        width = self.reference_width_um if width_um is None else width_um
+        length = self.reference_length_um if length_um is None else length_um
+        if width <= 0.0 or length <= 0.0:
+            raise ValueError("device geometry must be positive")
+        return self.avt_mv_um * 1e-3 / np.sqrt(width * length)
+
+    def sample(self, n_seeds: int, rng: RandomState = None) -> VariationSample:
+        """Draw ``n_seeds`` Monte Carlo process seeds.
+
+        Global threshold shifts for NMOS/PMOS are drawn from a correlated
+        bivariate Gaussian; multiplicative factors are drawn log-normally so
+        they remain strictly positive.
+        """
+        if n_seeds < 1:
+            raise ValueError("n_seeds must be at least 1")
+        generator = ensure_rng(rng)
+
+        rho = float(np.clip(self.nmos_pmos_vth_correlation, -1.0, 1.0))
+        cov = self.sigma_vth_global ** 2 * np.array([[1.0, rho], [rho, 1.0]])
+        global_vth = generator.multivariate_normal(np.zeros(2), cov, size=n_seeds)
+
+        local_sigma = self.local_vth_sigma()
+        local_n = generator.normal(0.0, local_sigma, size=n_seeds)
+        local_p = generator.normal(0.0, local_sigma, size=n_seeds)
+
+        def lognormal_multiplier(sigma: float) -> np.ndarray:
+            if sigma <= 0.0:
+                return np.ones(n_seeds)
+            log_sigma = np.sqrt(np.log1p(sigma ** 2))
+            return generator.lognormal(mean=-0.5 * log_sigma ** 2, sigma=log_sigma,
+                                       size=n_seeds)
+
+        return VariationSample(
+            delta_vth_nmos=global_vth[:, 0] + local_n,
+            delta_vth_pmos=global_vth[:, 1] + local_p,
+            drive_mult_nmos=lognormal_multiplier(self.sigma_drive),
+            drive_mult_pmos=lognormal_multiplier(self.sigma_drive),
+            leff_mult=lognormal_multiplier(self.sigma_leff),
+            cap_mult=lognormal_multiplier(self.sigma_cap),
+        )
+
+    def total_vth_sigma(self) -> float:
+        """Combined (global + local) threshold-shift sigma in volts."""
+        return float(np.hypot(self.sigma_vth_global, self.local_vth_sigma()))

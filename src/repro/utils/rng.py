@@ -1,0 +1,61 @@
+"""Random-number-generation helpers.
+
+All stochastic components of the library (process-variation sampling, Monte
+Carlo characterization, Latin-hypercube designs) accept either an integer
+seed, a :class:`numpy.random.Generator`, or ``None``.  :func:`ensure_rng`
+normalizes those inputs so results are reproducible whenever a seed is given.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+#: Acceptable seed-like inputs throughout the library.
+RandomState = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any seed-like input.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for nondeterministic entropy, an integer seed, or an
+        existing generator (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RandomState, count: int) -> Sequence[np.random.Generator]:
+    """Create ``count`` statistically independent child generators.
+
+    Child streams are derived with :meth:`numpy.random.Generator.spawn` so the
+    same parent seed always yields the same family of streams.
+
+    Raises
+    ------
+    ValueError
+        If ``count`` is negative.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = ensure_rng(seed)
+    if count == 0:
+        return []
+    return list(parent.spawn(count))
+
+
+def stable_seed_from_name(name: str, base_seed: Optional[int] = None) -> int:
+    """Derive a deterministic 32-bit seed from a string label.
+
+    Used so that, for example, each technology node or cell gets its own
+    reproducible variation stream independent of iteration order.
+    """
+    accumulator = 0 if base_seed is None else int(base_seed) & 0xFFFFFFFF
+    for char in name:
+        accumulator = (accumulator * 1000003 + ord(char)) & 0xFFFFFFFF
+    return accumulator

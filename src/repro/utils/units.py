@@ -1,0 +1,143 @@
+"""Unit constants and conversion helpers.
+
+All internal quantities in this library are expressed in SI base units:
+seconds for time, volts for voltage, farads for capacitance, amperes for
+current.  The helpers in this module exist so that user-facing code (examples,
+benchmarks, Liberty export) can speak in the units customary for standard-cell
+characterization -- picoseconds, femtofarads, millivolts -- without scattering
+magic scale factors around.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: SI prefixes as multipliers.
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+
+#: Base units (multipliers of themselves; used for readability).
+SECOND = 1.0
+VOLT = 1.0
+FARAD = 1.0
+AMPERE = 1.0
+
+_PREFIXES = [
+    (1e15, "P"),
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+    (1e-18, "a"),
+]
+
+_PREFIX_VALUES = {
+    "P": 1e15,
+    "T": 1e12,
+    "G": 1e9,
+    "M": 1e6,
+    "k": 1e3,
+    "": 1.0,
+    "m": 1e-3,
+    "u": 1e-6,
+    "µ": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+    "a": 1e-18,
+}
+
+
+def picoseconds(value: float) -> float:
+    """Convert a value given in picoseconds to seconds."""
+    return value * PICO
+
+
+def seconds(value: float) -> float:
+    """Identity helper for readability: a value already in seconds."""
+    return value
+
+
+def femtofarads(value: float) -> float:
+    """Convert a value given in femtofarads to farads."""
+    return value * FEMTO
+
+
+def farads(value: float) -> float:
+    """Identity helper for readability: a value already in farads."""
+    return value
+
+
+def volts(value: float) -> float:
+    """Identity helper for readability: a value already in volts."""
+    return value
+
+
+def format_engineering(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an engineering (SI-prefix) suffix.
+
+    Parameters
+    ----------
+    value:
+        Quantity in SI base units.
+    unit:
+        Unit symbol appended after the prefix (e.g. ``"s"``, ``"F"``).
+    digits:
+        Number of significant digits.
+
+    Returns
+    -------
+    str
+        Human-readable string such as ``"5.09ps"`` or ``"1.67fF"``.
+    """
+    if value == 0.0:
+        return f"0{unit}"
+    if not math.isfinite(value):
+        return f"{value}{unit}"
+    magnitude = abs(value)
+    for scale, prefix in _PREFIXES:
+        if magnitude >= scale:
+            scaled = value / scale
+            return f"{scaled:.{digits}g}{prefix}{unit}"
+    scale, prefix = _PREFIXES[-1]
+    return f"{value / scale:.{digits}g}{prefix}{unit}"
+
+
+def from_engineering(text: str) -> float:
+    """Parse an engineering-formatted string back into a float in SI units.
+
+    Accepts strings such as ``"5.09p"``, ``"1.67f"``, ``"0.7"`` or ``"3n"``.
+    A trailing unit letter (``s``, ``F``, ``V``, ``A``) is ignored.
+
+    Raises
+    ------
+    ValueError
+        If the string cannot be parsed.
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise ValueError("empty string cannot be parsed as a quantity")
+    # Drop a trailing unit symbol if present (but keep prefix letters).
+    if stripped[-1] in "sFVAΩ" and len(stripped) > 1:
+        stripped = stripped[:-1]
+    prefix = ""
+    if stripped and stripped[-1] in _PREFIX_VALUES and stripped[-1] not in "0123456789.":
+        prefix = stripped[-1]
+        stripped = stripped[:-1]
+    try:
+        base = float(stripped)
+    except ValueError as exc:
+        raise ValueError(f"cannot parse quantity from {text!r}") from exc
+    return base * _PREFIX_VALUES[prefix]

@@ -1,0 +1,57 @@
+"""Small argument-validation helpers shared across the library.
+
+These raise ``ValueError`` with descriptive messages, keeping the calling code
+compact and the error messages consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sized
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (or non-negative when not strict)."""
+    value = float(value)
+    if strict and value <= 0.0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0.0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Validate that ``low <= value <= high``."""
+    value = float(value)
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def check_finite(name: str, value) -> np.ndarray:
+    """Validate that all entries of ``value`` are finite; returns an array."""
+    array = np.asarray(value, dtype=float)
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} contains non-finite values")
+    return array
+
+
+def check_same_length(**named_sequences: Sized) -> int:
+    """Validate that all provided sequences share one length; return it."""
+    lengths = {name: len(seq) for name, seq in named_sequences.items()}
+    unique = set(lengths.values())
+    if len(unique) > 1:
+        detail = ", ".join(f"{name}={length}" for name, length in lengths.items())
+        raise ValueError(f"sequences must have equal length ({detail})")
+    if not lengths:
+        return 0
+    return unique.pop()
+
+
+def check_nonempty(name: str, values: Iterable) -> list:
+    """Validate that an iterable has at least one element; return it as a list."""
+    as_list = list(values)
+    if not as_list:
+        raise ValueError(f"{name} must not be empty")
+    return as_list

@@ -1,0 +1,99 @@
+"""Tests for distribution estimation and report rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    empirical_pdf,
+    format_speedups,
+    format_table,
+    gaussian_pdf,
+    kde_pdf,
+    normality_deviation,
+    summarize,
+)
+from repro.experiments.runner import SpeedupSummary
+
+
+class TestSummarize:
+    def test_gaussian_sample_moments(self, rng):
+        samples = rng.normal(10.0, 2.0, size=20000)
+        summary = summarize(samples)
+        assert summary.mean == pytest.approx(10.0, rel=0.02)
+        assert summary.std == pytest.approx(2.0, rel=0.05)
+        assert abs(summary.skewness) < 0.1
+        assert summary.quantiles[0] < summary.quantiles[1] < summary.quantiles[2]
+        assert summary.n_samples == 20000
+
+    def test_skewed_sample_detected(self, rng):
+        samples = rng.lognormal(0.0, 0.5, size=10000)
+        assert summarize(samples).skewness > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize([1.0])
+        with pytest.raises(ValueError):
+            summarize([1.0, np.nan])
+
+
+class TestPdfEstimates:
+    def test_empirical_pdf_normalized(self, rng):
+        samples = rng.normal(0.0, 1.0, size=5000)
+        centers, density = empirical_pdf(samples, n_bins=30)
+        widths = centers[1] - centers[0]
+        assert np.sum(density) * widths == pytest.approx(1.0, rel=0.02)
+        with pytest.raises(ValueError):
+            empirical_pdf(samples, n_bins=1)
+
+    def test_kde_pdf_peaks_near_mean(self, rng):
+        samples = rng.normal(5.0, 1.0, size=3000)
+        grid, density = kde_pdf(samples)
+        assert abs(grid[np.argmax(density)] - 5.0) < 0.5
+
+    def test_kde_requires_spread(self):
+        with pytest.raises(ValueError):
+            kde_pdf(np.ones(10))
+
+    def test_gaussian_pdf_matches_kde_for_gaussian_data(self, rng):
+        samples = rng.normal(0.0, 1.0, size=8000)
+        grid, kde_density = kde_pdf(samples, n_points=100)
+        _, normal_density = gaussian_pdf(samples.mean(), samples.std(), grid)
+        assert np.max(np.abs(kde_density - normal_density)) < 0.05
+
+    def test_gaussian_pdf_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_pdf(0.0, 0.0, np.linspace(-1, 1, 10))
+
+
+class TestNormalityDeviation:
+    def test_gaussian_data_scores_low(self, rng):
+        samples = rng.normal(0.0, 1.0, size=5000)
+        assert normality_deviation(samples) < 0.05
+
+    def test_skewed_data_scores_higher(self, rng):
+        gaussian = rng.normal(1.0, 0.2, size=5000)
+        skewed = rng.lognormal(0.0, 0.8, size=5000)
+        assert normality_deviation(skewed) > normality_deviation(gaussian)
+
+
+class TestReporting:
+    def test_format_table_alignment_and_floats(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["bb", 7]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.235" in text
+        with pytest.raises(ValueError):
+            format_table(["one"], [["a", "b"]])
+
+    def test_format_speedups(self):
+        summary = SpeedupSummary(fast_method="bayesian", slow_method="lut",
+                                 metric="delay", target_error_percent=4.0,
+                                 fast_runs=2.0, slow_runs=30.0)
+        text = format_speedups([summary], title="Speedups")
+        assert "Speedups" in text
+        assert "15.0x" in text
+        assert "(no speedup could be computed)" in format_speedups([])

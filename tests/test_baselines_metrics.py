@@ -1,0 +1,182 @@
+"""Tests for the LUT / LSE / Monte Carlo baselines and the error metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.characterization import (
+    InputCondition,
+    InputSpace,
+    LseCharacterizer,
+    LutCharacterizer,
+    StatisticalLutCharacterizer,
+    mean_relative_error,
+    nominal_baseline,
+    statistical_baseline,
+    statistical_errors,
+)
+from repro.characterization.lut import LutGrid
+from repro.characterization.metrics import mean_abs_error, mean_relative_error_percent
+from repro.spice import SimulationCounter
+
+
+class TestMetrics:
+    def test_mean_abs_error(self):
+        assert mean_abs_error([1.0, 2.0], [1.5, 1.5]) == pytest.approx(0.5)
+
+    def test_mean_relative_error(self):
+        assert mean_relative_error([1.1, 2.2], [1.0, 2.0]) == pytest.approx(0.1)
+        assert mean_relative_error_percent([1.1], [1.0]) == pytest.approx(10.0)
+
+    def test_relative_error_rejects_zero_reference(self):
+        with pytest.raises(ValueError):
+            mean_relative_error([1.0], [0.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_abs_error([1.0, 2.0], [1.0])
+
+    def test_statistical_errors_fields(self):
+        errors = statistical_errors([1.0e-12, 2.0e-12], [0.1e-12, 0.2e-12],
+                                    [1.1e-12, 1.9e-12], [0.1e-12, 0.25e-12])
+        assert errors.mean_abs_mu == pytest.approx(0.1e-12, rel=1e-6)
+        assert errors.relative_sigma_percent > 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(scale=st.floats(min_value=0.5, max_value=2.0))
+    def test_relative_error_is_scale_invariant(self, scale):
+        predicted = np.array([1.0, 2.0, 3.0])
+        reference = np.array([1.1, 1.9, 3.2])
+        assert mean_relative_error(predicted * scale, reference * scale) == \
+            pytest.approx(mean_relative_error(predicted, reference))
+
+
+class TestLutGrid:
+    def make_linear_grid(self):
+        sin_axis = np.array([1e-12, 5e-12, 10e-12])
+        cload_axis = np.array([1e-15, 3e-15])
+        vdd_axis = np.array([0.7, 0.9])
+        values = np.empty((3, 2, 2))
+        for i, s in enumerate(sin_axis):
+            for j, c in enumerate(cload_axis):
+                for k, v in enumerate(vdd_axis):
+                    values[i, j, k] = 1e-12 + 0.1 * s + 1e3 * c - 2e-12 * v
+        return LutGrid(sin_axis, cload_axis, vdd_axis, values)
+
+    def test_exact_at_grid_nodes(self):
+        grid = self.make_linear_grid()
+        value = grid.interpolate(InputCondition(5e-12, 3e-15, 0.9))
+        assert value == pytest.approx(1e-12 + 0.5e-12 + 3e-12 - 1.8e-12)
+
+    def test_trilinear_reproduces_linear_functions(self):
+        grid = self.make_linear_grid()
+        condition = InputCondition(3e-12, 2e-15, 0.8)
+        expected = 1e-12 + 0.1 * 3e-12 + 1e3 * 2e-15 - 2e-12 * 0.8
+        assert grid.interpolate(condition) == pytest.approx(expected, rel=1e-9)
+
+    def test_clamping_outside_grid(self):
+        grid = self.make_linear_grid()
+        inside = grid.interpolate(InputCondition(10e-12, 3e-15, 0.9))
+        outside = grid.interpolate(InputCondition(50e-12, 9e-15, 1.2))
+        assert outside == pytest.approx(inside)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LutGrid(np.array([1.0, 2.0]), np.array([1.0]), np.array([1.0]),
+                    np.zeros((1, 1, 1)))
+        with pytest.raises(ValueError):
+            LutGrid(np.array([2.0, 1.0]), np.array([1.0]), np.array([1.0]),
+                    np.zeros((2, 1, 1)))
+
+    def test_n_entries(self):
+        assert self.make_linear_grid().n_entries == 12
+
+
+class TestLutCharacterizer:
+    def test_build_and_predict(self, tech14, inv_cell):
+        counter = SimulationCounter()
+        lut = LutCharacterizer(tech14, inv_cell, counter=counter)
+        lut.build(8)
+        assert lut.simulation_runs == 8
+        assert counter.total == 8
+        conditions = InputSpace(tech14).sample_random(5, rng=2)
+        delays = lut.predict_delay(conditions)
+        slews = lut.predict_slew(conditions)
+        assert delays.shape == (5,)
+        assert np.all(delays > 0) and np.all(slews > 0)
+
+    def test_query_before_build_raises(self, tech14, inv_cell):
+        lut = LutCharacterizer(tech14, inv_cell)
+        with pytest.raises(RuntimeError):
+            lut.predict_delay([InputCondition(5e-12, 2e-15, 0.8)])
+
+    def test_non_factorial_conditions_rejected(self, tech14, inv_cell):
+        lut = LutCharacterizer(tech14, inv_cell)
+        conditions = InputSpace(tech14).sample_random(4, rng=3)
+        with pytest.raises(ValueError):
+            lut.build_from_conditions(conditions)
+
+
+class TestStatisticalLut:
+    def test_build_and_statistics(self, tech28, inv_cell):
+        variation = tech28.variation.sample(25, rng=4)
+        counter = SimulationCounter()
+        lut = StatisticalLutCharacterizer(tech28, inv_cell, variation,
+                                          counter=counter)
+        lut.build(4)
+        assert lut.simulation_runs == 4 * 25
+        stats = lut.predict_statistics([InputCondition(5e-12, 2e-15, 0.9)])
+        assert stats["mu_delay"][0] > 0
+        assert stats["sigma_delay"][0] > 0
+        samples = lut.delay_distribution(InputCondition(5e-12, 2e-15, 0.9),
+                                         n_samples=500, rng=0)
+        assert samples.shape == (500,)
+
+    def test_requires_multiple_seeds(self, tech28, inv_cell):
+        from repro.technology import VariationSample
+
+        with pytest.raises(ValueError):
+            StatisticalLutCharacterizer(tech28, inv_cell, VariationSample.nominal(1))
+
+
+class TestLseCharacterizer:
+    def test_fit_and_predict_accuracy(self, tech14, nor2_cell):
+        counter = SimulationCounter()
+        lse = LseCharacterizer(tech14, nor2_cell, counter=counter)
+        lse.fit(8, rng=1)
+        assert lse.simulation_runs == 8
+        validation = InputSpace(tech14).sample_random(20, rng=11)
+        baseline = nominal_baseline(nor2_cell, tech14, validation)
+        error = mean_relative_error(lse.predict_delay(validation), baseline.delay)
+        assert error < 0.05
+        assert lse.delay_fit.n_observations == 8
+
+    def test_query_before_fit_raises(self, tech14, inv_cell):
+        lse = LseCharacterizer(tech14, inv_cell)
+        with pytest.raises(RuntimeError):
+            lse.predict_slew([InputCondition(5e-12, 2e-15, 0.8)])
+
+
+class TestBaselines:
+    def test_nominal_baseline(self, tech14, inv_cell):
+        counter = SimulationCounter()
+        conditions = InputSpace(tech14).sample_random(6, rng=8)
+        baseline = nominal_baseline(inv_cell, tech14, conditions, counter=counter)
+        assert baseline.n_conditions == 6
+        assert baseline.simulation_runs == 6
+        assert np.all(baseline.delay > 0)
+
+    def test_statistical_baseline(self, tech28, inv_cell):
+        variation = tech28.variation.sample(20, rng=6)
+        conditions = InputSpace(tech28).sample_random(3, rng=9)
+        baseline = statistical_baseline(inv_cell, tech28, conditions, variation)
+        assert baseline.delay_samples.shape == (3, 20)
+        stats = baseline.statistics()
+        assert np.all(stats["sigma_delay"] > 0)
+        assert baseline.n_seeds == 20
+
+    def test_empty_conditions_rejected(self, tech14, inv_cell):
+        with pytest.raises(ValueError):
+            nominal_baseline(inv_cell, tech14, [])

@@ -1,0 +1,187 @@
+"""Tests for cell topologies, the catalog, and equivalent-inverter reduction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells import (
+    Cell,
+    StandardCellLibrary,
+    Transition,
+    available_cells,
+    default_library,
+    device,
+    make_cell,
+    parallel,
+    reduce_cell,
+    series,
+)
+from repro.cells.topology import TransistorSpec
+
+
+class TestNetworkReduction:
+    def test_single_device(self):
+        net = device("A", 1.5)
+        assert net.on_width() == pytest.approx(1.5)
+        assert net.switching_width("A") == pytest.approx(1.5)
+
+    def test_series_combines_harmonically(self):
+        net = series(device("A", 2.0), device("B", 2.0))
+        assert net.on_width() == pytest.approx(1.0)
+        assert net.switching_width("A") == pytest.approx(1.0)
+
+    def test_parallel_keeps_only_switching_branch(self):
+        net = parallel(device("A", 1.0), device("B", 3.0))
+        assert net.on_width() == pytest.approx(4.0)
+        assert net.switching_width("A") == pytest.approx(1.0)
+        assert net.switching_width("B") == pytest.approx(3.0)
+
+    def test_nested_aoi_pull_down(self):
+        # AOI21 pull-down: (A series B) parallel C.
+        net = parallel(series(device("A", 2.0), device("B", 2.0)), device("C", 1.0))
+        assert net.switching_width("A") == pytest.approx(1.0)
+        assert net.switching_width("C") == pytest.approx(1.0)
+
+    def test_series_with_parallel_companion(self):
+        # OAI21 pull-down: (A parallel B) series C; switching A keeps only A in
+        # the parallel group but C fully on.
+        net = series(parallel(device("A", 2.0), device("B", 2.0)), device("C", 2.0))
+        assert net.switching_width("A") == pytest.approx(1.0)
+
+    def test_unknown_pin_raises(self):
+        net = series(device("A"), device("B"))
+        with pytest.raises(KeyError):
+            net.switching_width("C")
+
+    def test_output_adjacent_width(self):
+        stacked = series(device("A", 2.0), device("B", 2.0))
+        assert stacked.output_adjacent_width() == pytest.approx(2.0)
+        split = parallel(device("A", 1.0), device("B", 1.0))
+        assert split.output_adjacent_width() == pytest.approx(2.0)
+
+    def test_stack_depth(self):
+        assert device("A").stack_depth() == 1
+        assert series(device("A"), device("B"), device("C")).stack_depth() == 3
+        assert parallel(series(device("A"), device("B")), device("C")).stack_depth() == 2
+
+    def test_pins_and_total_width(self):
+        net = parallel(series(device("A", 2.0), device("B", 2.0)), device("C", 1.0))
+        assert net.pins() == ["A", "B", "C"]
+        assert net.total_width() == pytest.approx(5.0)
+
+    def test_invalid_constructions(self):
+        with pytest.raises(ValueError):
+            TransistorSpec(pin="A", width=0.0)
+        with pytest.raises(ValueError):
+            TransistorSpec(pin="", width=1.0)
+        with pytest.raises(ValueError):
+            series()
+
+
+class TestCatalog:
+    def test_default_cells_available(self):
+        names = available_cells()
+        for expected in ("INV_X1", "NAND2_X1", "NOR2_X1", "AOI21_X1", "OAI22_X1"):
+            assert expected in names
+
+    def test_make_cell_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_cell("XOR9_X1")
+
+    def test_inverter_structure(self):
+        inv = make_cell("INV_X1")
+        assert inv.input_pins == ["A"]
+        assert inv.timing_arcs()[0].cell_name == "INV_X1"
+        assert len(inv.timing_arcs()) == 2
+
+    def test_nand2_stack_upsizing(self):
+        nand = make_cell("NAND2_X1")
+        # The series NMOS stack is upsized so its equivalent width matches a
+        # unit inverter's pull-down.
+        assert nand.pull_down.switching_width("A") == pytest.approx(1.0)
+
+    def test_drive_variants_scale_unit_widths(self):
+        x1 = make_cell("INV_X1")
+        x4 = make_cell("INV_X4")
+        assert x4.nmos_unit_width_um == pytest.approx(4 * x1.nmos_unit_width_um)
+
+    def test_default_library_contents(self):
+        library = default_library(["INV_X1", "NAND2_X1"])
+        assert len(library) == 2
+        assert "INV_X1" in library
+        assert library.get("NAND2_X1").drive_strength == 1
+
+    def test_library_rejects_duplicates(self):
+        library = default_library(["INV_X1"])
+        with pytest.raises(ValueError):
+            library.add(make_cell("INV_X1"))
+
+    def test_library_subset_and_arcs(self):
+        library = default_library(["INV_X1", "NOR2_X1", "NAND3_X1"])
+        subset = library.subset(["NOR2_X1"])
+        assert subset.cell_names() == ["NOR2_X1"]
+        assert len(library.timing_arcs()) == 2 + 4 + 6
+
+    def test_cell_validation_rejects_mismatched_networks(self):
+        with pytest.raises(ValueError):
+            Cell(name="BROKEN", function="?", pull_up=device("A"),
+                 pull_down=device("B"))
+
+    def test_input_gate_width(self):
+        nand = make_cell("NAND2_X1")
+        width = nand.input_gate_width_um("A")
+        assert width == pytest.approx(2.0 * nand.nmos_unit_width_um
+                                      + 1.0 * nand.pmos_unit_width_um)
+        with pytest.raises(KeyError):
+            nand.input_gate_width_um("Q")
+
+
+class TestEquivalentInverter:
+    def test_inverter_reduction_matches_unit_widths(self, tech14, inv_cell):
+        inverter = reduce_cell(inv_cell, tech14)
+        assert float(np.asarray(inverter.nmos.width_um)) == pytest.approx(
+            inv_cell.nmos_unit_width_um)
+        assert float(np.asarray(inverter.pmos.width_um)) == pytest.approx(
+            inv_cell.pmos_unit_width_um)
+
+    def test_fall_arc_driven_by_nmos(self, tech14, nor2_cell):
+        arc = nor2_cell.arc("A", Transition.FALL)
+        inverter = reduce_cell(nor2_cell, tech14, arc=arc)
+        assert inverter.driving_device is inverter.nmos
+        assert inverter.restoring_device is inverter.pmos
+
+    def test_rise_arc_driven_by_pmos(self, tech14, nor2_cell):
+        arc = nor2_cell.arc("A", Transition.RISE)
+        inverter = reduce_cell(nor2_cell, tech14, arc=arc)
+        assert inverter.driving_device is inverter.pmos
+
+    def test_nor2_pull_up_weaker_than_inverter(self, tech14, inv_cell, nor2_cell):
+        # NOR2's series PMOS stack (even upsized 2x) matches the inverter
+        # pull-up width; its pull-down is a single unit NMOS.
+        nor_rise = reduce_cell(nor2_cell, tech14,
+                               arc=nor2_cell.arc("A", Transition.RISE))
+        inv_rise = reduce_cell(inv_cell, tech14,
+                               arc=inv_cell.arc("A", Transition.RISE))
+        assert float(np.asarray(nor_rise.pmos.width_um)) == pytest.approx(
+            float(np.asarray(inv_rise.pmos.width_um)))
+
+    def test_parasitic_cap_positive_and_scales_with_variation(self, tech28, nand2_cell):
+        nominal = reduce_cell(nand2_cell, tech28)
+        assert float(np.asarray(nominal.parasitic_cap)) > 0.0
+        variation = tech28.variation.sample(5, rng=0)
+        varied = reduce_cell(nand2_cell, tech28, variation=variation)
+        assert np.asarray(varied.parasitic_cap).shape == (5,)
+        assert varied.n_seeds == 5
+
+    def test_effective_current_positive(self, tech14, nand2_cell):
+        inverter = reduce_cell(nand2_cell, tech14)
+        assert float(inverter.effective_current(tech14.vdd_nominal)) > 0.0
+
+    def test_unknown_pin_raises(self, tech14, nand2_cell):
+        from repro.cells.library import TimingArc
+
+        bad_arc = TimingArc(cell_name=nand2_cell.name, input_pin="Q",
+                            output_transition=Transition.FALL)
+        with pytest.raises(KeyError):
+            reduce_cell(nand2_cell, tech14, arc=bad_arc)

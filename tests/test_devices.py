@@ -1,0 +1,165 @@
+"""Tests for the compact MOSFET models, capacitance model, and Ieff."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices import (
+    AlphaPowerMOSFET,
+    CapacitanceModel,
+    DeviceParameters,
+    Polarity,
+    VirtualSourceMOSFET,
+    effective_current,
+    on_current,
+)
+
+
+def make_nmos(model_class=AlphaPowerMOSFET, **overrides):
+    params = DeviceParameters(polarity=Polarity.NMOS, **overrides)
+    return model_class(params)
+
+
+MODEL_CLASSES = [AlphaPowerMOSFET, VirtualSourceMOSFET]
+
+
+@pytest.mark.parametrize("model_class", MODEL_CLASSES)
+class TestDrainCurrentBasics:
+    def test_off_device_conducts_negligibly(self, model_class):
+        device = make_nmos(model_class)
+        assert float(device.current(0.0, 0.9)) < 1e-3 * float(device.current(0.9, 0.9))
+
+    def test_current_positive_when_on(self, model_class):
+        device = make_nmos(model_class)
+        assert float(device.current(0.9, 0.45)) > 0.0
+
+    def test_zero_vds_gives_zero_current(self, model_class):
+        device = make_nmos(model_class)
+        assert float(device.current(0.9, 0.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_negative_vds_clamped(self, model_class):
+        device = make_nmos(model_class)
+        assert float(device.current(0.9, -0.1)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_width_scaling_is_linear(self, model_class):
+        narrow = make_nmos(model_class, width_um=0.5)
+        wide = make_nmos(model_class, width_um=1.5)
+        ratio = float(wide.current(0.9, 0.9)) / float(narrow.current(0.9, 0.9))
+        assert ratio == pytest.approx(3.0, rel=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(vgs=st.floats(min_value=0.2, max_value=1.2),
+           vds_low=st.floats(min_value=0.01, max_value=0.6),
+           delta=st.floats(min_value=0.01, max_value=0.6))
+    def test_monotonic_in_vds(self, model_class, vgs, vds_low, delta):
+        device = make_nmos(model_class)
+        low = float(device.current(vgs, vds_low))
+        high = float(device.current(vgs, vds_low + delta))
+        assert high >= low - 1e-15
+
+    @settings(max_examples=30, deadline=None)
+    @given(vds=st.floats(min_value=0.05, max_value=1.0),
+           vgs_low=st.floats(min_value=0.0, max_value=0.9),
+           delta=st.floats(min_value=0.01, max_value=0.3))
+    def test_monotonic_in_vgs(self, model_class, vds, vgs_low, delta):
+        device = make_nmos(model_class)
+        low = float(device.current(vgs_low, vds))
+        high = float(device.current(vgs_low + delta, vds))
+        assert high >= low - 1e-15
+
+
+@pytest.mark.parametrize("model_class", MODEL_CLASSES)
+class TestVariation:
+    def test_higher_vth_reduces_current(self, model_class):
+        device = make_nmos(model_class)
+        slower = device.with_variation(delta_vth=0.05)
+        assert float(slower.current(0.8, 0.8)) < float(device.current(0.8, 0.8))
+
+    def test_drive_multiplier_scales_current(self, model_class):
+        device = make_nmos(model_class)
+        stronger = device.with_variation(drive_multiplier=1.2)
+        ratio = float(stronger.current(0.8, 0.8)) / float(device.current(0.8, 0.8))
+        assert ratio == pytest.approx(1.2, rel=1e-6)
+
+    def test_vectorized_variation(self, model_class):
+        device = make_nmos(model_class)
+        varied = device.with_variation(delta_vth=np.array([0.0, 0.03, -0.03]))
+        currents = varied.current(0.8, 0.8)
+        assert currents.shape == (3,)
+        assert currents[2] > currents[0] > currents[1]
+
+    def test_invalid_multipliers_raise(self, model_class):
+        device = make_nmos(model_class)
+        with pytest.raises(ValueError):
+            device.with_variation(drive_multiplier=0.0)
+        with pytest.raises(ValueError):
+            device.with_variation(leff_multiplier=-1.0)
+
+    def test_scaled_width(self, model_class):
+        device = make_nmos(model_class, width_um=1.0)
+        doubled = device.scaled(2.0)
+        assert float(np.asarray(doubled.width_um)) == pytest.approx(2.0)
+
+
+class TestEffectiveCurrent:
+    def test_ieff_below_on_current(self):
+        device = make_nmos()
+        assert float(effective_current(device, 0.9)) < float(on_current(device, 0.9))
+
+    def test_ieff_increases_with_vdd(self):
+        device = make_nmos()
+        assert float(effective_current(device, 1.0)) > float(effective_current(device, 0.7))
+
+    def test_ieff_matches_definition(self):
+        device = make_nmos()
+        vdd = 0.8
+        expected = 0.5 * (float(device.current(vdd, vdd / 2))
+                          + float(device.current(vdd / 2, vdd)))
+        assert float(effective_current(device, vdd)) == pytest.approx(expected)
+
+    def test_invalid_vdd_raises(self):
+        device = make_nmos()
+        with pytest.raises(ValueError):
+            effective_current(device, 0.0)
+        with pytest.raises(ValueError):
+            on_current(device, -1.0)
+
+    def test_vectorized_over_seeds(self):
+        device = make_nmos().with_variation(delta_vth=np.array([0.0, 0.02]))
+        values = effective_current(device, 0.8)
+        assert values.shape == (2,)
+        assert values[0] > values[1]
+
+
+class TestCapacitanceModel:
+    @pytest.fixture()
+    def caps(self):
+        return CapacitanceModel(cgate_per_um=1e-15, cdrain_per_um=0.5e-15,
+                                cmiller_per_um=0.2e-15, cwire_fixed=0.1e-15)
+
+    def test_gate_capacitance(self, caps):
+        assert float(caps.gate_capacitance(2.0)) == pytest.approx(2e-15)
+
+    def test_output_parasitic_sums_contributions(self, caps):
+        total = float(caps.output_parasitic(1.0, 1.0))
+        assert total == pytest.approx(0.5e-15 + 0.5e-15 + 0.1e-15)
+
+    def test_scaled(self, caps):
+        scaled = caps.scaled(1.1)
+        assert scaled.cgate_per_um == pytest.approx(1.1e-15)
+        with pytest.raises(ValueError):
+            caps.scaled(0.0)
+
+    def test_miller_capacitance(self, caps):
+        assert float(caps.miller_capacitance(3.0)) == pytest.approx(0.6e-15)
+
+
+class TestDeviceParameters:
+    def test_replace_preserves_other_fields(self):
+        params = DeviceParameters(polarity=Polarity.PMOS, vth0=0.3)
+        updated = params.replace(vth0=0.4)
+        assert updated.vth0 == 0.4
+        assert updated.polarity is Polarity.PMOS
+        assert params.vth0 == 0.3

@@ -1,0 +1,138 @@
+"""Tests for the experiment runner and speedup extraction (Figs. 6-8 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SimulationCounter, get_technology, make_cell
+from repro.analysis import compare_curves, crossover_budget, format_curve_table
+from repro.experiments import AccuracyCurve, ExperimentRunner, compute_speedup
+
+
+def make_curve(method: str, sizes, errors, runs=None) -> AccuracyCurve:
+    sizes = tuple(sizes)
+    errors = np.asarray(errors, dtype=float)
+    runs = np.asarray(runs if runs is not None else sizes, dtype=float)
+    return AccuracyCurve(method=method, metric="delay", training_sizes=sizes,
+                         mean_error_percent=errors,
+                         std_error_percent=np.zeros_like(errors),
+                         simulation_runs=runs)
+
+
+class TestAccuracyCurve:
+    def test_error_at_and_runs_to_reach(self):
+        curve = make_curve("lut", [1, 5, 20], [30.0, 8.0, 2.0])
+        assert curve.error_at(5) == pytest.approx(8.0)
+        assert curve.runs_to_reach(10.0) == pytest.approx(5)
+        assert curve.runs_to_reach(1.0) is None
+        with pytest.raises(KeyError):
+            curve.error_at(7)
+
+    def test_rows(self):
+        curve = make_curve("bayesian", [1, 2], [5.0, 3.0])
+        rows = curve.rows()
+        assert rows[0] == (1, 5.0, 0.0, 1.0)
+
+
+class TestComputeSpeedup:
+    def test_matched_accuracy_speedup(self):
+        fast = make_curve("bayesian", [1, 2, 3], [6.0, 3.0, 2.5])
+        slow = make_curve("lut", [1, 10, 30], [40.0, 12.0, 3.0])
+        summary = compute_speedup(fast, slow, target_error_percent=3.0)
+        assert summary is not None
+        assert summary.fast_runs == pytest.approx(2)
+        assert summary.slow_runs == pytest.approx(30)
+        assert summary.speedup == pytest.approx(15.0)
+        assert "15.0x" in summary.describe()
+
+    def test_default_target_uses_loosest_best(self):
+        fast = make_curve("bayesian", [1, 2], [4.0, 2.0])
+        slow = make_curve("lut", [1, 20], [50.0, 5.0])
+        summary = compute_speedup(fast, slow)
+        assert summary is not None
+        assert summary.target_error_percent == pytest.approx(5.0)
+
+    def test_unreachable_target_returns_none(self):
+        fast = make_curve("bayesian", [1], [4.0])
+        slow = make_curve("lut", [1], [50.0])
+        assert compute_speedup(fast, slow, target_error_percent=1.0) is None
+
+    def test_crossover_budget(self):
+        fast = make_curve("bayesian", [1, 2], [4.0, 2.0])
+        slow = make_curve("lut", [1, 10, 30], [50.0, 5.0, 1.5])
+        assert crossover_budget(fast, slow) == 30
+        assert crossover_budget(slow, fast) is None
+
+
+class TestCompareCurves:
+    def test_winner_and_speedups(self):
+        curves = {
+            "bayesian": make_curve("bayesian", [1, 5], [4.0, 1.0]),
+            "lut": make_curve("lut", [1, 5], [40.0, 6.0]),
+        }
+        comparison = compare_curves(curves, reference_method="bayesian",
+                                    target_error_percent=6.0)
+        assert comparison.winner_at(1) == "bayesian"
+        assert len(comparison.speedups) == 1
+        assert comparison.speedups[0].speedup > 1.0
+
+    def test_reference_must_exist(self):
+        with pytest.raises(KeyError):
+            compare_curves({"lut": make_curve("lut", [1], [1.0])},
+                           reference_method="bayesian")
+
+    def test_format_curve_table(self):
+        curves = {
+            "bayesian": make_curve("bayesian", [1, 5], [4.0, 1.0]),
+            "lut": make_curve("lut", [1, 5], [40.0, 6.0]),
+        }
+        text = format_curve_table(curves, title="Fig. 6")
+        assert "Fig. 6" in text
+        assert "bayesian err%" in text
+        assert "40" in text
+
+
+@pytest.mark.slow
+class TestExperimentRunnerIntegration:
+    @pytest.fixture(scope="class")
+    def runner(self, historical_data):
+        counter = SimulationCounter()
+        return ExperimentRunner(
+            technology=get_technology("n14_finfet"),
+            cells=[make_cell("NOR2_X1")],
+            transitions=("fall",),
+            historical=historical_data,
+            n_validation=15,
+            rng=3,
+            counter=counter,
+        )
+
+    def test_nominal_curves_shape_and_ordering(self, runner):
+        curves = runner.nominal_curves([2, 8], methods=("bayesian", "lut"))
+        assert set(curves) == {"bayesian", "lut"}
+        bayes = curves["bayesian"]
+        lut = curves["lut"]
+        assert bayes.training_sizes == (2, 8)
+        # The proposed flow at 2 samples already beats the 2-point LUT.
+        assert bayes.error_at(2) < lut.error_at(2)
+        assert np.all(bayes.simulation_runs > 0)
+
+    def test_statistical_curves_keys(self, runner):
+        curves = runner.statistical_curves([3], n_seeds=12,
+                                           methods=("bayesian",))
+        assert ("bayesian", "mu_delay") in curves
+        assert ("bayesian", "sigma_delay") in curves
+        mu_curve = curves[("bayesian", "mu_delay")]
+        assert mu_curve.mean_error_percent[0] < 20.0
+        assert mu_curve.simulation_runs[0] == pytest.approx(3 * 12)
+
+    def test_invalid_method_rejected(self, runner):
+        with pytest.raises(ValueError):
+            runner.nominal_curves([2], methods=("magic",))
+        with pytest.raises(ValueError):
+            runner.statistical_curves([2], methods=("lse",))
+
+    def test_validation_conditions_available(self, runner):
+        assert len(runner.validation_conditions) == 15
+        assert len(runner.arcs()) == 1

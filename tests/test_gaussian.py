@@ -1,0 +1,140 @@
+"""Tests for the multivariate Gaussian density utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bayes import GaussianDensity
+
+
+def random_spd(dim: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(dim, dim))
+    return matrix @ matrix.T + dim * np.eye(dim)
+
+
+class TestConstruction:
+    def test_diagonal_covariance_from_vector(self):
+        density = GaussianDensity([0.0, 1.0], [1.0, 4.0])
+        assert np.allclose(density.covariance, np.diag([1.0, 4.0]))
+
+    def test_rejects_asymmetric_covariance(self):
+        with pytest.raises(ValueError):
+            GaussianDensity([0.0, 0.0], [[1.0, 0.5], [0.0, 1.0]])
+
+    def test_rejects_negative_definite(self):
+        with pytest.raises(ValueError):
+            GaussianDensity([0.0], [[-1.0]])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            GaussianDensity([0.0, 1.0], np.eye(3))
+
+    def test_from_samples_moments(self, rng):
+        samples = rng.multivariate_normal([1.0, -2.0], [[2.0, 0.3], [0.3, 0.5]],
+                                          size=4000)
+        density = GaussianDensity.from_samples(samples)
+        assert np.allclose(density.mean, [1.0, -2.0], atol=0.1)
+        assert density.covariance[0, 0] == pytest.approx(2.0, rel=0.15)
+
+    def test_from_samples_shrinkage(self, rng):
+        samples = rng.multivariate_normal([0.0, 0.0], [[1.0, 0.9], [0.9, 1.0]],
+                                          size=500)
+        full = GaussianDensity.from_samples(samples, shrinkage=0.0)
+        shrunk = GaussianDensity.from_samples(samples, shrinkage=1.0)
+        assert abs(shrunk.covariance[0, 1]) < abs(full.covariance[0, 1])
+
+    def test_isotropic(self):
+        density = GaussianDensity.isotropic([1.0, 2.0, 3.0], 0.25)
+        assert np.allclose(density.standard_deviations(), 0.5)
+        with pytest.raises(ValueError):
+            GaussianDensity.isotropic([0.0], 0.0)
+
+    def test_information_round_trip(self):
+        cov = random_spd(3, 1)
+        density = GaussianDensity([1.0, -1.0, 0.5], cov)
+        precision, shift = density.to_information()
+        rebuilt = GaussianDensity.from_information(precision, shift)
+        assert np.allclose(rebuilt.mean, density.mean, atol=1e-8)
+        assert np.allclose(rebuilt.covariance, density.covariance, atol=1e-6)
+
+
+class TestProbabilityOperations:
+    def test_log_pdf_peak_at_mean(self):
+        density = GaussianDensity([0.5, -0.5], np.eye(2))
+        assert density.log_pdf([0.5, -0.5]) > density.log_pdf([1.5, -0.5])
+
+    def test_log_pdf_matches_scipy(self):
+        from scipy.stats import multivariate_normal
+
+        cov = random_spd(3, 2)
+        mean = np.array([0.1, 0.2, 0.3])
+        density = GaussianDensity(mean, cov)
+        x = np.array([0.5, -0.2, 0.1])
+        expected = multivariate_normal(mean, cov).logpdf(x)
+        assert density.log_pdf(x) == pytest.approx(expected, rel=1e-6)
+
+    def test_mahalanobis_zero_at_mean(self):
+        density = GaussianDensity([1.0, 1.0], np.eye(2))
+        assert density.mahalanobis([1.0, 1.0]) == pytest.approx(0.0, abs=1e-6)
+
+    def test_sampling_moments(self):
+        cov = np.array([[0.5, 0.2], [0.2, 0.8]])
+        density = GaussianDensity([2.0, -1.0], cov)
+        samples = density.sample(20000, rng=3)
+        assert np.allclose(samples.mean(axis=0), [2.0, -1.0], atol=0.05)
+        assert np.allclose(np.cov(samples, rowvar=False), cov, atol=0.05)
+
+    def test_multiply_of_identical_gaussians_halves_covariance(self):
+        density = GaussianDensity([1.0, 2.0], np.eye(2))
+        product = density.multiply(density)
+        assert np.allclose(product.mean, [1.0, 2.0], atol=1e-8)
+        assert np.allclose(product.covariance, 0.5 * np.eye(2), atol=1e-6)
+
+    def test_multiply_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            GaussianDensity([0.0], [[1.0]]).multiply(GaussianDensity([0.0, 0.0],
+                                                                     np.eye(2)))
+
+    def test_marginal_and_condition(self):
+        cov = np.array([[1.0, 0.6], [0.6, 2.0]])
+        density = GaussianDensity([0.0, 1.0], cov)
+        marginal = density.marginal([1])
+        assert marginal.dim == 1
+        assert marginal.covariance[0, 0] == pytest.approx(2.0)
+        conditional = density.condition([1], [2.0])
+        # Conditioning on a higher-than-mean second value raises the first mean.
+        assert conditional.mean[0] > 0.0
+        assert conditional.covariance[0, 0] < 1.0
+
+    def test_condition_on_everything_raises(self):
+        density = GaussianDensity([0.0, 1.0], np.eye(2))
+        with pytest.raises(ValueError):
+            density.condition([0, 1], [0.0, 1.0])
+
+    def test_kl_divergence_properties(self):
+        a = GaussianDensity([0.0, 0.0], np.eye(2))
+        b = GaussianDensity([1.0, 0.0], np.eye(2))
+        assert a.kl_divergence(a) == pytest.approx(0.0, abs=1e-8)
+        assert a.kl_divergence(b) == pytest.approx(0.5, rel=1e-6)
+
+    def test_scaled_covariance(self):
+        density = GaussianDensity([0.0], [[2.0]])
+        widened = density.scaled_covariance(3.0)
+        assert widened.covariance[0, 0] == pytest.approx(6.0)
+        with pytest.raises(ValueError):
+            density.scaled_covariance(0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_multiply_is_commutative(self, seed):
+        cov_a = random_spd(2, seed)
+        cov_b = random_spd(2, seed + 1)
+        a = GaussianDensity([0.0, 1.0], cov_a)
+        b = GaussianDensity([2.0, -1.0], cov_b)
+        ab = a.multiply(b)
+        ba = b.multiply(a)
+        assert np.allclose(ab.mean, ba.mean, atol=1e-8)
+        assert np.allclose(ab.covariance, ba.covariance, atol=1e-8)

@@ -1,0 +1,81 @@
+"""Tests for the library input space and its samplers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.characterization import InputCondition, InputSpace
+from repro.characterization.input_space import conditions_to_arrays
+
+
+class TestInputCondition:
+    def test_rejects_non_positive_values(self):
+        with pytest.raises(ValueError):
+            InputCondition(sin=0.0, cload=1e-15, vdd=0.8)
+        with pytest.raises(ValueError):
+            InputCondition(sin=1e-12, cload=-1e-15, vdd=0.8)
+
+    def test_tuple_and_describe(self):
+        condition = InputCondition(sin=5.09e-12, cload=1.67e-15, vdd=0.734)
+        assert condition.as_tuple() == (5.09e-12, 1.67e-15, 0.734)
+        text = condition.describe()
+        assert "5.09ps" in text and "1.67fF" in text and "0.734V" in text
+
+    def test_conditions_to_arrays(self):
+        conditions = [InputCondition(1e-12, 1e-15, 0.7),
+                      InputCondition(2e-12, 2e-15, 0.8)]
+        sin, cload, vdd = conditions_to_arrays(conditions)
+        assert np.allclose(sin, [1e-12, 2e-12])
+        assert np.allclose(vdd, [0.7, 0.8])
+        with pytest.raises(ValueError):
+            conditions_to_arrays([])
+
+
+class TestInputSpace:
+    def test_samples_stay_in_range(self, tech14):
+        space = InputSpace(tech14)
+        for condition in space.sample_random(100, rng=0):
+            assert tech14.slew_range[0] <= condition.sin <= tech14.slew_range[1]
+            assert tech14.cload_range[0] <= condition.cload <= tech14.cload_range[1]
+            assert tech14.vdd_range[0] <= condition.vdd <= tech14.vdd_range[1]
+
+    def test_lhs_sample_count(self, tech14):
+        assert len(InputSpace(tech14).sample_lhs(7, rng=1)) == 7
+
+    def test_grid_size(self, tech28):
+        grid = InputSpace(tech28).grid(3, 4, 2)
+        assert len(grid) == 24
+        vdds = sorted({c.vdd for c in grid})
+        assert len(vdds) == 2
+
+    def test_grid_for_budget_never_exceeds(self, tech14):
+        space = InputSpace(tech14)
+        for budget in (1, 2, 5, 10, 27, 60, 100):
+            grid = space.grid_for_budget(budget)
+            assert 1 <= len(grid) <= budget
+
+    def test_grid_for_budget_improves_with_budget(self, tech14):
+        space = InputSpace(tech14)
+        assert len(space.grid_for_budget(64)) > len(space.grid_for_budget(8))
+        with pytest.raises(ValueError):
+            space.grid_for_budget(0)
+
+    def test_normalize_unit_cube(self, tech14):
+        space = InputSpace(tech14)
+        corners = space.corners()
+        unit = space.normalize(corners)
+        assert unit.shape == (8, 3)
+        assert np.all((unit >= -1e-9) & (unit <= 1.0 + 1e-9))
+        center_unit = space.normalize([space.center()])
+        assert np.allclose(center_unit, 0.5)
+
+    def test_center_in_range(self, tech45):
+        center = InputSpace(tech45).center()
+        assert tech45.vdd_range[0] < center.vdd < tech45.vdd_range[1]
+
+    def test_deterministic_with_seed(self, tech14):
+        space = InputSpace(tech14)
+        a = space.sample_random(5, rng=3)
+        b = space.sample_random(5, rng=3)
+        assert [c.as_tuple() for c in a] == [c.as_tuple() for c in b]

@@ -1,0 +1,146 @@
+"""Tests for NLDM tables and the Liberty writer / parser round trip."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cells import Transition
+from repro.liberty import (
+    CellTimingData,
+    LibertyWriter,
+    NldmTable,
+    TimingTableSet,
+    build_nldm_table,
+    parse_liberty,
+)
+
+
+def linear_response(sin: float, cload: float) -> float:
+    return 2e-12 + 0.2 * sin + 1.5e3 * cload
+
+
+def sample_table() -> NldmTable:
+    return build_nldm_table(linear_response, [1e-12, 5e-12, 10e-12],
+                            [0.5e-15, 2e-15, 5e-15])
+
+
+def sample_cell(with_sigma: bool = True) -> CellTimingData:
+    table = sample_table()
+    sigma = build_nldm_table(lambda s, c: 0.1 * linear_response(s, c),
+                             [1e-12, 5e-12, 10e-12], [0.5e-15, 2e-15, 5e-15])
+    arcs = [TimingTableSet(related_pin="A", output_transition=Transition.FALL,
+                           delay=table, transition=table,
+                           sigma_delay=sigma if with_sigma else None)]
+    return CellTimingData(name="NAND2_X1", function="!(A & B)",
+                          input_pin_caps_pf={"A": 0.0012, "B": 0.0012},
+                          arcs=arcs, area=1.5)
+
+
+class TestNldmTable:
+    def test_lookup_exact_grid_point(self):
+        table = sample_table()
+        assert table.lookup(5e-12, 2e-15) == pytest.approx(linear_response(5e-12, 2e-15),
+                                                           rel=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(sin=st.floats(min_value=1e-12, max_value=10e-12),
+           cload=st.floats(min_value=0.5e-15, max_value=5e-15))
+    def test_bilinear_reproduces_linear_function(self, sin, cload):
+        table = sample_table()
+        assert table.lookup(sin, cload) == pytest.approx(linear_response(sin, cload),
+                                                         rel=1e-6)
+
+    def test_clamps_outside_range(self):
+        table = sample_table()
+        assert table.lookup(1e-9, 1e-12) == pytest.approx(table.lookup(10e-12, 5e-15))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NldmTable(np.array([1.0, 0.5]), np.array([1.0]), np.zeros((2, 1)))
+        with pytest.raises(ValueError):
+            NldmTable(np.array([1.0, 2.0]), np.array([1.0]), np.zeros((3, 1)))
+        with pytest.raises(ValueError):
+            build_nldm_table(linear_response, [], [1e-15])
+
+
+class TestWriter:
+    def test_render_contains_expected_groups(self):
+        writer = LibertyWriter("testlib", nominal_voltage=0.9)
+        writer.add_cell(sample_cell())
+        text = writer.render()
+        for token in ("library (testlib)", "lu_table_template", "cell (NAND2_X1)",
+                      "cell_fall", "fall_transition", "ocv_sigma_cell_fall",
+                      'related_pin : "A"'):
+            assert token in text
+
+    def test_duplicate_cell_rejected(self):
+        writer = LibertyWriter("testlib", nominal_voltage=0.9)
+        writer.add_cell(sample_cell())
+        with pytest.raises(ValueError):
+            writer.add_cell(sample_cell())
+
+    def test_empty_library_rejected(self):
+        writer = LibertyWriter("testlib", nominal_voltage=0.9)
+        with pytest.raises(ValueError):
+            writer.render()
+
+    def test_cell_without_arcs_rejected(self):
+        writer = LibertyWriter("testlib", nominal_voltage=0.9)
+        cell = sample_cell()
+        cell.arcs = []
+        with pytest.raises(ValueError):
+            writer.add_cell(cell)
+
+    def test_invalid_constructor_arguments(self):
+        with pytest.raises(ValueError):
+            LibertyWriter("", nominal_voltage=0.9)
+        with pytest.raises(ValueError):
+            LibertyWriter("x", nominal_voltage=0.0)
+
+    def test_write_to_file(self, tmp_path):
+        writer = LibertyWriter("testlib", nominal_voltage=0.9)
+        writer.add_cell(sample_cell())
+        path = tmp_path / "out.lib"
+        writer.write(str(path))
+        assert path.read_text().startswith("library (testlib)")
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self):
+        writer = LibertyWriter("rt_lib", nominal_voltage=0.85, temperature_c=50.0)
+        writer.add_cell(sample_cell())
+        parsed = parse_liberty(writer.render())
+        assert parsed.name == "rt_lib"
+        assert parsed.nom_voltage == pytest.approx(0.85)
+        assert parsed.nom_temperature == pytest.approx(50.0)
+        cell = parsed.cell("NAND2_X1")
+        assert cell.area == pytest.approx(1.5)
+        assert cell.function == "!(A & B)"
+        assert cell.input_pin_caps_pf["B"] == pytest.approx(0.0012)
+        arc = cell.arcs[0]
+        assert arc.related_pin == "A"
+        assert arc.output_transition is Transition.FALL
+        assert arc.sigma_delay is not None
+        # Table values survive the text round trip.
+        assert arc.delay.lookup(5e-12, 2e-15) == pytest.approx(
+            linear_response(5e-12, 2e-15), rel=1e-4)
+
+    def test_round_trip_without_sigma(self):
+        writer = LibertyWriter("rt_lib", nominal_voltage=0.85)
+        writer.add_cell(sample_cell(with_sigma=False))
+        parsed = parse_liberty(writer.render())
+        assert parsed.cell("NAND2_X1").arcs[0].sigma_delay is None
+
+    def test_parser_error_handling(self):
+        with pytest.raises(ValueError):
+            parse_liberty("")
+        with pytest.raises(ValueError):
+            parse_liberty("cell (X) {\n}\n")
+        with pytest.raises(ValueError):
+            parse_liberty("library (x) {\n  area : 1;\n")
+        with pytest.raises(KeyError):
+            writer = LibertyWriter("lib", nominal_voltage=1.0)
+            writer.add_cell(sample_cell())
+            parse_liberty(writer.render()).cell("MISSING")

@@ -1,0 +1,114 @@
+"""Tests for historical-library characterization and prior learning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.prior_learning import (
+    TimingPrior,
+    learn_prior,
+    learn_priors,
+    shared_reference_conditions,
+)
+
+
+class TestSharedReferenceConditions:
+    def test_shape_and_range(self):
+        unit = shared_reference_conditions(12, rng=1)
+        assert unit.shape == (12, 3)
+        assert np.all((unit >= 0.0) & (unit <= 1.0))
+
+    def test_deterministic(self):
+        assert np.allclose(shared_reference_conditions(8, rng=2),
+                           shared_reference_conditions(8, rng=2))
+
+    def test_too_few_conditions_rejected(self):
+        with pytest.raises(ValueError):
+            shared_reference_conditions(3)
+
+
+class TestHistoricalLibraryData:
+    def test_parameter_matrix_shapes(self, historical_data):
+        for data in historical_data:
+            matrix = data.parameter_matrix("delay")
+            assert matrix.shape == (2, 4)  # two cells, FALL arcs only
+            assert np.all(np.isfinite(matrix))
+
+    def test_fits_are_accurate(self, historical_data):
+        for data in historical_data:
+            assert data.mean_fit_error("delay") < 0.05
+            assert data.mean_fit_error("slew") < 0.05
+
+    def test_residuals_per_condition(self, historical_data, reference_conditions):
+        for data in historical_data:
+            assert data.delay_residuals.shape == (reference_conditions.shape[0],)
+            assert data.simulation_runs == 2 * reference_conditions.shape[0]
+
+    def test_unknown_response_rejected(self, historical_data):
+        with pytest.raises(ValueError):
+            historical_data[0].parameter_matrix("power")
+
+    def test_parameters_similar_across_technologies(self, historical_data):
+        """The cross-node similarity that justifies the prior (Table I)."""
+        means = [data.mean_parameters("delay") for data in historical_data]
+        kd_values = [m[0] for m in means]
+        assert max(kd_values) - min(kd_values) < 0.2
+
+
+class TestLearnPrior:
+    def test_bp_prior_structure(self, delay_prior, historical_data):
+        assert isinstance(delay_prior, TimingPrior)
+        assert delay_prior.density.dim == 4
+        assert delay_prior.method == "bp"
+        assert len(delay_prior.technology_names) == len(historical_data)
+        assert np.all(delay_prior.density.standard_deviations() > 0)
+
+    def test_prior_mean_is_plausible(self, delay_prior):
+        mean = delay_prior.density.mean
+        assert 0.1 < mean[0] < 1.0          # kd
+        assert 0.0 < mean[1] < 10.0         # Cpar in fF
+        assert -0.6 < mean[2] < 0.2         # V'
+        assert 0.0 <= mean[3] < 5.0         # alpha in fF/ps
+
+    def test_empirical_and_bp_agree_on_mean(self, historical_data):
+        bp = learn_prior(historical_data, response="delay", method="bp")
+        empirical = learn_prior(historical_data, response="delay", method="empirical")
+        assert np.allclose(bp.density.mean, empirical.density.mean, atol=0.2)
+
+    def test_slew_prior_differs_from_delay_prior(self, delay_prior, slew_prior):
+        assert not np.allclose(delay_prior.density.mean, slew_prior.density.mean)
+
+    def test_single_library_falls_back_to_empirical(self, historical_data):
+        prior = learn_prior(historical_data[:1], response="delay", method="bp")
+        assert prior.method == "empirical"
+
+    def test_prior_widening(self, historical_data):
+        narrow = learn_prior(historical_data, response="delay")
+        wide = learn_prior(historical_data, response="delay", prior_widening=4.0)
+        assert np.all(wide.density.standard_deviations()
+                      >= narrow.density.standard_deviations())
+
+    def test_invalid_arguments(self, historical_data):
+        with pytest.raises(ValueError):
+            learn_prior([], response="delay")
+        with pytest.raises(ValueError):
+            learn_prior(historical_data, response="delay", method="magic")
+        with pytest.raises(ValueError):
+            learn_prior(historical_data, response="power")
+        with pytest.raises(ValueError):
+            learn_prior(historical_data, response="delay", prior_widening=0.0)
+
+    def test_learn_priors_returns_both_responses(self, historical_data):
+        priors = learn_priors(historical_data)
+        assert set(priors) == {"delay", "slew"}
+        assert priors["delay"].response == "delay"
+
+    def test_precision_model_attached(self, delay_prior):
+        betas = delay_prior.precision_model.beta(np.array([[0.5, 0.5, 0.5]]))
+        assert betas[0] > 0
+
+    def test_describe(self, delay_prior):
+        text = delay_prior.describe()
+        assert "delay prior" in text
+        assert "bp" in text

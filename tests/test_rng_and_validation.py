@@ -1,0 +1,90 @@
+"""Tests for random-number helpers and argument validation utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs, stable_seed_from_name
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_nonempty,
+    check_positive,
+    check_same_length,
+)
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(1)
+        assert ensure_rng(generator) is generator
+
+
+class TestSpawnRngs:
+    def test_children_are_independent_and_deterministic(self):
+        first = [g.random(3) for g in spawn_rngs(7, 3)]
+        second = [g.random(3) for g in spawn_rngs(7, 3)]
+        for a, b in zip(first, second):
+            assert np.allclose(a, b)
+        assert not np.allclose(first[0], first[1])
+
+    def test_zero_count(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed_from_name("n14_finfet") == stable_seed_from_name("n14_finfet")
+
+    def test_different_names_differ(self):
+        assert stable_seed_from_name("a") != stable_seed_from_name("b")
+
+    def test_base_seed_changes_result(self):
+        assert (stable_seed_from_name("x", base_seed=1)
+                != stable_seed_from_name("x", base_seed=2))
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_check_positive_non_strict(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+    def test_check_in_range(self):
+        assert check_in_range("v", 0.5, 0.0, 1.0) == 0.5
+        with pytest.raises(ValueError):
+            check_in_range("v", 1.5, 0.0, 1.0)
+
+    def test_check_finite(self):
+        array = check_finite("a", [1.0, 2.0])
+        assert array.shape == (2,)
+        with pytest.raises(ValueError):
+            check_finite("a", [1.0, np.inf])
+
+    def test_check_same_length(self):
+        assert check_same_length(a=[1, 2], b=[3, 4]) == 2
+        with pytest.raises(ValueError):
+            check_same_length(a=[1], b=[1, 2])
+
+    def test_check_nonempty(self):
+        assert check_nonempty("c", (1,)) == [1]
+        with pytest.raises(ValueError):
+            check_nonempty("c", [])

@@ -1,0 +1,197 @@
+"""Tests for netlists, timing views, STA, and Monte Carlo SSTA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sta import (
+    CellTiming,
+    Gate,
+    MonteCarloSsta,
+    Netlist,
+    StaticTimingAnalyzer,
+    StatisticalTimingView,
+    TimingView,
+    c17_benchmark,
+    inverter_chain,
+    nand_nor_tree,
+)
+
+#: Simple synthetic timing: delay grows linearly with load, slew is constant.
+_UNIT_DELAY = 10e-12
+_LOAD_SLOPE = 2e3          # seconds per farad
+_INPUT_CAP = 1e-15
+
+
+def nominal_callback(input_slew_s: float, load_cap_f: float):
+    delay = _UNIT_DELAY + _LOAD_SLOPE * load_cap_f + 0.1 * input_slew_s
+    return delay, 4e-12
+
+
+def make_nominal_view(cell_names=("INV_X1", "NAND2_X1", "NOR2_X1")) -> TimingView:
+    cells = {name: CellTiming(cell_name=name, input_cap_f=_INPUT_CAP,
+                              callback=nominal_callback)
+             for name in cell_names}
+    return TimingView(vdd=0.9, cells=cells)
+
+
+def make_statistical_view(n_seeds=16, spread=1e-12,
+                          cell_names=("INV_X1", "NAND2_X1", "NOR2_X1")
+                          ) -> StatisticalTimingView:
+    rng = np.random.default_rng(0)
+    offsets = {name: rng.normal(0.0, spread, size=n_seeds) for name in cell_names}
+
+    def make_callback(name):
+        def callback(input_slew_s, load_cap_f):
+            base, slew = nominal_callback(input_slew_s, load_cap_f)
+            return base + offsets[name], np.full(n_seeds, slew)
+        return callback
+
+    cells = {name: CellTiming(cell_name=name, input_cap_f=_INPUT_CAP,
+                              callback=make_callback(name))
+             for name in cell_names}
+    return StatisticalTimingView(vdd=0.9, cells=cells, n_seeds=n_seeds)
+
+
+class TestNetlist:
+    def test_generators_validate(self):
+        for netlist in (inverter_chain(5), nand_nor_tree(8), c17_benchmark()):
+            netlist.validate()
+            assert netlist.gates
+
+    def test_inverter_chain_structure(self):
+        chain = inverter_chain(3)
+        assert len(chain.gates) == 3
+        assert chain.primary_inputs == ["in"]
+        assert chain.external_load("out") > 0
+
+    def test_nand_nor_tree_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            nand_nor_tree(6)
+
+    def test_duplicate_driver_rejected(self):
+        netlist = Netlist("x", ["a"], ["z"])
+        netlist.add_gate(Gate("g1", "INV_X1", ("a",), "z"))
+        with pytest.raises(ValueError):
+            netlist.add_gate(Gate("g2", "INV_X1", ("a",), "z"))
+
+    def test_missing_driver_detected(self):
+        netlist = Netlist("x", ["a"], ["z"])
+        netlist.add_gate(Gate("g1", "INV_X1", ("floating",), "z"))
+        with pytest.raises(ValueError, match="no driver"):
+            netlist.validate()
+
+    def test_combinational_loop_detected(self):
+        netlist = Netlist("loop", ["a"], ["z"])
+        netlist.add_gate(Gate("g1", "NAND2_X1", ("a", "y"), "z"))
+        netlist.add_gate(Gate("g2", "INV_X1", ("z",), "y"))
+        with pytest.raises(ValueError, match="loop"):
+            netlist.validate()
+
+    def test_fanout_and_nets(self):
+        c17 = c17_benchmark()
+        fanout = [g.name for g in c17.fanout_gates("N11")]
+        assert set(fanout) == {"g16", "g19"}
+        assert "N22" in c17.nets()
+
+    def test_gate_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("g", "INV_X1", ("a",), "a")
+
+
+class TestTimingView:
+    def test_basic_queries(self):
+        view = make_nominal_view()
+        assert view.has_cell("INV_X1")
+        assert not view.has_cell("XOR2_X1")
+        delay, slew = view.gate_timing("INV_X1", 5e-12, 2e-15)
+        assert delay > _UNIT_DELAY
+        assert slew == pytest.approx(4e-12)
+        with pytest.raises(KeyError):
+            view.input_capacitance("XOR2_X1")
+
+    def test_statistical_view_seed_checking(self):
+        view = make_statistical_view(n_seeds=8)
+        delay, slew = view.gate_timing_samples("INV_X1", 5e-12, 2e-15)
+        assert delay.shape == (8,)
+        assert slew.shape == (8,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimingView(vdd=0.0, cells={"INV_X1": CellTiming("INV_X1", 1e-15,
+                                                            nominal_callback)})
+        with pytest.raises(ValueError):
+            TimingView(vdd=0.9, cells={})
+        with pytest.raises(ValueError):
+            StatisticalTimingView(vdd=0.9, cells={"INV_X1": CellTiming(
+                "INV_X1", 1e-15, nominal_callback)}, n_seeds=1)
+
+
+class TestStaticTimingAnalyzer:
+    def test_chain_delay_adds_up(self):
+        chain = inverter_chain(4, load_f=2e-15)
+        view = make_nominal_view()
+        report = StaticTimingAnalyzer(chain, view, primary_input_slew=5e-12).run()
+        # Interior stages drive one inverter input; the last stage drives the
+        # external load.
+        interior = _UNIT_DELAY + _LOAD_SLOPE * _INPUT_CAP + 0.1 * 5e-12
+        last = _UNIT_DELAY + _LOAD_SLOPE * 2e-15 + 0.1 * 4e-12
+        expected = interior + 2 * (_UNIT_DELAY + _LOAD_SLOPE * _INPUT_CAP
+                                   + 0.1 * 4e-12) + last
+        assert report.critical_delay == pytest.approx(expected, rel=1e-6)
+        assert report.critical_path == ("u1", "u2", "u3", "u4")
+        assert report.critical_output == "out"
+
+    def test_c17_critical_path_depth(self):
+        report = StaticTimingAnalyzer(c17_benchmark(), make_nominal_view()).run()
+        # The deepest paths in C17 have three levels of logic.
+        assert len(report.critical_path) == 3
+        assert report.critical_delay > 3 * _UNIT_DELAY
+
+    def test_missing_cell_rejected(self):
+        view = make_nominal_view(cell_names=("INV_X1",))
+        with pytest.raises(KeyError):
+            StaticTimingAnalyzer(c17_benchmark(), view)
+
+    def test_arrival_monotone_along_path(self):
+        netlist = nand_nor_tree(4)
+        report = StaticTimingAnalyzer(netlist, make_nominal_view()).run()
+        arrivals = [report.arrival_times[netlist.gate(name).output_net]
+                    for name in report.critical_path]
+        assert arrivals == sorted(arrivals)
+
+    def test_invalid_input_slew(self):
+        with pytest.raises(ValueError):
+            StaticTimingAnalyzer(inverter_chain(2), make_nominal_view(),
+                                 primary_input_slew=0.0)
+
+
+class TestMonteCarloSsta:
+    def test_distribution_statistics(self):
+        ssta = MonteCarloSsta(c17_benchmark(), make_statistical_view(n_seeds=64))
+        report = ssta.run()
+        assert report.delay_samples.shape == (64,)
+        assert report.summary.std > 0
+        assert set(report.output_summaries) == {"N22", "N23"}
+        assert report.summary.mean >= max(s.mean for s in
+                                          report.output_summaries.values()) - 1e-15
+
+    def test_mean_matches_deterministic_sta(self):
+        netlist = inverter_chain(3)
+        sta = StaticTimingAnalyzer(netlist, make_nominal_view()).run()
+        ssta = MonteCarloSsta(netlist, make_statistical_view(n_seeds=256,
+                                                             spread=0.2e-12)).run()
+        assert ssta.summary.mean == pytest.approx(sta.critical_delay, rel=0.05)
+
+    def test_variation_accumulates_with_depth(self):
+        shallow = MonteCarloSsta(inverter_chain(2),
+                                 make_statistical_view(n_seeds=128)).run()
+        deep = MonteCarloSsta(inverter_chain(8),
+                              make_statistical_view(n_seeds=128)).run()
+        assert deep.summary.std > shallow.summary.std
+
+    def test_missing_cell_rejected(self):
+        view = make_statistical_view(cell_names=("INV_X1",))
+        with pytest.raises(KeyError):
+            MonteCarloSsta(c17_benchmark(), view)

@@ -1,0 +1,214 @@
+"""Tests for the synthetic PDKs, process variation, corners, and samplers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices import Polarity
+from repro.technology import (
+    ProcessCorner,
+    ProcessVariationModel,
+    TechnologyNode,
+    VariationSample,
+    corner_sample,
+    full_factorial_grid,
+    get_technology,
+    historical_technologies,
+    latin_hypercube,
+    list_technologies,
+    random_uniform,
+    scale_to_ranges,
+)
+from repro.technology.pdk import DEFAULT_HISTORICAL_SET, TECHNOLOGY_REGISTRY
+
+
+class TestRegistry:
+    def test_all_nodes_construct(self):
+        for name in TECHNOLOGY_REGISTRY:
+            node = get_technology(name)
+            assert isinstance(node, TechnologyNode)
+            assert node.name == name
+
+    def test_list_sorted_by_feature_size(self):
+        names = list_technologies()
+        sizes = [get_technology(name).node_nm for name in names]
+        assert sizes == sorted(sizes)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown technology"):
+            get_technology("n7_dreams")
+
+    def test_historical_excludes_target(self):
+        nodes = historical_technologies(exclude="n14_finfet")
+        assert all(node.name != "n14_finfet" for node in nodes)
+        assert len(nodes) == len(DEFAULT_HISTORICAL_SET) - 1
+
+    def test_historical_flavor_filter(self):
+        nodes = historical_technologies(flavor="hp")
+        assert all(node.flavor == "hp" for node in nodes)
+
+    def test_historical_sorted_newest_first(self):
+        years = [node.year for node in historical_technologies()]
+        assert years == sorted(years, reverse=True)
+
+    def test_finfet_nodes_use_virtual_source(self):
+        node = get_technology("n14_finfet")
+        assert node.device_model.__name__ == "VirtualSourceMOSFET"
+        planar = get_technology("n45_bulk")
+        assert planar.device_model.__name__ == "AlphaPowerMOSFET"
+
+
+class TestTechnologyNode:
+    def test_make_devices_have_correct_polarity(self, tech14):
+        assert tech14.make_nmos(0.5).polarity is Polarity.NMOS
+        assert tech14.make_pmos(1.0).polarity is Polarity.PMOS
+
+    def test_newer_node_drives_more_current_per_um(self, tech14, tech45):
+        new = float(tech14.make_nmos(1.0).on_current(tech14.vdd_nominal))
+        old = float(tech45.make_nmos(1.0).on_current(tech45.vdd_nominal))
+        assert new > old
+
+    def test_input_ranges_ordering(self, tech14):
+        ranges = tech14.input_ranges()
+        assert set(ranges) == {"sin", "cload", "vdd"}
+        for low, high in ranges.values():
+            assert 0 < low < high
+
+    def test_clip_vdd(self, tech14):
+        low, high = tech14.vdd_range
+        assert tech14.clip_vdd(0.0) == low
+        assert tech14.clip_vdd(5.0) == high
+
+    def test_describe_mentions_name(self, tech28):
+        assert "n28_bulk" in tech28.describe()
+
+    def test_variation_devices(self, tech28):
+        variation = tech28.variation.sample(4, rng=0)
+        nmos = tech28.make_nmos(0.5, variation)
+        currents = nmos.current(tech28.vdd_nominal, tech28.vdd_nominal)
+        assert currents.shape == (4,)
+        assert np.std(currents) > 0
+
+
+class TestVariationSample:
+    def test_nominal_is_identity(self):
+        nominal = VariationSample.nominal(3)
+        assert nominal.n_seeds == 3
+        assert np.allclose(nominal.delta_vth_nmos, 0.0)
+        assert np.allclose(nominal.drive_mult_pmos, 1.0)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            VariationSample(
+                delta_vth_nmos=np.zeros(3), delta_vth_pmos=np.zeros(2),
+                drive_mult_nmos=np.ones(3), drive_mult_pmos=np.ones(3),
+                leff_mult=np.ones(3), cap_mult=np.ones(3))
+
+    def test_subset(self):
+        sample = ProcessVariationModel().sample(10, rng=1)
+        subset = sample.subset([0, 4, 7])
+        assert subset.n_seeds == 3
+        assert subset.delta_vth_nmos[1] == sample.delta_vth_nmos[4]
+
+
+class TestProcessVariationModel:
+    def test_sample_statistics(self):
+        model = ProcessVariationModel(sigma_vth_global=0.02, avt_mv_um=0.0)
+        sample = model.sample(4000, rng=3)
+        assert np.std(sample.delta_vth_nmos) == pytest.approx(0.02, rel=0.1)
+        assert np.mean(sample.drive_mult_nmos) == pytest.approx(1.0, rel=0.05)
+
+    def test_nmos_pmos_correlation(self):
+        model = ProcessVariationModel(sigma_vth_global=0.03, avt_mv_um=0.0,
+                                      nmos_pmos_vth_correlation=0.9)
+        sample = model.sample(4000, rng=4)
+        correlation = np.corrcoef(sample.delta_vth_nmos, sample.delta_vth_pmos)[0, 1]
+        assert correlation == pytest.approx(0.9, abs=0.1)
+
+    def test_local_sigma_pelgrom_scaling(self):
+        model = ProcessVariationModel(avt_mv_um=2.0)
+        small = model.local_vth_sigma(width_um=0.2, length_um=0.03)
+        large = model.local_vth_sigma(width_um=0.8, length_um=0.03)
+        assert small == pytest.approx(2.0 * large, rel=1e-9)
+
+    def test_invalid_inputs(self):
+        model = ProcessVariationModel()
+        with pytest.raises(ValueError):
+            model.sample(0)
+        with pytest.raises(ValueError):
+            model.local_vth_sigma(width_um=-1.0)
+
+    def test_total_sigma_combines_components(self):
+        model = ProcessVariationModel(sigma_vth_global=0.01, avt_mv_um=1.0)
+        assert model.total_vth_sigma() > 0.01
+
+
+class TestCorners:
+    def test_tt_is_nominal(self):
+        sample = corner_sample(ProcessVariationModel(), ProcessCorner.TT)
+        assert float(sample.delta_vth_nmos[0]) == 0.0
+        assert float(sample.drive_mult_nmos[0]) == 1.0
+
+    def test_ff_is_faster_than_ss(self):
+        model = ProcessVariationModel()
+        fast = corner_sample(model, ProcessCorner.FF)
+        slow = corner_sample(model, ProcessCorner.SS)
+        assert fast.delta_vth_nmos[0] < slow.delta_vth_nmos[0]
+        assert fast.drive_mult_nmos[0] > slow.drive_mult_nmos[0]
+
+    def test_skewed_corner(self):
+        sample = corner_sample(ProcessVariationModel(), ProcessCorner.FS)
+        assert sample.delta_vth_nmos[0] < 0 < sample.delta_vth_pmos[0]
+
+    def test_negative_sigma_raises(self):
+        with pytest.raises(ValueError):
+            corner_sample(ProcessVariationModel(), ProcessCorner.FF, n_sigma=-1.0)
+
+
+class TestSamplers:
+    def test_random_uniform_shape_and_range(self):
+        points = random_uniform(50, 3, rng=0)
+        assert points.shape == (50, 3)
+        assert np.all((points >= 0.0) & (points <= 1.0))
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=40))
+    def test_latin_hypercube_stratification(self, n):
+        points = latin_hypercube(n, 2, rng=1)
+        for dim in range(2):
+            strata = np.floor(points[:, dim] * n).astype(int)
+            assert sorted(strata.tolist()) == list(range(n))
+
+    def test_full_factorial_grid(self):
+        grid = full_factorial_grid([2, 3, 2])
+        assert grid.shape == (12, 3)
+        assert np.all((grid >= 0.0) & (grid <= 1.0))
+
+    def test_single_level_dimension_centred(self):
+        grid = full_factorial_grid([1, 2])
+        assert np.all(grid[:, 0] == 0.5)
+
+    def test_scale_to_ranges_linear_and_log(self):
+        unit = np.array([[0.0, 0.0], [1.0, 1.0]])
+        scaled = scale_to_ranges(unit, [(1.0, 3.0), (1e-15, 1e-13)],
+                                 log_scale=[False, True])
+        assert scaled[0, 0] == pytest.approx(1.0)
+        assert scaled[1, 0] == pytest.approx(3.0)
+        assert scaled[0, 1] == pytest.approx(1e-15)
+        assert scaled[1, 1] == pytest.approx(1e-13)
+
+    def test_scale_to_ranges_validation(self):
+        with pytest.raises(ValueError):
+            scale_to_ranges(np.zeros((2, 2)), [(0, 1)])
+        with pytest.raises(ValueError):
+            scale_to_ranges(np.zeros((2, 1)), [(1.0, 0.5)])
+
+    def test_invalid_sampler_arguments(self):
+        with pytest.raises(ValueError):
+            random_uniform(0, 3)
+        with pytest.raises(ValueError):
+            latin_hypercube(5, 0)
+        with pytest.raises(ValueError):
+            full_factorial_grid([])

@@ -1,0 +1,139 @@
+"""Tests for the four-parameter compact timing model and its fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.timing_model import (
+    CompactTimingModel,
+    DEFAULT_INITIAL_GUESS,
+    TimingModelParameters,
+    fit_least_squares,
+)
+from repro.utils.units import FEMTO, PICO
+
+
+def synthetic_observations(params: TimingModelParameters, n: int = 20, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    sin = rng.uniform(1e-12, 15e-12, n)
+    cload = rng.uniform(0.2e-15, 6e-15, n)
+    vdd = rng.uniform(0.65, 1.0, n)
+    ieff = 4e-4 * (vdd - 0.3)
+    model = CompactTimingModel()
+    response = model.evaluate(params, sin, cload, vdd, ieff)
+    return sin, cload, vdd, ieff, response
+
+
+class TestParameters:
+    def test_array_round_trip(self):
+        params = TimingModelParameters(kd=0.4, cpar_ff=1.2, vprime_v=-0.25,
+                                       alpha_ff_per_ps=0.1)
+        recovered = TimingModelParameters.from_array(params.as_array())
+        assert recovered == params
+
+    def test_from_array_wrong_size(self):
+        with pytest.raises(ValueError):
+            TimingModelParameters.from_array([1.0, 2.0])
+
+    def test_describe_contains_values(self):
+        params = TimingModelParameters(kd=0.4, cpar_ff=1.2, vprime_v=-0.25,
+                                       alpha_ff_per_ps=0.1)
+        text = params.describe()
+        assert "kd=0.400" in text and "fF" in text
+
+
+class TestEvaluation:
+    def test_natural_unit_conversion(self):
+        params = TimingModelParameters(kd=1.0, cpar_ff=1.0, vprime_v=0.0,
+                                       alpha_ff_per_ps=1.0)
+        model = CompactTimingModel()
+        # Vdd=1V, Cload=1fF, Sin=1ps, Ieff=1A: charge = 1*(1fF+1fF+1fF) = 3fC.
+        value = float(model.evaluate(params, PICO, FEMTO, 1.0, 1.0))
+        assert value == pytest.approx(3e-15)
+
+    def test_delay_scales_inversely_with_ieff(self):
+        params = TimingModelParameters(kd=0.4, cpar_ff=1.0, vprime_v=-0.2,
+                                       alpha_ff_per_ps=0.1)
+        model = CompactTimingModel()
+        low = float(model.evaluate(params, 5e-12, 2e-15, 0.8, 1e-4))
+        high = float(model.evaluate(params, 5e-12, 2e-15, 0.8, 2e-4))
+        assert low == pytest.approx(2 * high)
+
+    def test_collapse_diagnostics(self):
+        params = TimingModelParameters(kd=0.4, cpar_ff=1.0, vprime_v=-0.2,
+                                       alpha_ff_per_ps=0.1)
+        model = CompactTimingModel()
+        sin, cload = 5e-12, 2e-15
+        vdds = np.array([0.7, 0.85, 1.0])
+        ieff = 4e-4 * (vdds - 0.3)
+        response = model.evaluate(params, sin, cload, vdds, ieff)
+        collapsed = model.vdd_collapse(response, ieff, vdds, params.vprime_v)
+        assert np.allclose(collapsed, collapsed[0])
+        collapsed_load = model.load_slew_collapse(response / ieff * ieff, cload, sin,
+                                                  params.cpar_ff,
+                                                  params.alpha_ff_per_ps)
+        assert np.all(collapsed_load > 0)
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            CompactTimingModel(lower_bounds=np.zeros(3), upper_bounds=np.ones(3))
+        with pytest.raises(ValueError):
+            CompactTimingModel(lower_bounds=np.ones(4), upper_bounds=np.zeros(4))
+
+
+class TestLeastSquaresFit:
+    @settings(max_examples=10, deadline=None)
+    @given(kd=st.floats(min_value=0.2, max_value=0.8),
+           cpar=st.floats(min_value=0.3, max_value=3.0),
+           vprime=st.floats(min_value=-0.4, max_value=0.1),
+           alpha=st.floats(min_value=0.01, max_value=0.5))
+    def test_recovers_known_parameters(self, kd, cpar, vprime, alpha):
+        """Fitting noiseless synthetic data recovers the generating parameters."""
+        truth = TimingModelParameters(kd=kd, cpar_ff=cpar, vprime_v=vprime,
+                                      alpha_ff_per_ps=alpha)
+        sin, cload, vdd, ieff, response = synthetic_observations(truth, n=30)
+        result = fit_least_squares(sin, cload, vdd, ieff, response)
+        assert result.mean_abs_relative_error < 1e-4
+        prediction = CompactTimingModel().evaluate(result.params, sin, cload, vdd,
+                                                   ieff)
+        assert np.allclose(prediction, response, rtol=1e-3)
+
+    def test_reports_errors_and_convergence(self):
+        truth = TimingModelParameters(kd=0.4, cpar_ff=1.0, vprime_v=-0.25,
+                                      alpha_ff_per_ps=0.1)
+        sin, cload, vdd, ieff, response = synthetic_observations(truth, n=15, seed=3)
+        noisy = response * (1.0 + 0.02 * np.sin(np.arange(15)))
+        result = fit_least_squares(sin, cload, vdd, ieff, noisy)
+        assert result.converged
+        assert result.n_observations == 15
+        assert 0.0 < result.mean_abs_relative_error < 0.05
+        assert result.max_abs_relative_error >= result.mean_abs_relative_error
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            fit_least_squares([1e-12], [1e-15], [0.8], [1e-4], [-1e-12])
+        with pytest.raises(ValueError):
+            fit_least_squares([1e-12, 2e-12], [1e-15], [0.8], [1e-4], [1e-12])
+        with pytest.raises(ValueError):
+            fit_least_squares([1e-12], [1e-15], [0.8], [1e-4], [1e-12],
+                              weights=[1.0, 2.0])
+
+    def test_weights_prioritize_observations(self):
+        truth = TimingModelParameters(kd=0.4, cpar_ff=1.0, vprime_v=-0.25,
+                                      alpha_ff_per_ps=0.1)
+        sin, cload, vdd, ieff, response = synthetic_observations(truth, n=10, seed=5)
+        corrupted = response.copy()
+        corrupted[0] *= 1.5
+        weights = np.ones(10)
+        weights[0] = 1e-6
+        result = fit_least_squares(sin, cload, vdd, ieff, corrupted, weights=weights)
+        assert abs(result.residuals[1:]).max() < 0.02
+
+    def test_initial_guess_must_have_four_entries(self):
+        truth = TimingModelParameters(*DEFAULT_INITIAL_GUESS)
+        sin, cload, vdd, ieff, response = synthetic_observations(truth, n=8)
+        with pytest.raises(ValueError):
+            fit_least_squares(sin, cload, vdd, ieff, response,
+                              initial_guess=[0.4, 1.0])

@@ -1,0 +1,86 @@
+"""Tests for unit constants, conversions, and engineering formatting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.units import (
+    FEMTO,
+    PICO,
+    femtofarads,
+    format_engineering,
+    from_engineering,
+    picoseconds,
+    volts,
+)
+
+
+class TestConversions:
+    def test_picoseconds(self):
+        assert picoseconds(5.0) == pytest.approx(5e-12)
+
+    def test_femtofarads(self):
+        assert femtofarads(1.67) == pytest.approx(1.67e-15)
+
+    def test_volts_identity(self):
+        assert volts(0.8) == 0.8
+
+    def test_prefix_constants(self):
+        assert PICO == pytest.approx(1e-12)
+        assert FEMTO == pytest.approx(1e-15)
+
+
+class TestFormatEngineering:
+    def test_picosecond_value(self):
+        assert format_engineering(5.09e-12, "s") == "5.09ps"
+
+    def test_femtofarad_value(self):
+        assert format_engineering(1.67e-15, "F") == "1.67fF"
+
+    def test_zero(self):
+        assert format_engineering(0.0, "V") == "0V"
+
+    def test_unit_scale(self):
+        assert format_engineering(3.5, "V") == "3.5V"
+
+    def test_kilo_scale(self):
+        assert format_engineering(1.2e4, "Hz") == "12kHz"
+
+    def test_non_finite(self):
+        assert "inf" in format_engineering(math.inf, "s")
+
+    def test_negative_value(self):
+        assert format_engineering(-2.5e-9, "s") == "-2.5ns"
+
+
+class TestFromEngineering:
+    def test_parse_pico(self):
+        assert from_engineering("5.09p") == pytest.approx(5.09e-12)
+
+    def test_parse_with_unit(self):
+        assert from_engineering("1.67fF") == pytest.approx(1.67e-15)
+
+    def test_parse_plain_number(self):
+        assert from_engineering("0.7") == pytest.approx(0.7)
+
+    def test_parse_nano_with_unit(self):
+        assert from_engineering("3nV") == pytest.approx(3e-9)
+
+    def test_empty_string_raises(self):
+        with pytest.raises(ValueError):
+            from_engineering("")
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            from_engineering("abc")
+
+    @given(st.floats(min_value=1e-14, max_value=1e3, allow_nan=False,
+                     allow_infinity=False))
+    def test_round_trip_within_precision(self, value):
+        """format -> parse recovers the value to formatting precision."""
+        text = format_engineering(value, "", digits=6)
+        recovered = from_engineering(text)
+        assert recovered == pytest.approx(value, rel=1e-4)

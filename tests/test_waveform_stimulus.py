@@ -1,0 +1,122 @@
+"""Tests for waveform measurements and ramp stimuli."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spice import (
+    DELAY_THRESHOLD,
+    RampStimulus,
+    SLEW_DERATE,
+    Waveform,
+)
+
+
+def ramp_waveform(vdd: float, slew: float, rising: bool = True,
+                  t_end: float = None, n: int = 400) -> Waveform:
+    t_end = t_end if t_end is not None else 3 * slew
+    time = np.linspace(0.0, t_end, n)
+    return RampStimulus(vdd=vdd, slew=slew, rising=rising).waveform(time)
+
+
+class TestWaveformBasics:
+    def test_requires_increasing_time(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0, 0.0, 1.0]), np.zeros(3))
+
+    def test_requires_matching_shapes(self):
+        with pytest.raises(ValueError):
+            Waveform(np.linspace(0, 1, 5), np.zeros((4, 2)))
+
+    def test_multi_seed_storage(self):
+        wave = Waveform(np.linspace(0, 1, 10), np.zeros((10, 3)))
+        assert wave.n_seeds == 3
+        single = wave.seed(1)
+        assert single.n_seeds == 1
+
+    def test_value_at_interpolates(self):
+        wave = Waveform(np.array([0.0, 1.0]), np.array([0.0, 2.0]))
+        assert wave.value_at(0.5)[0] == pytest.approx(1.0)
+
+
+class TestCrossingAndSlew:
+    def test_rising_crossing_time(self):
+        wave = ramp_waveform(1.0, 10e-12)
+        cross = wave.crossing_time(0.5)
+        assert cross[0] == pytest.approx(5e-12, rel=1e-3)
+
+    def test_falling_crossing_time(self):
+        wave = ramp_waveform(1.0, 10e-12, rising=False)
+        cross = wave.crossing_time(0.5)
+        assert cross[0] == pytest.approx(5e-12, rel=1e-3)
+
+    def test_no_crossing_returns_nan(self):
+        wave = Waveform(np.linspace(0, 1, 10), np.full(10, 0.2))
+        assert np.isnan(wave.crossing_time(0.5, rising=True)[0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(slew=st.floats(min_value=1e-12, max_value=50e-12),
+           vdd=st.floats(min_value=0.5, max_value=1.2))
+    def test_linear_ramp_slew_measurement_recovers_input(self, slew, vdd):
+        """Measuring a perfect ramp returns its full-swing transition time."""
+        wave = ramp_waveform(vdd, slew, n=2000)
+        measured = wave.transition_time(vdd)[0]
+        assert measured == pytest.approx(slew, rel=2e-2)
+
+    def test_propagation_delay_between_shifted_ramps(self):
+        time = np.linspace(0, 40e-12, 2000)
+        early = RampStimulus(vdd=1.0, slew=10e-12).waveform(time)
+        late = Waveform(time, RampStimulus(vdd=1.0, slew=10e-12,
+                                           start_time=7e-12).voltage(time))
+        delay = late.propagation_delay(early, vdd=1.0)
+        assert delay[0] == pytest.approx(7e-12, rel=1e-2)
+
+    def test_invalid_vdd_raises(self):
+        wave = ramp_waveform(1.0, 5e-12)
+        with pytest.raises(ValueError):
+            wave.transition_time(0.0)
+        with pytest.raises(ValueError):
+            wave.propagation_delay(wave, -1.0)
+
+    def test_settled_and_final_value(self):
+        wave = ramp_waveform(0.8, 5e-12, t_end=30e-12)
+        assert wave.final_value()[0] == pytest.approx(0.8)
+        assert bool(wave.settled(0.8, 0.01)[0])
+
+
+class TestRampStimulus:
+    def test_voltage_profile(self):
+        ramp = RampStimulus(vdd=1.0, slew=10e-12)
+        assert ramp.voltage(np.array(0.0)) == pytest.approx(0.0)
+        assert ramp.voltage(np.array(5e-12)) == pytest.approx(0.5)
+        assert ramp.voltage(np.array(20e-12)) == pytest.approx(1.0)
+
+    def test_falling_profile(self):
+        ramp = RampStimulus(vdd=1.0, slew=10e-12, rising=False)
+        assert ramp.voltage(np.array(0.0)) == pytest.approx(1.0)
+        assert ramp.voltage(np.array(10e-12)) == pytest.approx(0.0)
+
+    def test_slope_active_only_during_ramp(self):
+        ramp = RampStimulus(vdd=1.0, slew=10e-12)
+        assert ramp.slope(np.array(5e-12)) == pytest.approx(1.0 / 10e-12)
+        assert ramp.slope(np.array(15e-12)) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RampStimulus(vdd=0.0, slew=1e-12)
+        with pytest.raises(ValueError):
+            RampStimulus(vdd=1.0, slew=0.0)
+        with pytest.raises(ValueError):
+            RampStimulus(vdd=1.0, slew=1e-12, start_time=-1.0)
+
+    def test_slew_derate_consistency(self):
+        # The measurement convention and the stimulus definition agree: the
+        # 20-80% width of the generated ramp is SLEW_DERATE times the slew.
+        ramp = RampStimulus(vdd=1.0, slew=10e-12)
+        time = np.linspace(0, 30e-12, 3000)
+        wave = ramp.waveform(time)
+        low = wave.crossing_time(0.2)[0]
+        high = wave.crossing_time(0.8)[0]
+        assert (high - low) == pytest.approx(SLEW_DERATE * 10e-12, rel=1e-2)
