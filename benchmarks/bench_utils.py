@@ -4,6 +4,7 @@ conftest injection)."""
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -14,14 +15,39 @@ STATISTICAL_TRAINING_SIZES = (1, 2, 3, 5, 10, 20)
 #: Directory where regenerated tables and series are written.
 RESULTS_DIR = Path(__file__).parent / "benchmark_results"
 
+#: Environment knobs understood by the benchmark harness (all optional):
+#:
+#: ``REPRO_BENCH_SEEDS``            Monte Carlo seeds for statistical runs (120)
+#: ``REPRO_BENCH_VALIDATION``       validation points for error evaluation (50)
+#: ``REPRO_BENCH_STAT_VALIDATION``  validation points for statistical runs (24)
+#: ``REPRO_BENCH_PERF_CONDITIONS``  conditions in the transient perf sweep (50)
+#: ``REPRO_BENCH_PERF_SEEDS``       seeds in the transient perf sweep (200)
+#: ``REPRO_BENCH_PERF_MIN_SPEEDUP`` assertion floor for batched/serial (2.0)
+#:
+#: Separately, ``REPRO_SIM_CACHE`` / ``REPRO_SIM_CACHE_SIZE`` control the
+#: library's global simulation cache (see ``repro.spice.testbench``).
+
 
 def env_int(name: str, default: int) -> int:
     """Read an integer configuration value from the environment."""
     return int(os.environ.get(name, default))
 
 
+def env_float(name: str, default: float) -> float:
+    """Read a float configuration value from the environment."""
+    return float(os.environ.get(name, default))
+
+
 def write_result(path: Path, text: str) -> None:
     """Write a regenerated table to disk and echo it to stdout."""
     path.parent.mkdir(exist_ok=True)
+    path.write_text(text + "\n", encoding="utf-8")
+    print("\n" + text)
+
+
+def write_json_result(path: Path, payload: dict) -> None:
+    """Write a machine-readable benchmark record and echo it to stdout."""
+    path.parent.mkdir(exist_ok=True)
+    text = json.dumps(payload, indent=2, sort_keys=True)
     path.write_text(text + "\n", encoding="utf-8")
     print("\n" + text)

@@ -44,12 +44,18 @@ from repro.cells import (
     default_library,
     make_cell,
     reduce_cell,
+    reduce_cell_cached,
 )
 from repro.spice import (
+    BatchTransientResult,
+    SimulationCache,
     SimulationCounter,
     TimingMeasurement,
+    WaveformBatch,
     characterize_arc,
+    get_simulation_cache,
     simulate_arc_transition,
+    simulate_arc_transitions,
     sweep_conditions,
 )
 from repro.characterization import (
@@ -81,6 +87,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccuracyCurve",
+    "BatchTransientResult",
     "BayesianCharacterizer",
     "Cell",
     "CompactTimingModel",
@@ -93,6 +100,7 @@ __all__ = [
     "LutCharacterizer",
     "PrecisionModel",
     "ProcessCorner",
+    "SimulationCache",
     "SimulationCounter",
     "StandardCellLibrary",
     "StatisticalCharacterizer",
@@ -104,12 +112,14 @@ __all__ = [
     "TimingPrior",
     "Transition",
     "VariationSample",
+    "WaveformBatch",
     "available_cells",
     "characterize_arc",
     "characterize_historical_library",
     "compute_speedup",
     "default_library",
     "fit_least_squares",
+    "get_simulation_cache",
     "get_technology",
     "historical_technologies",
     "learn_prior",
@@ -119,7 +129,9 @@ __all__ = [
     "mean_relative_error",
     "nominal_baseline",
     "reduce_cell",
+    "reduce_cell_cached",
     "simulate_arc_transition",
+    "simulate_arc_transitions",
     "statistical_baseline",
     "statistical_errors",
     "sweep_conditions",

@@ -16,7 +16,12 @@ from repro.cells.catalog import (
     default_library,
     make_cell,
 )
-from repro.cells.equivalent_inverter import EquivalentInverter, reduce_cell
+from repro.cells.equivalent_inverter import (
+    EquivalentInverter,
+    clear_reduction_cache,
+    reduce_cell,
+    reduce_cell_cached,
+)
 
 __all__ = [
     "Cell",
@@ -28,10 +33,12 @@ __all__ = [
     "Transition",
     "TransistorSpec",
     "available_cells",
+    "clear_reduction_cache",
     "default_library",
     "device",
     "make_cell",
     "parallel",
     "reduce_cell",
+    "reduce_cell_cached",
     "series",
 ]

@@ -21,6 +21,7 @@ simulator integrates.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
@@ -155,3 +156,74 @@ def reduce_cell(
         input_cap=input_cap,
         vdd_nominal=technology.vdd_nominal,
     )
+
+
+#: LRU cache of equivalent-inverter reductions (see :func:`reduce_cell_cached`).
+_REDUCTION_CACHE: "OrderedDict[tuple, EquivalentInverter]" = OrderedDict()
+_REDUCTION_CACHE_MAX = 512
+
+
+def arc_identity_key(cell: Cell, technology: TechnologyNode, arc: TimingArc,
+                     variation_fingerprint: str) -> tuple:
+    """Identity tuple of one bound timing arc, shared by every memoization.
+
+    Both the reduction cache here and the simulation cache in
+    :mod:`repro.spice.testbench` key on this single definition, so the two
+    can never drift apart.  The technology is identified by name *and*
+    content fingerprint (a modified same-name node never collides); the
+    cell by name plus its unit device widths (same-name cells with altered
+    pull-network topology are not distinguished -- the built-in catalog
+    never does that).
+    """
+    return (
+        cell.name,
+        float(cell.nmos_unit_width_um),
+        float(cell.pmos_unit_width_um),
+        technology.name,
+        technology.fingerprint(),
+        arc.input_pin,
+        arc.output_transition.value,
+        variation_fingerprint,
+    )
+
+
+def _reduction_key(cell: Cell, technology: TechnologyNode, arc: TimingArc,
+                   variation: Optional[VariationSample]) -> tuple:
+    variation_fp = variation.fingerprint() if variation is not None else "nominal"
+    return arc_identity_key(cell, technology, arc, variation_fp)
+
+
+def clear_reduction_cache() -> None:
+    """Drop all memoized equivalent-inverter reductions."""
+    _REDUCTION_CACHE.clear()
+
+
+def reduce_cell_cached(
+    cell: Cell,
+    technology: TechnologyNode,
+    arc: Optional[TimingArc] = None,
+    variation: Optional[VariationSample] = None,
+) -> EquivalentInverter:
+    """Memoized :func:`reduce_cell`.
+
+    Repeated sweeps over the same ``(cell, arc, variation)`` -- the common
+    pattern in the statistical flow and the Monte Carlo baseline, which both
+    re-reduce the same cell for every batch of conditions -- reuse the cached
+    :class:`EquivalentInverter` instead of re-deriving it.  Keys identify the
+    cell and technology by name plus the unit device widths, and the seed
+    batch by its content fingerprint, so identical inputs hit regardless of
+    object identity.  The returned object is frozen and shared; do not mutate
+    its arrays.
+    """
+    if arc is None:
+        arc = cell.arc(cell.input_pins[0], Transition.FALL)
+    key = _reduction_key(cell, technology, arc, variation)
+    cached = _REDUCTION_CACHE.get(key)
+    if cached is not None:
+        _REDUCTION_CACHE.move_to_end(key)
+        return cached
+    inverter = reduce_cell(cell, technology, arc=arc, variation=variation)
+    _REDUCTION_CACHE[key] = inverter
+    while len(_REDUCTION_CACHE) > _REDUCTION_CACHE_MAX:
+        _REDUCTION_CACHE.popitem(last=False)
+    return inverter

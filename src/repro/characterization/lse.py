@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.cells.equivalent_inverter import reduce_cell
+from repro.cells.equivalent_inverter import reduce_cell_cached
 from repro.cells.library import Cell, TimingArc
 from repro.characterization.input_space import (
     InputCondition,
@@ -39,7 +39,7 @@ class LseCharacterizer:
         self._arc = arc if arc is not None else cell.timing_arcs()[1]
         self._counter = counter
         self._space = InputSpace(technology)
-        self._inverter = reduce_cell(cell, technology, arc=self._arc)
+        self._inverter = reduce_cell_cached(cell, technology, arc=self._arc)
         self._model = CompactTimingModel()
         self._delay_fit: Optional[FitResult] = None
         self._slew_fit: Optional[FitResult] = None
@@ -92,8 +92,9 @@ class LseCharacterizer:
         return self
 
     def _effective_currents(self, vdd: np.ndarray) -> np.ndarray:
-        return np.array([float(self._inverter.effective_current(v))
-                         for v in np.asarray(vdd, dtype=float).reshape(-1)])
+        vdd = np.asarray(vdd, dtype=float).reshape(-1)
+        return np.asarray(self._inverter.effective_current(vdd),
+                          dtype=float).reshape(-1)
 
     def predict_delay(self, conditions: Sequence[InputCondition]) -> np.ndarray:
         """Model-predicted delay at arbitrary operating points."""

@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.cells.equivalent_inverter import EquivalentInverter, reduce_cell
+from repro.cells.equivalent_inverter import EquivalentInverter, reduce_cell_cached
 from repro.cells.library import Cell, TimingArc
 from repro.characterization.input_space import (
     InputCondition,
@@ -67,7 +67,8 @@ class BayesianCharacterizer:
         self._slew_prior = slew_prior
         self._counter = counter
         self._space = InputSpace(technology)
-        self._inverter: EquivalentInverter = reduce_cell(cell, technology, arc=self._arc)
+        self._inverter: EquivalentInverter = reduce_cell_cached(cell, technology,
+                                                                arc=self._arc)
         self._model = CompactTimingModel()
         self._result: Optional[NominalCharacterization] = None
 
@@ -175,8 +176,11 @@ class BayesianCharacterizer:
     # Prediction
     # ------------------------------------------------------------------
     def _effective_currents(self, vdd: np.ndarray) -> np.ndarray:
+        # One vectorized evaluation over all supplies (nominal inverter, so
+        # the device parameters are scalars and broadcast cleanly).
         vdd = np.asarray(vdd, dtype=float).reshape(-1)
-        return np.array([float(self._inverter.effective_current(v)) for v in vdd])
+        return np.asarray(self._inverter.effective_current(vdd),
+                          dtype=float).reshape(-1)
 
     def predict_delay(self, conditions: Sequence[InputCondition]) -> np.ndarray:
         """Model-predicted delay (seconds) at arbitrary operating points."""

@@ -37,7 +37,7 @@ import numpy as np
 from repro.bayes.factor_graph import GaussianFactorGraph
 from repro.bayes.gaussian import GaussianDensity
 from repro.bayes.precision import PrecisionModel
-from repro.cells.equivalent_inverter import reduce_cell
+from repro.cells.equivalent_inverter import reduce_cell_cached
 from repro.cells.library import Cell, Transition
 from repro.characterization.input_space import InputSpace
 from repro.core.timing_model import (
@@ -228,8 +228,9 @@ def characterize_historical_library(
             sin = physical[:, 0]
             cload = physical[:, 1]
             vdd = physical[:, 2]
-            inverter = reduce_cell(cell, technology, arc=arc)
-            ieff = np.array([float(inverter.effective_current(v)) for v in vdd])
+            inverter = reduce_cell_cached(cell, technology, arc=arc)
+            ieff = np.asarray(inverter.effective_current(vdd),
+                              dtype=float).reshape(-1)
             delays = np.array([m.nominal_delay() for m in measurements])
             slews = np.array([m.nominal_slew() for m in measurements])
 

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.cells.equivalent_inverter import EquivalentInverter, reduce_cell
+from repro.cells.equivalent_inverter import EquivalentInverter, reduce_cell_cached
 from repro.cells.library import Cell, TimingArc
 from repro.characterization.input_space import (
     InputCondition,
@@ -222,8 +222,8 @@ class StatisticalCharacterizer:
             self._variation = self._technology.variation.sample(self._n_seeds,
                                                                 self._rng)
         variation = self._variation
-        inverter = reduce_cell(self._cell, self._technology, arc=self._arc,
-                               variation=variation)
+        inverter = reduce_cell_cached(self._cell, self._technology,
+                                      arc=self._arc, variation=variation)
 
         runs_before = self._counter.total if self._counter is not None else 0
         measurements = sweep_conditions(
@@ -239,10 +239,13 @@ class StatisticalCharacterizer:
         delay_beta = self._delay_prior.precision_model.beta(unit)
         slew_beta = self._slew_prior.precision_model.beta(unit)
 
-        # Per-seed effective currents at each fitting condition's supply.
-        ieff_matrix = np.stack(
-            [np.asarray(inverter.effective_current(v), dtype=float).reshape(-1)
-             for v in vdd], axis=0)  # (k, n_seeds)
+        # Per-seed effective currents at each fitting condition's supply,
+        # evaluated in one broadcast over (k, n_seeds).
+        ieff_matrix = np.broadcast_to(
+            np.atleast_2d(np.asarray(
+                inverter.effective_current(np.asarray(vdd)[:, np.newaxis]),
+                dtype=float)),
+            (len(conditions), variation.n_seeds)).copy()
 
         delay_matrix = np.stack([np.asarray(m.delay).reshape(-1)
                                  for m in measurements], axis=0)

@@ -55,14 +55,18 @@ class AlphaPowerMOSFET(MOSFET):
         overdrive = _softplus(vgs - vth_eff, smoothing)
 
         alpha = np.asarray(p.alpha, dtype=float)
+        # One pow serves both terms: overdrive**alpha == (overdrive**(alpha/2))**2
+        # up to floating-point noise, and pow is the most expensive operation
+        # in this hot path.
+        half_power = np.power(overdrive, alpha * 0.5)
         isat = (
             np.asarray(p.k_drive, dtype=float)
             * np.asarray(p.width_um, dtype=float)
-            * np.power(overdrive, alpha)
+            * (half_power * half_power)
             * (1.0 + np.asarray(p.lambda_clm, dtype=float) * vds)
         )
 
-        vdsat = np.asarray(p.vdsat_coeff, dtype=float) * np.power(overdrive, alpha / 2.0)
-        vdsat = np.maximum(vdsat, 1e-3)
+        vdsat = np.maximum(np.asarray(p.vdsat_coeff, dtype=float) * half_power,
+                           1e-3)
         saturation = np.tanh(vds / vdsat)
         return isat * saturation

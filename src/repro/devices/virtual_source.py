@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.devices.mosfet import ArrayLike, MOSFET
+from repro.devices.mosfet import ArrayLike, MOSFET, _softplus
 
 #: Thermal voltage at room temperature, in volts.
 _PHI_T = 0.0258
@@ -59,10 +59,8 @@ class VirtualSourceMOSFET(MOSFET):
         n_phi_t = ideality * _PHI_T
 
         vth_eff = np.asarray(p.vth0, dtype=float) - np.asarray(p.dibl, dtype=float) * vds
-        scaled = (vgs - vth_eff) / n_phi_t
-        charge_overdrive = n_phi_t * np.where(
-            scaled > 30.0, scaled, np.log1p(np.exp(np.minimum(scaled, 30.0)))
-        )
+        # softplus of the normalized overdrive, in the shared stable form.
+        charge_overdrive = n_phi_t * _softplus((vgs - vth_eff) / n_phi_t, 1.0)
 
         alpha = np.asarray(p.alpha, dtype=float)
         drive = (

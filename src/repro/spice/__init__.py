@@ -17,29 +17,38 @@ from repro.spice.waveform import (
     SLEW_HIGH_THRESHOLD,
     SLEW_LOW_THRESHOLD,
     Waveform,
+    WaveformBatch,
 )
 from repro.spice.stimulus import RampStimulus
 from repro.spice.transient import TransientResult, simulate_arc_transition
+from repro.spice.batch import BatchTransientResult, simulate_arc_transitions
 from repro.spice.testbench import (
+    SimulationCache,
     SimulationCounter,
     TimingMeasurement,
     characterize_arc,
     characterize_cell_nominal,
+    get_simulation_cache,
 )
 from repro.spice.sweep import sweep_conditions
 
 __all__ = [
+    "BatchTransientResult",
     "DELAY_THRESHOLD",
     "RampStimulus",
     "SLEW_DERATE",
     "SLEW_HIGH_THRESHOLD",
     "SLEW_LOW_THRESHOLD",
+    "SimulationCache",
     "SimulationCounter",
     "TimingMeasurement",
     "TransientResult",
     "Waveform",
+    "WaveformBatch",
     "characterize_arc",
     "characterize_cell_nominal",
+    "get_simulation_cache",
     "simulate_arc_transition",
+    "simulate_arc_transitions",
     "sweep_conditions",
 ]

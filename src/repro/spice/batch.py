@@ -1,0 +1,446 @@
+"""Batched multi-condition transient engine.
+
+The serial engine (:mod:`repro.spice.transient`) integrates one
+``(Sin, Cload, Vdd)`` condition at a time, so a sweep of ``n`` conditions pays
+the Python-level RK4 loop ``n`` times over.  This module integrates *all*
+conditions of an arc at once in a single 2-D state array of shape
+``(n_conditions, n_seeds)`` -- the software analogue of batching SPICE runs
+with ``.ALTER`` statements, applied across operating points as well as
+process seeds.
+
+Design notes:
+
+* **Per-condition time normalization.**  Every condition keeps its own ramp
+  duration and its own post-ramp window, but all conditions advance through a
+  shared *normalized step index*: step ``i`` of the batch integrates step
+  ``i`` of every condition with that condition's own ``dt``.  The per-step
+  NumPy work therefore grows from ``(n_seeds,)`` arrays to
+  ``(n_conditions, n_seeds)`` arrays while the interpreted loop overhead is
+  paid once, which is where the speedup comes from.
+* **Phase handling.**  The ramp/tail chunk boundaries and step counts are the
+  exact ones of the serial engine (shared via
+  :func:`repro.spice.transient._phase_steps`), and every arithmetic operation
+  is the elementwise-identical broadcast of the serial engine's scalar
+  expression.  The two engines therefore agree to floating-point noise
+  (equivalence is enforced at ``rtol <= 1e-9`` by the test suite).
+* **Active-set retirement.**  The completion check runs per condition; the
+  conditions that finish are retired from the derivative evaluation while the
+  geometric window extension continues only for the stragglers, so one slow
+  low-Vdd corner no longer forces extra integration work on the whole batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cells.equivalent_inverter import EquivalentInverter
+from repro.cells.library import Transition
+from repro.spice import transient as _serial
+from repro.spice.transient import (
+    DEFAULT_STEPS,
+    TransientResult,
+    _extension_steps,
+    _phase_steps,
+)
+from repro.spice.waveform import (
+    SLEW_HIGH_THRESHOLD,
+    SLEW_LOW_THRESHOLD,
+    WaveformBatch,
+)
+
+
+@dataclass(frozen=True)
+class BatchTransientResult:
+    """Waveforms of a batched multi-condition arc simulation.
+
+    Attributes
+    ----------
+    input_waveforms, output_waveforms:
+        Input ramps and output responses for every condition, as
+        :class:`~repro.spice.waveform.WaveformBatch` objects.
+    sin, cload, vdd:
+        The simulated conditions, each of shape ``(n_conditions,)``.
+    """
+
+    input_waveforms: WaveformBatch
+    output_waveforms: WaveformBatch
+    sin: np.ndarray
+    cload: np.ndarray
+    vdd: np.ndarray
+
+    @property
+    def n_conditions(self) -> int:
+        """Number of simulated conditions."""
+        return self.sin.size
+
+    @property
+    def n_seeds(self) -> int:
+        """Number of Monte Carlo seeds per condition."""
+        return self.output_waveforms.n_seeds
+
+    def delay(self) -> np.ndarray:
+        """Propagation delay, shape ``(n_conditions, n_seeds)``, in seconds."""
+        return self.output_waveforms.propagation_delay(self.input_waveforms,
+                                                       self.vdd)
+
+    def output_slew(self) -> np.ndarray:
+        """Output transition time, shape ``(n_conditions, n_seeds)``, in seconds."""
+        return self.output_waveforms.transition_time(self.vdd)
+
+    def condition(self, index: int) -> TransientResult:
+        """Extract one condition as a serial-engine-compatible result."""
+        return TransientResult(
+            input_waveform=self.input_waveforms.condition(index),
+            output_waveform=self.output_waveforms.condition(index),
+            vdd=float(self.vdd[index]),
+        )
+
+
+def _scalarize(value) -> object:
+    """Collapse size-1 parameter arrays to Python floats.
+
+    Scalar operands keep NumPy on its fast ufunc paths (notably ``pow`` with
+    a scalar exponent) and skip broadcasting machinery in the hot loop.
+    """
+    array = np.asarray(value, dtype=float)
+    return float(array.reshape(-1)[0]) if array.size == 1 else array
+
+
+def _alpha_power_kernel(nmos, pmos):
+    """Fused alpha-power drain-current evaluation for the batched hot loop.
+
+    Computes the same smooth alpha-power model as
+    :meth:`repro.devices.alpha_power.AlphaPowerMOSFET.current` (softplus
+    overdrive, one half-exponent pow, tanh saturation) but restructured for
+    throughput: device parameters are pre-combined once per simulation,
+    size-1 parameters collapse to Python scalars, and the elementwise chain
+    reuses buffers with ``out=`` instead of allocating a temporary per
+    operation.  The reassociated arithmetic differs from the reference
+    implementation only at the last-ulp level, far inside the engine's
+    ``rtol <= 1e-9`` equivalence budget (enforced by the test suite).
+
+    Returns ``None`` unless both devices are :class:`AlphaPowerMOSFET`
+    instances; the engine then falls back to the generic per-device calls
+    (e.g. for the virtual-source FinFET model).
+    """
+    from repro.devices.alpha_power import AlphaPowerMOSFET
+
+    if type(nmos) is not AlphaPowerMOSFET or type(pmos) is not AlphaPowerMOSFET:
+        return None
+
+    def prepare(device):
+        p = device.params
+        smoothing = _scalarize(np.asarray(p.subthreshold_swing, dtype=float)
+                               / 2.3)
+        return {
+            "vth0": _scalarize(p.vth0),
+            "dibl": _scalarize(p.dibl),
+            "kw": _scalarize(np.asarray(p.k_drive, dtype=float)
+                             * np.asarray(p.width_um, dtype=float)),
+            "lam": _scalarize(p.lambda_clm),
+            "coeff": _scalarize(p.vdsat_coeff),
+            "alpha_half": _scalarize(np.asarray(p.alpha, dtype=float) * 0.5),
+            "smoothing": smoothing,
+            "neg_inv_smoothing": -1.0 / smoothing,
+        }
+
+    prepared = (prepare(nmos), prepare(pmos))
+
+    def one_device(p, vgs, vds_raw):
+        vds = np.maximum(vds_raw, 0.0)
+        x = p["dibl"] * vds
+        x += vgs - p["vth0"]
+        # softplus(x, smoothing) in the stable form, with buffer reuse
+        t = np.abs(x)
+        t *= p["neg_inv_smoothing"]
+        np.exp(t, out=t)
+        np.log1p(t, out=t)
+        t *= p["smoothing"]
+        overdrive = np.maximum(x, 0.0)
+        overdrive += t
+        half_power = np.power(overdrive, p["alpha_half"])
+        current = half_power * half_power
+        current *= p["kw"]
+        gain = p["lam"] * vds
+        gain += 1.0
+        current *= gain
+        vdsat = p["coeff"] * half_power
+        np.maximum(vdsat, 1e-3, out=vdsat)
+        np.divide(vds, vdsat, out=vdsat)
+        np.tanh(vdsat, out=vdsat)
+        current *= vdsat
+        return current
+
+    def kernel(vgs_n, vgs_p, vds_n, vds_p):
+        return (one_device(prepared[0], vgs_n, vds_n),
+                one_device(prepared[1], vgs_p, vds_p))
+
+    return kernel
+
+
+def _estimate_windows(inverter: EquivalentInverter, sin: np.ndarray,
+                      cload: np.ndarray, vdd: np.ndarray) -> np.ndarray:
+    """Vectorized per-condition post-ramp window (mirrors ``_estimate_window``)."""
+    ieff = np.atleast_2d(np.asarray(inverter.effective_current(vdd[:, np.newaxis]),
+                                    dtype=float))
+    ieff_floor = np.maximum(np.min(ieff, axis=1), 1e-9)
+    total_cap = cload + float(np.max(np.asarray(inverter.parasitic_cap)))
+    intrinsic = total_cap * vdd / ieff_floor
+    # The margin is read from the serial module at call time so both engines
+    # always share one window policy (tests monkeypatch it there).
+    return 0.5 * sin + _serial._WINDOW_MARGIN * np.maximum(intrinsic, 1e-13)
+
+
+def simulate_arc_transitions(
+    inverter: EquivalentInverter,
+    sin,
+    cload,
+    vdd,
+    n_steps: int = DEFAULT_STEPS,
+) -> BatchTransientResult:
+    """Simulate every requested condition of one arc in a single batch.
+
+    Parameters
+    ----------
+    inverter:
+        Equivalent inverter produced by :func:`repro.cells.reduce_cell`
+        (possibly carrying per-seed parameter arrays).
+    sin, cload, vdd:
+        Input transition times (seconds), load capacitances (farads) and
+        supply voltages (volts); arrays or sequences of equal length.
+    n_steps:
+        Number of RK4 steps in each condition's initial window.
+
+    Returns
+    -------
+    BatchTransientResult
+        Input and output waveform batches, vectorized over
+        ``(n_conditions, n_seeds)``.
+
+    Raises
+    ------
+    ValueError
+        For empty or mismatched condition arrays, non-positive entries, or
+        ``n_steps < 16``.
+    RuntimeError
+        If any condition's output fails to complete its transition after the
+        maximum number of window extensions (same semantics as the serial
+        engine).
+    """
+    sin = np.atleast_1d(np.asarray(sin, dtype=float))
+    cload = np.atleast_1d(np.asarray(cload, dtype=float))
+    vdd = np.atleast_1d(np.asarray(vdd, dtype=float))
+    if not (sin.shape == cload.shape == vdd.shape) or sin.ndim != 1:
+        raise ValueError("sin, cload and vdd must be 1-D arrays of equal length")
+    if sin.size == 0:
+        raise ValueError("at least one condition is required")
+    if np.any(sin <= 0.0) or np.any(cload <= 0.0) or np.any(vdd <= 0.0):
+        raise ValueError("sin, cload and vdd must all be positive")
+    if n_steps < 16:
+        raise ValueError("n_steps must be at least 16")
+
+    n_cond = sin.size
+    falling_output = inverter.arc.output_transition is Transition.FALL
+
+    parasitic = np.asarray(inverter.parasitic_cap, dtype=float)
+    miller = np.asarray(inverter.miller_cap, dtype=float)
+    n_seeds = max(parasitic.size, miller.size, 1)
+    parasitic = np.broadcast_to(parasitic, (n_seeds,))
+    miller = np.broadcast_to(miller, (n_seeds,))
+    total_cap = cload[:, np.newaxis] + parasitic[np.newaxis, :]
+
+    nmos = inverter.nmos
+    pmos = inverter.pmos
+    kernel = _alpha_power_kernel(nmos, pmos)
+
+    def integrate_chunk(t_begin: np.ndarray, t_end: np.ndarray, steps: int,
+                        state: np.ndarray, idx: np.ndarray,
+                        time_out: np.ndarray, volt_out: np.ndarray
+                        ) -> np.ndarray:
+        """Lockstep RK4 over per-condition intervals ``[t_begin, t_end]``.
+
+        Everything that is constant across the chunk -- the active rows of
+        the condition arrays, the clamp bounds, the ramp slope magnitudes --
+        is gathered once here rather than on every RK4 stage evaluation.
+        Samples are written straight into the caller-provided ``time_out`` /
+        ``volt_out`` views (shapes ``(n_active, steps + 1[, n_seeds])``), and
+        the RK4 combination runs in place on the stage buffers, so the hot
+        loop allocates nothing beyond the derivative evaluations.  ``state``
+        is advanced in place and returned.
+        """
+        ramp = sin[idx]
+        supply = vdd[idx]
+        supply_col = supply[:, np.newaxis]
+        clamp_low = -0.2 * supply_col
+        clamp_high = 1.2 * supply_col
+        slope_mag = supply / ramp
+        cap = total_cap[idx]
+
+        def derivative(t: np.ndarray, vout: np.ndarray) -> np.ndarray:
+            fraction = np.clip(t / ramp, 0.0, 1.0)
+            on_ramp = (t >= 0.0) & (t <= ramp)
+            if falling_output:  # rising input drives a falling output
+                vin = supply * fraction
+                dvin = np.where(on_ramp, slope_mag, 0.0)
+            else:
+                vin = supply * (1.0 - fraction)
+                dvin = np.where(on_ramp, -slope_mag, 0.0)
+            vin = vin[:, np.newaxis]
+            vout_clamped = np.minimum(np.maximum(vout, clamp_low), clamp_high)
+            if kernel is not None:
+                pull_down, pull_up = kernel(vin, supply_col - vin,
+                                            vout_clamped,
+                                            supply_col - vout_clamped)
+                out = pull_up
+                out -= pull_down
+                # Adding an all-zero Miller term is exact, so it can be
+                # skipped entirely once every active ramp has finished.
+                if np.any(dvin):
+                    out += miller * dvin[:, np.newaxis]
+                out /= cap
+                return out
+            pull_down = nmos.current(vin, vout_clamped)
+            pull_up = pmos.current(supply_col - vin, supply_col - vout_clamped)
+            return (pull_up - pull_down + miller * dvin[:, np.newaxis]) / cap
+
+        times = np.linspace(t_begin, t_end, steps + 1, axis=1)
+        time_out[:] = times
+        dt = times[:, 1] - times[:, 0]
+        half = dt / 2.0
+        half_col = half[:, np.newaxis]
+        dt_col = dt[:, np.newaxis]
+        sixth_col = (dt / 6.0)[:, np.newaxis]
+        stage = np.empty((idx.size, n_seeds))
+        volt_out[:, 0] = state
+        for index in range(steps):
+            t = times[:, index]
+            k1 = derivative(t, state)
+            np.multiply(half_col, k1, out=stage)
+            stage += state
+            k2 = derivative(t + half, stage)
+            np.multiply(half_col, k2, out=stage)
+            stage += state
+            k3 = derivative(t + half, stage)
+            np.multiply(dt_col, k3, out=stage)
+            stage += state
+            k4 = derivative(t + dt, stage)
+            # state += dt/6 * (k1 + 2*k2 + 2*k3 + k4), accumulated in k1.
+            k2 *= 2.0
+            k1 += k2
+            k3 *= 2.0
+            k1 += k3
+            k1 += k4
+            k1 *= sixth_col
+            state += k1
+            volt_out[:, index + 1] = state
+        return state
+
+    initial_value = vdd[:, np.newaxis] if falling_output else np.zeros((n_cond, 1))
+    vout = np.broadcast_to(initial_value, (n_cond, n_seeds)).copy()
+
+    # Every condition records at least ramp + first tail window; those two
+    # chunks are written straight into preallocated matrices (the tail chunk
+    # overwrites the shared boundary sample with identical values).  Only the
+    # rare extension chunks go through temporary buffers.
+    ramp_steps, tail_steps = _phase_steps(n_steps)
+    base_len = ramp_steps + 1 + tail_steps
+    time_matrix = np.empty((n_cond, base_len))
+    volt_matrix = np.empty((n_cond, base_len, n_seeds))
+
+    # Phase A: the input ramps.  All conditions are active; chunk boundaries
+    # align with each condition's own ramp end (see the serial engine).
+    all_idx = np.arange(n_cond)
+    vout = integrate_chunk(np.zeros(n_cond), sin, ramp_steps, vout, all_idx,
+                           time_matrix[:, :ramp_steps + 1],
+                           volt_matrix[:, :ramp_steps + 1])
+
+    # Phase B: per-condition tail windows with geometric extension.  Finished
+    # conditions retire from the active set; stragglers keep extending.
+    # Extension records are (active indices, times, voltages); active sets
+    # are nested, so every condition's chunks are a prefix of the sequence
+    # and share offsets with the other conditions still running.
+    window = _estimate_windows(inverter, sin, cload, vdd)
+    t_start = sin.copy()
+    active = all_idx
+    extension_records = []
+    lengths = np.full(n_cond, base_len, dtype=int)
+    max_extensions = _serial._MAX_EXTENSIONS
+    for extension in range(max_extensions):
+        if extension == 0:
+            chunk_steps = tail_steps
+            times = time_matrix[:, ramp_steps:]
+            voltages = volt_matrix[:, ramp_steps:]
+        else:
+            chunk_steps = _extension_steps(tail_steps)
+            times = np.empty((active.size, chunk_steps + 1))
+            voltages = np.empty((active.size, chunk_steps + 1, n_seeds))
+            extension_records.append((active, times, voltages))
+            lengths[active] += chunk_steps
+        state = integrate_chunk(t_start[active], t_start[active] + window[active],
+                                chunk_steps, vout[active], active, times,
+                                voltages)
+        vout[active] = state
+
+        supply = vdd[active, np.newaxis]
+        if falling_output:
+            done = np.all(state <= 0.5 * SLEW_LOW_THRESHOLD * supply, axis=1)
+        else:
+            done = np.all(state >= supply - 0.5 * (1.0 - SLEW_HIGH_THRESHOLD)
+                          * supply, axis=1)
+        t_start[active] = times[:, -1]
+        still_active = active[~done]
+        if still_active.size == 0:
+            active = still_active
+            break
+        window[still_active] *= 1.8
+        active = still_active
+    else:
+        first = int(active[0])
+        raise RuntimeError(
+            f"output of {inverter.cell_name} did not complete its transition "
+            f"(sin={sin[first]:.3g}s, cload={cload[first]:.3g}F, "
+            f"vdd={vdd[first]:.3g}V); the cell is likely non-functional at "
+            f"this operating point ({active.size} of {n_cond} conditions "
+            "incomplete)"
+        )
+
+    if extension_records:
+        # Stragglers needed extra chunks: grow the matrices once, scatter the
+        # extension samples in, and pad retired conditions by holding their
+        # last sample.
+        n_max = int(lengths.max())
+        grown_time = np.empty((n_cond, n_max))
+        grown_volt = np.empty((n_cond, n_max, n_seeds))
+        grown_time[:, :base_len] = time_matrix
+        grown_volt[:, :base_len] = volt_matrix
+        time_matrix, volt_matrix = grown_time, grown_volt
+        offset = base_len
+        for idx, times, voltages in extension_records:
+            span = times.shape[1] - 1
+            time_matrix[idx, offset:offset + span] = times[:, 1:]
+            volt_matrix[idx, offset:offset + span] = voltages[:, 1:]
+            offset += span
+        for index in np.nonzero(lengths < n_max)[0]:
+            length = lengths[index]
+            time_matrix[index, length:] = time_matrix[index, length - 1]
+            volt_matrix[index, length:] = volt_matrix[index, length - 1]
+
+    # The input ramps, sampled on the same per-condition time axes with the
+    # exact expression of RampStimulus.voltage.
+    fraction = np.clip(time_matrix / sin[:, np.newaxis], 0.0, 1.0)
+    if falling_output:
+        vin_matrix = vdd[:, np.newaxis] * fraction
+    else:
+        vin_matrix = vdd[:, np.newaxis] * (1.0 - fraction)
+
+    input_batch = WaveformBatch(time_matrix, vin_matrix, valid_len=lengths)
+    output_batch = WaveformBatch(time_matrix, volt_matrix, valid_len=lengths)
+    return BatchTransientResult(
+        input_waveforms=input_batch,
+        output_waveforms=output_batch,
+        sin=sin,
+        cload=cload,
+        vdd=vdd,
+    )

@@ -51,16 +51,38 @@ class RampStimulus:
         """Time at which the ramp reaches its final value."""
         return self.start_time + self.slew
 
-    def voltage(self, time: np.ndarray) -> np.ndarray:
-        """Ramp voltage at the given times (vectorized)."""
+    def voltage(self, time) -> np.ndarray:
+        """Ramp voltage at the given times (vectorized, with a scalar fast path).
+
+        The transient solver calls this once per RK4 stage with a plain float;
+        the scalar branch avoids the ``np.asarray``/``float()`` round-trip that
+        would otherwise dominate the per-step cost of the serial engine.
+        """
+        if isinstance(time, (float, int)):
+            fraction = (time - self.start_time) / self.slew
+            if fraction < 0.0:
+                fraction = 0.0
+            elif fraction > 1.0:
+                fraction = 1.0
+            if self.rising:
+                return self.vdd * fraction
+            return self.vdd * (1.0 - fraction)
         time = np.asarray(time, dtype=float)
         fraction = np.clip((time - self.start_time) / self.slew, 0.0, 1.0)
         if self.rising:
             return self.vdd * fraction
         return self.vdd * (1.0 - fraction)
 
-    def slope(self, time: np.ndarray) -> np.ndarray:
-        """Time derivative of the ramp voltage (for Miller-coupling injection)."""
+    def slope(self, time) -> np.ndarray:
+        """Time derivative of the ramp voltage (for Miller-coupling injection).
+
+        Scalar inputs take a pure-Python fast path (see :meth:`voltage`).
+        """
+        if isinstance(time, (float, int)):
+            if self.start_time <= time <= self.end_time:
+                magnitude = self.vdd / self.slew
+                return magnitude if self.rising else -magnitude
+            return 0.0
         time = np.asarray(time, dtype=float)
         active = (time >= self.start_time) & (time <= self.end_time)
         magnitude = self.vdd / self.slew

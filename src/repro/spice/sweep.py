@@ -2,9 +2,13 @@
 
 The paper batches per-seed simulations with SPICE ``.ALTER`` statements so
 each netlist is elaborated once and re-simulated for every process seed.  In
-this reproduction the analogue is a sweep that reduces the cell to its
-equivalent inverter once per seed batch and then integrates every requested
-``(Sin, Cload, Vdd)`` condition against it.
+this reproduction the analogue goes one step further: the cell is reduced to
+its equivalent inverter once per seed batch (memoized across sweeps) and
+*every* requested ``(Sin, Cload, Vdd)`` condition is integrated in a single
+pass of the batched transient engine (:mod:`repro.spice.batch`), with the
+per-condition results memoized in the global
+:class:`~repro.spice.testbench.SimulationCache` so repeated operating points
+are never simulated twice.
 """
 
 from __future__ import annotations
@@ -13,12 +17,21 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.cells.equivalent_inverter import reduce_cell
+from repro.cells.equivalent_inverter import reduce_cell_cached
 from repro.cells.library import Cell, TimingArc
-from repro.spice.testbench import SimulationCounter, TimingMeasurement
+from repro.spice.batch import simulate_arc_transitions
+from repro.spice.testbench import (
+    SimulationCache,
+    SimulationCounter,
+    TimingMeasurement,
+    get_simulation_cache,
+)
 from repro.spice.transient import DEFAULT_STEPS, simulate_arc_transition
 from repro.technology.node import TechnologyNode
 from repro.technology.variation import VariationSample
+
+#: Engines selectable in :func:`sweep_conditions`.
+ENGINES = ("batched", "serial")
 
 
 def sweep_conditions(
@@ -30,6 +43,8 @@ def sweep_conditions(
     n_steps: int = DEFAULT_STEPS,
     counter: Optional[SimulationCounter] = None,
     counter_label: Optional[str] = None,
+    engine: str = "batched",
+    cache: bool = True,
 ) -> List[TimingMeasurement]:
     """Simulate one arc across a list of operating points.
 
@@ -41,28 +56,89 @@ def sweep_conditions(
         Sequence of ``(sin, cload, vdd)`` triples.
     counter, counter_label:
         Optional simulation-run accounting; each condition charges one run
-        per seed.
+        per seed.  Runs are charged even when the simulation cache hits --
+        counters measure what a flow *requires*, the cache only saves
+        wall-clock time.
+    engine:
+        ``"batched"`` (default) integrates every condition in one 2-D RK4
+        pass; ``"serial"`` integrates condition by condition through the
+        original engine.  Both produce identical results to floating-point
+        noise; the serial engine is kept for equivalence testing and
+        benchmarking, and therefore never touches the simulation cache --
+        a serial sweep must actually run the serial integrator, not replay
+        memoized batched results.
+    cache:
+        Whether to consult/fill the global simulation cache (batched engine
+        only; ignored for ``engine="serial"``).
 
     Returns
     -------
     list of TimingMeasurement
         One measurement per condition, in the input order.
     """
-    conditions = [tuple(float(value) for value in condition) for condition in conditions]
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    conditions = [tuple(float(value) for value in condition)
+                  for condition in conditions]
     for condition in conditions:
         if len(condition) != 3:
             raise ValueError(
                 f"conditions must be (sin, cload, vdd) triples, got {condition}"
             )
 
-    inverter = reduce_cell(cell, technology, arc=arc, variation=variation)
+    inverter = reduce_cell_cached(cell, technology, arc=arc,
+                                  variation=variation)
     label = counter_label or f"sweep:{cell.name}"
+
+    simulation_cache = (get_simulation_cache()
+                        if cache and engine == "batched" else None)
+    variation_fp = (variation.fingerprint() if variation is not None
+                    else "nominal")
+
+    n_conditions = len(conditions)
+    delays: List[Optional[np.ndarray]] = [None] * n_conditions
+    slews: List[Optional[np.ndarray]] = [None] * n_conditions
+    keys: List[Optional[tuple]] = [None] * n_conditions
+
+    missing: List[int] = []
+    for index, (sin, cload, vdd) in enumerate(conditions):
+        if simulation_cache is not None:
+            key = SimulationCache.key(cell, technology, inverter.arc,
+                                      variation_fp, sin, cload, vdd, n_steps)
+            keys[index] = key
+            cached = simulation_cache.get(key)
+            if cached is not None:
+                delays[index], slews[index] = cached
+                continue
+        missing.append(index)
+
+    if missing:
+        if engine == "batched":
+            triples = np.array([conditions[i] for i in missing], dtype=float)
+            result = simulate_arc_transitions(
+                inverter, triples[:, 0], triples[:, 1], triples[:, 2],
+                n_steps=n_steps)
+            batch_delay = result.delay()
+            batch_slew = result.output_slew()
+            for row, index in enumerate(missing):
+                delays[index] = np.asarray(batch_delay[row], dtype=float)
+                slews[index] = np.asarray(batch_slew[row], dtype=float)
+        else:
+            for index in missing:
+                sin, cload, vdd = conditions[index]
+                result = simulate_arc_transition(inverter, sin=sin,
+                                                 cload=cload, vdd=vdd,
+                                                 n_steps=n_steps)
+                delays[index] = np.asarray(result.delay(), dtype=float)
+                slews[index] = np.asarray(result.output_slew(), dtype=float)
+        if simulation_cache is not None:
+            for index in missing:
+                simulation_cache.put(keys[index], delays[index], slews[index])
+
     measurements: List[TimingMeasurement] = []
-    for sin, cload, vdd in conditions:
-        result = simulate_arc_transition(inverter, sin=sin, cload=cload, vdd=vdd,
-                                         n_steps=n_steps)
-        delay = result.delay()
-        slew = result.output_slew()
+    for index, (sin, cload, vdd) in enumerate(conditions):
+        delay = delays[index].reshape(-1)
+        slew = slews[index].reshape(-1)
         if counter is not None:
             counter.add(delay.size, label=label)
         measurements.append(
@@ -72,8 +148,8 @@ def sweep_conditions(
                 sin=sin,
                 cload=cload,
                 vdd=vdd,
-                delay=np.asarray(delay, dtype=float),
-                output_slew=np.asarray(slew, dtype=float),
+                delay=delay,
+                output_slew=slew,
             )
         )
     return measurements

@@ -9,19 +9,27 @@ a batch of Monte Carlo process seeds.
 The module also provides :class:`SimulationCounter`, the bookkeeping object
 behind every speedup number reported by the benchmark harness: each call that
 performs a transient integration charges ``n_seeds`` "SPICE runs" to the
-counter, mirroring how the paper counts simulator invocations.
+counter, mirroring how the paper counts simulator invocations, and
+:class:`SimulationCache`, a memoized store of per-condition delay/slew
+results keyed on ``(cell, arc, variation fingerprint, condition, n_steps)``
+so the baseline and proposed flows stop re-simulating identical operating
+points.  Counters are charged whether or not the cache hits: they account
+for the simulation runs a flow *requires* (the quantity the paper's speedup
+claims are about), while the cache only shortens wall-clock time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.cells.equivalent_inverter import EquivalentInverter, reduce_cell
-from repro.cells.library import Cell, TimingArc, Transition
-from repro.spice.transient import DEFAULT_STEPS, simulate_arc_transition
+from repro.cells.equivalent_inverter import arc_identity_key
+from repro.cells.library import Cell, TimingArc
+from repro.spice.transient import DEFAULT_STEPS
 from repro.technology.node import TechnologyNode
 from repro.technology.variation import VariationSample
 
@@ -60,6 +68,126 @@ class SimulationCounter:
         """Reset all counts to zero."""
         self._total = 0
         self._by_label.clear()
+
+
+class SimulationCache:
+    """LRU memoization of per-condition transient results.
+
+    Keys identify the operating point: cell name and unit device widths,
+    technology name plus content fingerprint, timing arc, the content
+    fingerprint of the Monte Carlo seed batch (or ``"nominal"``), the
+    ``(sin, cload, vdd)`` condition, and the step count (see :meth:`key`
+    for the exact guarantees).  Values are the measured per-seed delay and
+    slew arrays; copies are stored and returned so callers can never
+    corrupt the cache.
+
+    The global instance (:func:`get_simulation_cache`) is consulted by
+    :func:`repro.spice.sweep.sweep_conditions` and everything layered on top
+    of it.  Set the environment variable ``REPRO_SIM_CACHE=0`` to disable
+    caching process-wide, and ``REPRO_SIM_CACHE_SIZE`` to change the entry
+    limit (default 4096 conditions).
+    """
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self._entries: "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" = OrderedDict()
+        self._max_entries = int(max_entries)
+        self._hits = 0
+        self._misses = 0
+        self._enabled = True
+
+    # ------------------------------------------------------------------
+    # Introspection / control
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether lookups are currently served."""
+        return self._enabled
+
+    @property
+    def hits(self) -> int:
+        """Number of successful lookups so far."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Number of failed lookups so far."""
+        return self._misses
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def enable(self) -> None:
+        """Serve lookups again after :meth:`disable`."""
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Make every lookup miss (stored entries are kept)."""
+        self._enabled = False
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss statistics."""
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # Keying and access
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(cell: Cell, technology: TechnologyNode, arc: TimingArc,
+            variation_fingerprint: str, sin: float, cload: float, vdd: float,
+            n_steps: int) -> tuple:
+        """Build the exact-match cache key for one operating point.
+
+        The arc identity part (and its exact guarantees) is the shared
+        :func:`repro.cells.equivalent_inverter.arc_identity_key`; the
+        operating point and step count are appended.
+        """
+        return arc_identity_key(cell, technology, arc, variation_fingerprint) + (
+            float(sin),
+            float(cload),
+            float(vdd),
+            int(n_steps),
+        )
+
+    def get(self, key: tuple) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Return ``(delay, slew)`` copies for ``key``, or ``None`` on a miss."""
+        if not self._enabled:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return entry[0].copy(), entry[1].copy()
+
+    def put(self, key: tuple, delay: np.ndarray, slew: np.ndarray) -> None:
+        """Store ``(delay, slew)`` for ``key`` (no-op while disabled)."""
+        if not self._enabled:
+            return
+        self._entries[key] = (np.array(delay, dtype=float, copy=True),
+                              np.array(slew, dtype=float, copy=True))
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+
+
+_SIMULATION_CACHE: Optional[SimulationCache] = None
+
+
+def get_simulation_cache() -> SimulationCache:
+    """The process-wide :class:`SimulationCache` (lazily constructed)."""
+    global _SIMULATION_CACHE
+    if _SIMULATION_CACHE is None:
+        cache = SimulationCache(
+            max_entries=int(os.environ.get("REPRO_SIM_CACHE_SIZE", "4096")))
+        if os.environ.get("REPRO_SIM_CACHE", "1") in ("0", "false", "off"):
+            cache.disable()
+        _SIMULATION_CACHE = cache
+    return _SIMULATION_CACHE
 
 
 @dataclass(frozen=True)
@@ -142,22 +270,12 @@ def characterize_arc(
     counter_label:
         Label under which runs are charged.
     """
-    inverter = reduce_cell(cell, technology, arc=arc, variation=variation)
-    result = simulate_arc_transition(inverter, sin=sin, cload=cload, vdd=vdd,
-                                     n_steps=n_steps)
-    delay = result.delay()
-    slew = result.output_slew()
-    if counter is not None:
-        counter.add(delay.size, label=counter_label)
-    return TimingMeasurement(
-        cell_name=cell.name,
-        arc=inverter.arc,
-        sin=float(sin),
-        cload=float(cload),
-        vdd=float(vdd),
-        delay=np.asarray(delay, dtype=float),
-        output_slew=np.asarray(slew, dtype=float),
-    )
+    from repro.spice.sweep import sweep_conditions  # deferred: avoids cycle
+
+    return sweep_conditions(
+        cell, technology, [(sin, cload, vdd)], arc=arc, variation=variation,
+        n_steps=n_steps, counter=counter, counter_label=counter_label,
+    )[0]
 
 
 def characterize_cell_nominal(
@@ -170,13 +288,12 @@ def characterize_cell_nominal(
 ) -> List[TimingMeasurement]:
     """Nominal characterization of one arc over a list of operating points.
 
-    ``conditions`` is a sequence of ``(sin, cload, vdd)`` triples.
+    ``conditions`` is a sequence of ``(sin, cload, vdd)`` triples, all
+    simulated in one pass of the batched transient engine.
     """
-    measurements = []
-    for sin, cload, vdd in conditions:
-        measurements.append(
-            characterize_arc(cell, technology, sin=sin, cload=cload, vdd=vdd,
-                             arc=arc, n_steps=n_steps, counter=counter,
-                             counter_label=f"nominal:{cell.name}")
-        )
-    return measurements
+    from repro.spice.sweep import sweep_conditions  # deferred: avoids cycle
+
+    return sweep_conditions(
+        cell, technology, conditions, arc=arc, n_steps=n_steps,
+        counter=counter, counter_label=f"nominal:{cell.name}",
+    )

@@ -35,6 +35,22 @@ _WINDOW_MARGIN = 8.0
 _MAX_EXTENSIONS = 6
 
 
+def _phase_steps(n_steps: int) -> tuple:
+    """Split ``n_steps`` into (ramp, tail) step counts.
+
+    Shared with the batched engine (:mod:`repro.spice.batch`) so both engines
+    take the identical step sequence and produce identical waveform samples.
+    """
+    ramp_steps = max(n_steps // 3, 48)
+    tail_steps = max(n_steps - ramp_steps, 64)
+    return ramp_steps, tail_steps
+
+
+def _extension_steps(tail_steps: int) -> int:
+    """Step count of each geometric window-extension chunk."""
+    return max(tail_steps // 2, 64)
+
+
 @dataclass(frozen=True)
 class TransientResult:
     """Waveforms produced by one arc transition simulation."""
@@ -118,8 +134,8 @@ def simulate_arc_transition(
     pmos = inverter.pmos
 
     def derivative(t: float, vout: np.ndarray) -> np.ndarray:
-        vin = float(stimulus.voltage(np.asarray(t)))
-        dvin = float(stimulus.slope(np.asarray(t)))
+        vin = stimulus.voltage(t)
+        dvin = stimulus.slope(t)
         vout_clamped = np.clip(vout, -0.2 * vdd, 1.2 * vdd)
         pull_down = nmos.current(vin, vout_clamped)
         pull_up = pmos.current(vdd - vin, vdd - vout_clamped)
@@ -151,7 +167,7 @@ def simulate_arc_transition(
     # Phase A: the input ramp.  Aligning a chunk boundary with the end of the
     # ramp keeps the slope discontinuity off the interior of any RK4 step,
     # which is what makes the delay measurement converge smoothly in n_steps.
-    ramp_steps = max(n_steps // 3, 48)
+    ramp_steps, tail_steps = _phase_steps(n_steps)
     times, voltages, vout = integrate_chunk(0.0, sin, ramp_steps, vout)
     time_chunks.append(times)
     volt_chunks.append(voltages)
@@ -160,9 +176,8 @@ def simulate_arc_transition(
     # Phase B: after the ramp, integrate until every seed completes its
     # transition, extending the window geometrically if needed.
     window = _estimate_window(inverter, sin, cload, vdd)
-    tail_steps = max(n_steps - ramp_steps, 64)
     for extension in range(_MAX_EXTENSIONS):
-        chunk_steps = tail_steps if extension == 0 else max(tail_steps // 2, 64)
+        chunk_steps = tail_steps if extension == 0 else _extension_steps(tail_steps)
         times, voltages, vout = integrate_chunk(t_start, t_start + window,
                                                 chunk_steps, vout)
         time_chunks.append(times[1:])

@@ -10,6 +10,11 @@ library characterization needs:
   rescaled by the usual 0.6 derate so the reported value approximates the
   full-swing transition time.  The same convention is applied to input ramps,
   keeping ``Sin`` and ``Sout`` directly comparable.
+
+All measurements are vectorized: a :class:`Waveform` measures every seed in
+one array pass, and a :class:`WaveformBatch` measures a whole
+``(n_conditions, n_seeds)`` sweep at once (the extraction side of the batched
+transient engine in :mod:`repro.spice.batch`).
 """
 
 from __future__ import annotations
@@ -72,12 +77,23 @@ class Waveform:
         return Waveform(self._time, self._voltage[:, index])
 
     def value_at(self, when: float) -> np.ndarray:
-        """Linearly interpolated voltage at time ``when`` for every seed."""
+        """Linearly interpolated voltage at time ``when`` for every seed.
+
+        One vectorized pass over all seeds (``searchsorted`` + gather) rather
+        than a per-seed ``np.interp`` loop.
+        """
         when = float(when)
-        result = np.empty(self.n_seeds)
-        for seed_index in range(self.n_seeds):
-            result[seed_index] = np.interp(when, self._time, self._voltage[:, seed_index])
-        return result
+        time = self._time
+        if when <= time[0]:
+            return self._voltage[0, :].copy()
+        if when >= time[-1]:
+            return self._voltage[-1, :].copy()
+        high = int(np.searchsorted(time, when))
+        high = min(max(high, 1), time.size - 1)
+        low = high - 1
+        fraction = (when - time[low]) / (time[high] - time[low])
+        return self._voltage[low, :] + fraction * (self._voltage[high, :]
+                                                   - self._voltage[low, :])
 
     # ------------------------------------------------------------------
     # Measurements
@@ -101,35 +117,11 @@ class Waveform:
             Crossing times per seed; ``numpy.nan`` where the waveform never
             crosses the threshold.
         """
-        time = self._time
-        volts = self._voltage
-        n_seeds = self.n_seeds
-        crossings = np.full(n_seeds, np.nan)
-
-        for seed_index in range(n_seeds):
-            trace = volts[:, seed_index]
-            direction = rising
-            if direction is None:
-                direction = trace[-1] >= trace[0]
-            if direction:
-                above = trace >= threshold
-            else:
-                above = trace <= threshold
-            if above[0]:
-                crossings[seed_index] = time[0]
-                continue
-            indices = np.nonzero(above)[0]
-            if indices.size == 0:
-                continue
-            hit = indices[0]
-            v0, v1 = trace[hit - 1], trace[hit]
-            t0, t1 = time[hit - 1], time[hit]
-            if v1 == v0:
-                crossings[seed_index] = t1
-            else:
-                fraction = (threshold - v0) / (v1 - v0)
-                crossings[seed_index] = t0 + fraction * (t1 - t0)
-        return crossings
+        # One waveform is the single-condition special case of a batch; the
+        # interpolation/direction/edge-case logic lives only there.
+        batch = WaveformBatch(self._time[np.newaxis, :],
+                              self._voltage[np.newaxis, :, :])
+        return batch.crossing_time(float(threshold), rising)[0]
 
     def transition_time(self, vdd: float, rising: Optional[bool] = None) -> np.ndarray:
         """Slew (transition time) per seed, derated to full swing.
@@ -161,3 +153,159 @@ class Waveform:
     def settled(self, target: float, tolerance: float) -> np.ndarray:
         """Boolean per seed: has the waveform settled within ``tolerance`` of ``target``?"""
         return np.abs(self.final_value() - target) <= tolerance
+
+
+class WaveformBatch:
+    """A batch of waveforms over ``(n_conditions, n_time, n_seeds)``.
+
+    Each condition keeps its own time axis (conditions have different ramp
+    durations and simulation windows), stored as the rows of a shared 2-D
+    ``time`` matrix.  Conditions that finish early are padded by holding their
+    last sample; ``valid_len`` records how many samples of each row are real.
+    All measurements are single array passes over the whole batch -- this is
+    what makes delay/slew extraction of a multi-condition sweep one
+    vectorized operation instead of ``n_conditions * n_seeds`` scalar loops.
+    """
+
+    def __init__(self, time: np.ndarray, voltage: np.ndarray,
+                 valid_len: Optional[np.ndarray] = None):
+        time = np.asarray(time, dtype=float)
+        voltage = np.asarray(voltage, dtype=float)
+        if time.ndim != 2:
+            raise ValueError("time must have shape (n_conditions, n_time)")
+        if time.shape[1] < 2:
+            raise ValueError("waveforms need at least two samples")
+        if voltage.ndim == 2:
+            voltage = voltage[:, :, np.newaxis]
+        if voltage.ndim != 3 or voltage.shape[:2] != time.shape:
+            raise ValueError(
+                f"voltage must have shape (n_conditions, n_time[, n_seeds]); "
+                f"got {voltage.shape} for time shape {time.shape}"
+            )
+        if valid_len is None:
+            valid_len = np.full(time.shape[0], time.shape[1], dtype=int)
+        valid_len = np.asarray(valid_len, dtype=int)
+        if valid_len.shape != (time.shape[0],):
+            raise ValueError("valid_len must have one entry per condition")
+        if np.any(valid_len < 2) or np.any(valid_len > time.shape[1]):
+            raise ValueError("valid_len entries must be in [2, n_time]")
+        self._time = time
+        self._voltage = voltage
+        self._valid_len = valid_len
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def time(self) -> np.ndarray:
+        """Per-condition time axes, shape ``(n_conditions, n_time)``."""
+        return self._time
+
+    @property
+    def voltage(self) -> np.ndarray:
+        """Voltage samples, shape ``(n_conditions, n_time, n_seeds)``."""
+        return self._voltage
+
+    @property
+    def valid_len(self) -> np.ndarray:
+        """Number of real (non-padding) samples per condition."""
+        return self._valid_len
+
+    @property
+    def n_conditions(self) -> int:
+        """Number of conditions in this batch."""
+        return self._time.shape[0]
+
+    @property
+    def n_seeds(self) -> int:
+        """Number of per-seed traces per condition."""
+        return self._voltage.shape[2]
+
+    def condition(self, index: int) -> Waveform:
+        """Extract one condition as a plain :class:`Waveform` (padding trimmed)."""
+        length = int(self._valid_len[index])
+        return Waveform(self._time[index, :length],
+                        self._voltage[index, :length, :])
+
+    # ------------------------------------------------------------------
+    # Measurements (vectorized over conditions x seeds)
+    # ------------------------------------------------------------------
+    def crossing_time(self, thresholds, rising: Optional[bool] = None
+                      ) -> np.ndarray:
+        """First crossing time of per-condition thresholds, one array pass.
+
+        Parameters
+        ----------
+        thresholds:
+            Scalar or array of shape ``(n_conditions,)`` -- the voltage level
+            to detect in each condition's traces.
+        rising:
+            As in :meth:`Waveform.crossing_time`; ``None`` derives the
+            direction per (condition, seed) trace.
+
+        Returns
+        -------
+        numpy.ndarray
+            Crossing times of shape ``(n_conditions, n_seeds)``; ``nan``
+            where a trace never crosses its threshold.
+        """
+        n_conditions, n_time = self._time.shape
+        n_seeds = self.n_seeds
+        thresholds = np.broadcast_to(np.asarray(thresholds, dtype=float),
+                                     (n_conditions,))
+        time = self._time
+        volts = self._voltage
+        thr = thresholds[:, np.newaxis, np.newaxis]
+
+        if rising is None:
+            # Padding holds the last valid sample, so the final sample is the
+            # last real one and the per-trace direction matches the trimmed
+            # waveform's ``trace[-1] >= trace[0]`` convention.
+            direction = volts[:, -1, :] >= volts[:, 0, :]
+        else:
+            direction = np.full((n_conditions, n_seeds), bool(rising))
+        above = np.where(direction[:, np.newaxis, :], volts >= thr, volts <= thr)
+        # Ignore padded samples so they can never be the "first" crossing.
+        above &= (np.arange(n_time)[np.newaxis, :]
+                  < self._valid_len[:, np.newaxis])[:, :, np.newaxis]
+
+        any_above = above.any(axis=1)
+        at_start = above[:, 0, :]
+        hit = np.maximum(np.argmax(above, axis=1), 1)
+        rows = np.arange(n_conditions)[:, np.newaxis]
+        cols = np.arange(n_seeds)[np.newaxis, :]
+        v0 = volts[rows, hit - 1, cols]
+        v1 = volts[rows, hit, cols]
+        t0 = time[rows, hit - 1]
+        t1 = time[rows, hit]
+        span = v1 - v0
+        fraction = (thresholds[:, np.newaxis] - v0) / np.where(span == 0.0, 1.0,
+                                                               span)
+        crossings = np.where(span == 0.0, t1, t0 + fraction * (t1 - t0))
+        crossings = np.where(at_start, time[:, :1], crossings)
+        return np.where(any_above, crossings, np.nan)
+
+    def transition_time(self, vdd, rising: Optional[bool] = None) -> np.ndarray:
+        """Derated 20 %-80 % slew per (condition, seed), one array pass."""
+        vdd = np.broadcast_to(np.asarray(vdd, dtype=float), (self.n_conditions,))
+        if np.any(vdd <= 0.0):
+            raise ValueError("vdd must be positive")
+        low = self.crossing_time(SLEW_LOW_THRESHOLD * vdd, rising)
+        high = self.crossing_time(SLEW_HIGH_THRESHOLD * vdd, rising)
+        return np.abs(high - low) / SLEW_DERATE
+
+    def propagation_delay(self, reference: "WaveformBatch", vdd) -> np.ndarray:
+        """50 %-to-50 % delay against a reference batch (the input ramps)."""
+        vdd = np.broadcast_to(np.asarray(vdd, dtype=float), (self.n_conditions,))
+        if np.any(vdd <= 0.0):
+            raise ValueError("vdd must be positive")
+        if reference.n_conditions != self.n_conditions:
+            raise ValueError("reference batch must have the same conditions")
+        input_cross = reference.crossing_time(DELAY_THRESHOLD * vdd)
+        output_cross = self.crossing_time(DELAY_THRESHOLD * vdd)
+        return output_cross - input_cross
+
+    def final_value(self) -> np.ndarray:
+        """Voltage at each condition's last valid sample, per seed."""
+        rows = np.arange(self.n_conditions)
+        return self._voltage[rows, self._valid_len - 1, :].copy()

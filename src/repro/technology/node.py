@@ -10,6 +10,8 @@ process-variation model.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass, field
 from typing import Tuple, Type
 
@@ -103,6 +105,21 @@ class TechnologyNode:
         ):
             if not (0.0 < low < high):
                 raise ValueError(f"{label} must satisfy 0 < min < max, got {(low, high)}")
+
+    def fingerprint(self) -> str:
+        """Content hash of the node's physical description.
+
+        Used by the simulation and reduction caches so that a modified copy
+        of a node (e.g. ``dataclasses.replace(node, vdd_nominal=...)``) is
+        never served another node's cached results, even when it reuses the
+        name.  Computed lazily and memoized on the (frozen) instance.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            payload = repr(dataclasses.astuple(self)).encode()
+            cached = hashlib.sha1(payload).hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     # ------------------------------------------------------------------
     # Device construction

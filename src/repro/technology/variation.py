@@ -20,6 +20,7 @@ the paper (Figs. 7-9) meaningful.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -104,6 +105,29 @@ class VariationSample:
     def shifted(self, **changes) -> "VariationSample":
         """Return a copy with the given arrays replaced (for corner analysis)."""
         return replace(self, **changes)
+
+    def fingerprint(self) -> str:
+        """Content hash of the seed batch, for memoization keys.
+
+        Two samples with bitwise-identical arrays share a fingerprint, so the
+        equivalent-inverter reduction and simulation caches can recognise
+        repeated sweeps over the same seeds regardless of object identity.
+        Computed lazily and memoized on the (frozen) instance; the arrays
+        are never mutated after construction.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
+        digest = hashlib.sha1()
+        for array in (self.delta_vth_nmos, self.delta_vth_pmos,
+                      self.drive_mult_nmos, self.drive_mult_pmos,
+                      self.leff_mult, self.cap_mult):
+            contiguous = np.ascontiguousarray(np.asarray(array, dtype=float))
+            digest.update(str(contiguous.shape).encode())
+            digest.update(contiguous.tobytes())
+        fingerprint = digest.hexdigest()
+        object.__setattr__(self, "_fingerprint", fingerprint)
+        return fingerprint
 
 
 @dataclass(frozen=True)
