@@ -23,6 +23,9 @@ RESULTS_DIR = Path(__file__).parent / "benchmark_results"
 #: ``REPRO_BENCH_PERF_CONDITIONS``  conditions in the transient perf sweep (50)
 #: ``REPRO_BENCH_PERF_SEEDS``       seeds in the transient perf sweep (200)
 #: ``REPRO_BENCH_PERF_MIN_SPEEDUP`` assertion floor for batched/serial (2.0)
+#: ``REPRO_BENCH_MAP_SEEDS``        seeds in the MAP extraction benchmark (200)
+#: ``REPRO_BENCH_MAP_CONDITIONS``   fitting conditions per seed (4)
+#: ``REPRO_BENCH_MAP_MIN_SPEEDUP``  assertion floor for batched/scipy MAP (3.0)
 #:
 #: Separately, ``REPRO_SIM_CACHE`` / ``REPRO_SIM_CACHE_SIZE`` control the
 #: library's global simulation cache (see ``repro.spice.testbench``).

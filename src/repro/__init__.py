@@ -70,15 +70,20 @@ from repro.characterization import (
     statistical_errors,
 )
 from repro.core import (
+    BatchMapObservations,
+    BatchMapResult,
     BayesianCharacterizer,
     CompactTimingModel,
+    LibraryCharacterization,
     StatisticalCharacterizer,
     TimingModelParameters,
     TimingPrior,
     characterize_historical_library,
+    characterize_library,
     fit_least_squares,
     learn_prior,
     map_estimate,
+    map_estimate_batch,
 )
 from repro.bayes import GaussianDensity, GaussianFactorGraph, PrecisionModel
 from repro.experiments import AccuracyCurve, ExperimentRunner, compute_speedup
@@ -87,6 +92,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccuracyCurve",
+    "BatchMapObservations",
+    "BatchMapResult",
     "BatchTransientResult",
     "BayesianCharacterizer",
     "Cell",
@@ -96,6 +103,7 @@ __all__ = [
     "GaussianFactorGraph",
     "InputCondition",
     "InputSpace",
+    "LibraryCharacterization",
     "LseCharacterizer",
     "LutCharacterizer",
     "PrecisionModel",
@@ -116,6 +124,7 @@ __all__ = [
     "available_cells",
     "characterize_arc",
     "characterize_historical_library",
+    "characterize_library",
     "compute_speedup",
     "default_library",
     "fit_least_squares",
@@ -126,6 +135,7 @@ __all__ = [
     "list_technologies",
     "make_cell",
     "map_estimate",
+    "map_estimate_batch",
     "mean_relative_error",
     "nominal_baseline",
     "reduce_cell",

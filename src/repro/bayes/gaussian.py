@@ -122,6 +122,18 @@ class GaussianDensity:
         precision = np.linalg.inv(regularized)
         return precision, precision @ self._mean
 
+    def whitening_matrix(self, jitter: float = _DEFAULT_JITTER) -> np.ndarray:
+        """Upper-triangular ``L`` with ``L.T @ L = cov^-1`` (plus jitter).
+
+        Whitened residuals ``L @ (x - mean)`` turn the Gaussian quadratic
+        form into a plain sum of squares: ``||L @ (x - mean)||^2`` equals the
+        squared Mahalanobis distance.  Both the scalar and the batched MAP
+        estimators stack these whitened prior residuals under the data
+        residuals so the Eq. 15 objective becomes one least-squares problem.
+        """
+        precision = np.linalg.inv(self._cov + jitter * np.eye(self.dim))
+        return np.linalg.cholesky(precision).T
+
     # ------------------------------------------------------------------
     # Probability operations
     # ------------------------------------------------------------------
@@ -175,7 +187,7 @@ class GaussianDensity:
         values = np.asarray(values, dtype=float).reshape(-1)
         if indices.size != values.size:
             raise ValueError("indices and values must have the same length")
-        keep = np.array([i for i in range(self.dim) if i not in set(indices.tolist())])
+        keep = np.setdiff1d(np.arange(self.dim), indices)
         if keep.size == 0:
             raise ValueError("cannot condition on every dimension")
         cov_kk = self._cov[np.ix_(keep, keep)]

@@ -9,9 +9,13 @@
 * :mod:`repro.core.map_estimation` -- maximum-a-posteriori extraction of the
   timing-model parameters from a handful of target-technology simulations
   (Eq. 15).
+* :mod:`repro.core.batch_map` -- the seed-vectorized Levenberg-Marquardt MAP
+  solver that extracts every Monte Carlo seed's parameters at once.
 * :mod:`repro.core.characterizer` -- the nominal characterization flow.
 * :mod:`repro.core.statistical_flow` -- the per-seed statistical
   characterization flow of Fig. 4.
+* :mod:`repro.core.library_flow` -- the library-scale orchestrator that
+  characterizes every cell x arc of a library in one call.
 """
 
 from repro.core.timing_model import (
@@ -27,17 +31,31 @@ from repro.core.prior_learning import (
     learn_prior,
 )
 from repro.core.map_estimation import MapObservations, map_estimate
+from repro.core.batch_map import (
+    BatchMapObservations,
+    BatchMapResult,
+    map_estimate_batch,
+)
 from repro.core.characterizer import BayesianCharacterizer, NominalCharacterization
 from repro.core.statistical_flow import (
     StatisticalCharacterization,
     StatisticalCharacterizer,
 )
+from repro.core.library_flow import (
+    LibraryArcCharacterization,
+    LibraryCharacterization,
+    characterize_library,
+)
 
 __all__ = [
+    "BatchMapObservations",
+    "BatchMapResult",
     "BayesianCharacterizer",
     "CompactTimingModel",
     "FitResult",
     "HistoricalLibraryData",
+    "LibraryArcCharacterization",
+    "LibraryCharacterization",
     "MapObservations",
     "NominalCharacterization",
     "StatisticalCharacterization",
@@ -45,7 +63,9 @@ __all__ = [
     "TimingModelParameters",
     "TimingPrior",
     "characterize_historical_library",
+    "characterize_library",
     "fit_least_squares",
     "learn_prior",
     "map_estimate",
+    "map_estimate_batch",
 ]

@@ -1,0 +1,400 @@
+"""Library-scale statistical characterization orchestrator.
+
+The per-arc flows (:class:`~repro.core.characterizer.BayesianCharacterizer`,
+:class:`~repro.core.statistical_flow.StatisticalCharacterizer`) characterize
+one timing arc at a time; a real library job characterizes *every cell and
+arc* of a standard-cell library against one learned prior.  This module
+orchestrates that workload:
+
+* one shared Monte Carlo seed batch, so every arc's per-seed parameters are
+  statistically comparable (and SSTA can correlate them seed-by-seed);
+* fitting conditions drawn once, deterministically, in job order -- results
+  are bit-identical no matter how the jobs are executed;
+* the learned priors, the equivalent-inverter reduction cache and the global
+  :class:`~repro.spice.testbench.SimulationCache` are shared across arcs;
+* optional ``concurrency="process"`` fan-out across arcs for multi-core
+  machines (each worker runs the same batched transient engine and batched
+  MAP solver, so the speedups multiply);
+* simulation-run accounting identical to running the per-arc flows by hand:
+  each arc charges ``k * n_seeds`` runs under a ``library:<cell>:<arc>``
+  label, whichever execution mode ran it.
+
+The resulting :class:`LibraryCharacterization` feeds the downstream
+consumers directly: :meth:`LibraryCharacterization.liberty_writer` emits a
+Liberty library with NLDM mean tables plus LVF-style sigma tables, and
+:meth:`LibraryCharacterization.timing_view` builds the per-seed
+:class:`~repro.sta.timing_view.StatisticalTimingView` Monte Carlo SSTA
+consumes.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cells.equivalent_inverter import reduce_cell_cached
+from repro.cells.library import Cell, StandardCellLibrary, TimingArc, Transition
+from repro.characterization.input_space import InputCondition, InputSpace
+from repro.core.prior_learning import TimingPrior
+from repro.core.statistical_flow import (
+    SOLVERS,
+    StatisticalCharacterization,
+    StatisticalCharacterizer,
+)
+from repro.liberty.tables import NldmTable
+from repro.liberty.writer import CellTimingData, LibertyWriter, TimingTableSet
+from repro.spice.testbench import SimulationCounter
+from repro.technology.node import TechnologyNode
+from repro.technology.variation import VariationSample
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.units import NANO, PICO
+
+#: Execution modes of :func:`characterize_library`.
+CONCURRENCY_MODES = ("serial", "process")
+
+
+@dataclass(frozen=True)
+class LibraryArcCharacterization:
+    """One characterized (cell, arc) entry of a library run.
+
+    Attributes
+    ----------
+    cell_name:
+        Owning cell.
+    arc:
+        The characterized timing arc.
+    statistical:
+        Per-seed extraction result for the arc.
+    input_cap_f:
+        Nominal input-pin capacitance of the arc's switching pin, farads.
+    function:
+        Boolean function of the cell output (for Liberty emission).
+    area:
+        Cell area proxy (total device width, square micrometres).
+    """
+
+    cell_name: str
+    arc: TimingArc
+    statistical: StatisticalCharacterization
+    input_cap_f: float
+    function: str
+    area: float
+
+
+@dataclass(frozen=True)
+class LibraryCharacterization:
+    """Statistical characterization of a whole cell library.
+
+    Attributes
+    ----------
+    library_name, technology_name:
+        Identification of the characterized library and target node.
+    vdd_nominal:
+        Nominal supply of the target technology (default table supply).
+    slew_range, cload_range:
+        Input-space ranges of the target technology (default table axes).
+    n_seeds:
+        Monte Carlo seeds shared by every arc.
+    solver, concurrency:
+        How the parameter extraction and the arc fan-out were executed.
+    simulation_runs:
+        Total simulator invocations across all arcs.
+    entries:
+        One :class:`LibraryArcCharacterization` per characterized arc, in
+        deterministic (cell, arc) order.
+    """
+
+    library_name: str
+    technology_name: str
+    vdd_nominal: float
+    slew_range: Tuple[float, float]
+    cload_range: Tuple[float, float]
+    n_seeds: int
+    solver: str
+    concurrency: str
+    simulation_runs: int
+    entries: Tuple[LibraryArcCharacterization, ...]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def cell_names(self) -> List[str]:
+        """Characterized cell names in deterministic order."""
+        names: List[str] = []
+        for entry in self.entries:
+            if entry.cell_name not in names:
+                names.append(entry.cell_name)
+        return names
+
+    def arcs_of(self, cell_name: str) -> List[LibraryArcCharacterization]:
+        """All characterized arcs of one cell."""
+        found = [e for e in self.entries if e.cell_name == cell_name]
+        if not found:
+            raise KeyError(f"no characterized arcs for cell {cell_name!r}")
+        return found
+
+    def get(self, cell_name: str, arc_name: Optional[str] = None
+            ) -> LibraryArcCharacterization:
+        """One entry by cell (and optionally arc) name."""
+        for entry in self.arcs_of(cell_name):
+            if arc_name is None or entry.arc.name == arc_name:
+                return entry
+        raise KeyError(f"cell {cell_name!r} has no characterized arc {arc_name!r}")
+
+    def input_capacitances(self) -> Dict[str, float]:
+        """Nominal input capacitance per cell (first characterized arc)."""
+        return {name: self.arcs_of(name)[0].input_cap_f
+                for name in self.cell_names()}
+
+    def unconverged_arcs(self) -> List[str]:
+        """Arc names with at least one unconverged extraction seed."""
+        return [entry.arc.name for entry in self.entries
+                if entry.statistical.unconverged_seeds().size > 0]
+
+    # ------------------------------------------------------------------
+    # Downstream consumers
+    # ------------------------------------------------------------------
+    def timing_view(self, vdd: Optional[float] = None,
+                    transition: Transition = Transition.FALL
+                    ) -> "StatisticalTimingView":
+        """Per-seed timing view for Monte Carlo SSTA.
+
+        Picks, per cell, the characterized arc with the requested output
+        transition (the first one in entry order).  All arcs share the seed
+        batch, so the view's per-seed samples stay correlated across cells.
+        """
+        # Deferred: repro.sta pulls in the analysis/experiments packages,
+        # which import repro.core back (cycle at package-init time only).
+        from repro.sta.timing_view import timing_view_from_statistical
+
+        vdd = float(vdd) if vdd is not None else self.vdd_nominal
+        characterizations: Dict[str, StatisticalCharacterization] = {}
+        input_caps: Dict[str, float] = {}
+        for name in self.cell_names():
+            matching = [e for e in self.arcs_of(name)
+                        if e.arc.output_transition is Transition(transition)]
+            if not matching:
+                raise KeyError(
+                    f"cell {name!r} has no characterized "
+                    f"{Transition(transition).value} arc")
+            characterizations[name] = matching[0].statistical
+            input_caps[name] = matching[0].input_cap_f
+        return timing_view_from_statistical(characterizations, input_caps, vdd=vdd)
+
+    def liberty_writer(self, vdd: Optional[float] = None,
+                       n_slew: int = 4, n_cap: int = 4,
+                       library_name: Optional[str] = None) -> LibertyWriter:
+        """Liberty export: NLDM mean tables plus LVF-style sigma tables.
+
+        Every characterized arc becomes one ``timing`` group of its cell with
+        ``cell_rise``/``cell_fall`` (mean delay), transition (mean slew) and
+        ``ocv_sigma`` (delay standard deviation) tables evaluated on an
+        ``n_slew x n_cap`` grid at the given supply.  Use
+        ``.render()`` / ``.write(path)`` on the returned writer.
+        """
+        vdd = float(vdd) if vdd is not None else self.vdd_nominal
+        slew_axis = np.linspace(self.slew_range[0], self.slew_range[1], n_slew)
+        cap_axis = np.linspace(self.cload_range[0], self.cload_range[1], n_cap)
+        writer = LibertyWriter(
+            library_name or f"repro_{self.technology_name}", nominal_voltage=vdd)
+        grid = [InputCondition(sin=float(s), cload=float(c), vdd=vdd)
+                for s in slew_axis for c in cap_axis]
+        shape = (slew_axis.size, cap_axis.size)
+
+        for cell_name in self.cell_names():
+            arcs: List[TimingTableSet] = []
+            for entry in self.arcs_of(cell_name):
+                stats = entry.statistical.predict_statistics(grid)
+
+                def table(values: np.ndarray) -> NldmTable:
+                    return NldmTable(
+                        input_slews_ns=slew_axis / NANO,
+                        load_caps_pf=cap_axis / PICO,
+                        values_ns=values.reshape(shape) / NANO,
+                    )
+
+                arcs.append(TimingTableSet(
+                    related_pin=entry.arc.input_pin,
+                    output_transition=entry.arc.output_transition,
+                    delay=table(stats["mu_delay"]),
+                    transition=table(stats["mu_slew"]),
+                    sigma_delay=table(stats["sigma_delay"]),
+                ))
+            first = self.arcs_of(cell_name)[0]
+            # Per-pin capacitances from each pin's own characterized arcs
+            # (pins can present different gate widths on asymmetric cells).
+            pin_caps = {entry.arc.input_pin: entry.input_cap_f / PICO
+                        for entry in self.arcs_of(cell_name)}
+            writer.add_cell(CellTimingData(
+                name=cell_name,
+                function=first.function,
+                input_pin_caps_pf=dict(sorted(pin_caps.items())),
+                arcs=arcs,
+                area=first.area,
+            ))
+        return writer
+
+
+def _arc_jobs(cells: Sequence[Cell], transitions: Sequence[Transition],
+              input_pins: str) -> List[Tuple[Cell, TimingArc]]:
+    """Deterministic (cell, arc) job list."""
+    jobs: List[Tuple[Cell, TimingArc]] = []
+    for cell in cells:
+        pins = cell.input_pins if input_pins == "all" else cell.input_pins[:1]
+        for pin in pins:
+            for transition in transitions:
+                jobs.append((cell, cell.arc(pin, Transition(transition))))
+    return jobs
+
+
+def _characterize_arc_job(payload: tuple) -> StatisticalCharacterization:
+    """One (cell, arc) characterization; module-level for process pickling.
+
+    Runs with a local counter (``None``): ``sweep_conditions`` charges
+    deterministically per condition x seed, so the parent can account runs
+    identically for serial and process execution.
+    """
+    (technology, cell, arc, delay_prior, slew_prior, variation, conditions,
+     solver) = payload
+    characterizer = StatisticalCharacterizer(
+        technology, cell, delay_prior, slew_prior, arc=arc,
+        n_seeds=variation.n_seeds, solver=solver)
+    characterizer.use_variation(variation)
+    return characterizer.characterize(list(conditions))
+
+
+def characterize_library(
+    technology: TechnologyNode,
+    library: Union[StandardCellLibrary, Sequence[Cell]],
+    delay_prior: TimingPrior,
+    slew_prior: TimingPrior,
+    conditions: Union[int, Sequence[InputCondition]] = 4,
+    n_seeds: int = 200,
+    transitions: Sequence[Transition] = (Transition.FALL, Transition.RISE),
+    input_pins: str = "first",
+    variation: Optional[VariationSample] = None,
+    rng: RandomState = None,
+    counter: Optional[SimulationCounter] = None,
+    solver: str = "batched",
+    concurrency: str = "serial",
+    max_workers: Optional[int] = None,
+) -> LibraryCharacterization:
+    """Statistically characterize every requested arc of a cell library.
+
+    Parameters
+    ----------
+    technology:
+        Target technology node.
+    library:
+        A :class:`StandardCellLibrary` or a plain cell sequence.
+    delay_prior, slew_prior:
+        Learned priors shared by every arc.
+    conditions:
+        Number of fitting conditions per arc (drawn per arc by Latin
+        hypercube from the orchestrator's ``rng``) or one explicit condition
+        list shared by all arcs.
+    n_seeds:
+        Monte Carlo seeds (ignored when ``variation`` is given).
+    transitions:
+        Output transitions to characterize per input pin.
+    input_pins:
+        ``"first"`` (one switching pin per cell, the paper's convention) or
+        ``"all"``.
+    variation:
+        Optional explicit seed batch shared by every arc.
+    rng:
+        Random source for seed sampling and condition selection.
+    counter:
+        Optional simulation-run accounting; every arc charges
+        ``k * n_seeds`` runs under ``library:<cell>:<arc>``, identically in
+        both execution modes.
+    solver:
+        Parameter-extraction solver (see
+        :class:`~repro.core.statistical_flow.StatisticalCharacterizer`).
+    concurrency:
+        ``"serial"`` (default; shares the in-process simulation cache) or
+        ``"process"`` (fan the arcs out over a process pool).  Results are
+        deterministic and identical across modes: the seed batch and every
+        arc's fitting conditions are fixed in the parent before dispatch.
+    max_workers:
+        Process-pool size for ``concurrency="process"``.
+
+    Raises
+    ------
+    ValueError
+        On an empty library or invalid mode switches.
+    """
+    if concurrency not in CONCURRENCY_MODES:
+        raise ValueError(
+            f"concurrency must be one of {CONCURRENCY_MODES}, got {concurrency!r}")
+    if solver not in SOLVERS:
+        raise ValueError(f"solver must be one of {SOLVERS}, got {solver!r}")
+    if input_pins not in ("first", "all"):
+        raise ValueError(f"input_pins must be 'first' or 'all', got {input_pins!r}")
+    cells = list(library)
+    if not cells:
+        raise ValueError("the library has no cells to characterize")
+    library_name = (library.name if isinstance(library, StandardCellLibrary)
+                    else f"{technology.name}_cells")
+
+    generator = ensure_rng(rng)
+    if variation is None:
+        variation = technology.variation.sample(int(n_seeds), generator)
+    if variation.n_seeds < 2:
+        raise ValueError("library characterization needs at least 2 seeds")
+
+    jobs = _arc_jobs(cells, transitions, input_pins)
+    space = InputSpace(technology)
+    if isinstance(conditions, int):
+        # Per-arc condition draws happen in job order *before* any dispatch,
+        # so serial and process execution see identical inputs.
+        job_conditions = [space.sample_lhs(conditions, generator) for _ in jobs]
+    else:
+        shared = list(conditions)
+        if not shared:
+            raise ValueError("at least one fitting condition is required")
+        job_conditions = [shared for _ in jobs]
+
+    payloads = [
+        (technology, cell, arc, delay_prior, slew_prior, variation,
+         job_conditions[index], solver)
+        for index, (cell, arc) in enumerate(jobs)
+    ]
+    if concurrency == "process":
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            results = list(pool.map(_characterize_arc_job, payloads))
+    else:
+        results = [_characterize_arc_job(payload) for payload in payloads]
+
+    entries: List[LibraryArcCharacterization] = []
+    total_runs = 0
+    for (cell, arc), result in zip(jobs, results):
+        if counter is not None:
+            counter.add(result.simulation_runs,
+                        label=f"library:{cell.name}:{arc.name}")
+        total_runs += result.simulation_runs
+        nominal = reduce_cell_cached(cell, technology, arc=arc)
+        entries.append(LibraryArcCharacterization(
+            cell_name=cell.name,
+            arc=arc,
+            statistical=result,
+            input_cap_f=float(np.mean(np.asarray(nominal.input_cap))),
+            function=cell.function,
+            area=cell.total_device_width_um(),
+        ))
+
+    return LibraryCharacterization(
+        library_name=library_name,
+        technology_name=technology.name,
+        vdd_nominal=technology.vdd_nominal,
+        slew_range=tuple(technology.slew_range),
+        cload_range=tuple(technology.cload_range),
+        n_seeds=variation.n_seeds,
+        solver=solver,
+        concurrency=concurrency,
+        simulation_runs=total_runs,
+        entries=tuple(entries),
+    )

@@ -104,6 +104,9 @@ def map_estimate(
     observations: MapObservations,
     model: Optional[CompactTimingModel] = None,
     prior_weight: float = 1.0,
+    ftol: float = 1e-8,
+    xtol: float = 1e-8,
+    gtol: float = 1e-8,
 ) -> FitResult:
     """MAP extraction of the compact-model parameters.
 
@@ -120,6 +123,11 @@ def map_estimate(
         Scale factor on the prior term (1.0 = Eq. 15; 0 would degenerate to
         plain least squares and is disallowed -- use
         :func:`repro.core.timing_model.fit_least_squares` for that).
+    ftol, xtol, gtol:
+        Termination tolerances forwarded to
+        :func:`scipy.optimize.least_squares` (scipy's defaults).  The parity
+        suite tightens them so this reference path converges at least as far
+        as the batched solver it is compared against.
 
     Returns
     -------
@@ -135,11 +143,12 @@ def map_estimate(
     model = model or CompactTimingModel()
 
     mu0 = density.mean
-    covariance = density.covariance / prior_weight
-    precision = np.linalg.inv(covariance + 1e-12 * np.eye(N_PARAMETERS))
     # Whitening matrix L such that L.T @ L = precision; then the prior term
     # becomes ||L @ (theta - mu0)||^2 / 2 and stacks into least squares.
-    whitener = np.linalg.cholesky(precision).T
+    # The batched estimator (repro.core.batch_map) builds the identical
+    # whitener, so the two solvers minimize the same objective.
+    whitener = density.scaled_covariance(1.0 / prior_weight).whitening_matrix(
+        jitter=1e-12)
 
     beta = (observations.beta if observations.beta is not None
             else np.ones(observations.k))
@@ -156,7 +165,8 @@ def map_estimate(
         return np.concatenate([data_residual, prior_residual])
 
     start = np.clip(mu0, lower + 1e-9, upper - 1e-9)
-    solution = least_squares(residuals, start, bounds=(lower, upper), method="trf")
+    solution = least_squares(residuals, start, bounds=(lower, upper), method="trf",
+                             ftol=ftol, xtol=xtol, gtol=gtol)
 
     prediction = CompactTimingModel.evaluate_array(
         solution.x, observations.sin, observations.cload, observations.vdd,

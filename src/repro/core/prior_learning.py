@@ -179,6 +179,7 @@ def characterize_historical_library(
     unit_conditions: Optional[np.ndarray] = None,
     transitions: Sequence[Transition] = (Transition.FALL, Transition.RISE),
     counter: Optional[SimulationCounter] = None,
+    engine: str = "batched",
 ) -> HistoricalLibraryData:
     """Characterize one historical library and fit the compact model per arc.
 
@@ -200,6 +201,12 @@ def characterize_historical_library(
         Output transitions to cover.
     counter:
         Optional simulation-run accounting.
+    engine:
+        Transient engine for the per-arc reference sweeps: ``"batched"``
+        (default) integrates each arc's whole reference-condition set in one
+        2-D RK4 pass of :mod:`repro.spice.batch`, so prior learning rides
+        the batched engine's speedup; ``"serial"`` keeps the per-condition
+        reference integrator for equivalence runs.
     """
     if unit_conditions is None:
         unit_conditions = shared_reference_conditions()
@@ -224,6 +231,7 @@ def characterize_historical_library(
                 cell, technology, conditions, arc=arc,
                 counter=local_counter,
                 counter_label=f"historical:{technology.name}:{cell.name}",
+                engine=engine,
             )
             sin = physical[:, 0]
             cload = physical[:, 1]

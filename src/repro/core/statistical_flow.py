@@ -30,6 +30,7 @@ from repro.characterization.input_space import (
     InputSpace,
     conditions_to_arrays,
 )
+from repro.core.batch_map import BatchMapObservations, map_estimate_batch
 from repro.core.map_estimation import MapObservations, map_estimate
 from repro.core.prior_learning import TimingPrior
 from repro.core.timing_model import CompactTimingModel, TimingModelParameters
@@ -38,6 +39,9 @@ from repro.spice.testbench import SimulationCounter
 from repro.technology.node import TechnologyNode
 from repro.technology.variation import VariationSample
 from repro.utils.rng import RandomState, ensure_rng
+
+#: Parameter-extraction solvers selectable in :class:`StatisticalCharacterizer`.
+SOLVERS = ("batched", "scipy")
 
 
 @dataclass(frozen=True)
@@ -58,6 +62,13 @@ class StatisticalCharacterization:
         The ``k`` input conditions that were simulated.
     simulation_runs:
         Total simulator invocations spent (``k * n_seeds``).
+    solver:
+        Which extraction solver produced the parameters (``"batched"`` or
+        ``"scipy"``).
+    delay_converged, slew_converged:
+        Optional per-seed convergence flags from the batched solver
+        (``None`` for the scipy path, whose per-seed ``FitResult`` objects
+        are not retained).
     """
 
     cell_name: str
@@ -68,6 +79,22 @@ class StatisticalCharacterization:
     fitting_conditions: Tuple[InputCondition, ...]
     simulation_runs: int
     _model: CompactTimingModel = CompactTimingModel()
+    solver: str = "batched"
+    delay_converged: Optional[np.ndarray] = None
+    slew_converged: Optional[np.ndarray] = None
+
+    def unconverged_seeds(self) -> np.ndarray:
+        """Seed indices whose delay or slew extraction failed to converge.
+
+        Empty when everything converged, and also for the scipy path (which
+        does not retain per-seed flags).
+        """
+        flags = np.zeros(self.n_seeds, dtype=bool)
+        if self.delay_converged is not None:
+            flags |= ~np.asarray(self.delay_converged, dtype=bool)
+        if self.slew_converged is not None:
+            flags |= ~np.asarray(self.slew_converged, dtype=bool)
+        return np.nonzero(flags)[0]
 
     @property
     def n_seeds(self) -> int:
@@ -160,9 +187,12 @@ class StatisticalCharacterizer:
         n_seeds: int = 200,
         rng: RandomState = None,
         counter: Optional[SimulationCounter] = None,
+        solver: str = "batched",
     ):
         if n_seeds < 2:
             raise ValueError("statistical characterization needs at least 2 seeds")
+        if solver not in SOLVERS:
+            raise ValueError(f"solver must be one of {SOLVERS}, got {solver!r}")
         self._technology = technology
         self._cell = cell
         self._arc = arc if arc is not None else cell.timing_arcs()[1]
@@ -174,6 +204,7 @@ class StatisticalCharacterizer:
         self._space = InputSpace(technology)
         self._model = CompactTimingModel()
         self._variation: Optional[VariationSample] = None
+        self._solver = solver
 
     # ------------------------------------------------------------------
     # Accessors
@@ -182,6 +213,11 @@ class StatisticalCharacterizer:
     def n_seeds(self) -> int:
         """Number of Monte Carlo seeds used per characterization."""
         return self._n_seeds
+
+    @property
+    def solver(self) -> str:
+        """The default parameter-extraction solver (``"batched"`` / ``"scipy"``)."""
+        return self._solver
 
     @property
     def variation(self) -> Optional[VariationSample]:
@@ -199,7 +235,8 @@ class StatisticalCharacterizer:
     # Characterization
     # ------------------------------------------------------------------
     def characterize(self, conditions: Union[int, Sequence[InputCondition]],
-                     rng: RandomState = None) -> StatisticalCharacterization:
+                     rng: RandomState = None,
+                     solver: Optional[str] = None) -> StatisticalCharacterization:
         """Run the statistical flow with ``k`` fitting conditions.
 
         Parameters
@@ -209,7 +246,16 @@ class StatisticalCharacterizer:
             explicit condition list.
         rng:
             Random source for automatic condition selection.
+        solver:
+            Parameter-extraction solver for this run: ``"batched"`` (the
+            seed-vectorized Levenberg-Marquardt solver of
+            :mod:`repro.core.batch_map`, default) or ``"scipy"`` (one
+            trust-region solve per seed and response; kept for parity
+            testing).  ``None`` uses the constructor's choice.
         """
+        solver = self._solver if solver is None else solver
+        if solver not in SOLVERS:
+            raise ValueError(f"solver must be one of {SOLVERS}, got {solver!r}")
         if isinstance(conditions, int):
             conditions = self._space.sample_lhs(conditions,
                                                 ensure_rng(rng) if rng is not None
@@ -253,21 +299,45 @@ class StatisticalCharacterizer:
                                 for m in measurements], axis=0)
 
         n_seeds = variation.n_seeds
-        delay_params = np.empty((n_seeds, 4))
-        slew_params = np.empty((n_seeds, 4))
-        for seed in range(n_seeds):
-            delay_obs = MapObservations(sin=sin, cload=cload, vdd=vdd,
-                                        ieff=ieff_matrix[:, seed],
-                                        response=delay_matrix[:, seed],
-                                        beta=delay_beta)
-            slew_obs = MapObservations(sin=sin, cload=cload, vdd=vdd,
-                                       ieff=ieff_matrix[:, seed],
-                                       response=slew_matrix[:, seed],
-                                       beta=slew_beta)
-            delay_params[seed] = map_estimate(self._delay_prior, delay_obs,
-                                              model=self._model).params.as_array()
-            slew_params[seed] = map_estimate(self._slew_prior, slew_obs,
-                                             model=self._model).params.as_array()
+        delay_converged: Optional[np.ndarray] = None
+        slew_converged: Optional[np.ndarray] = None
+        if solver == "batched":
+            # One seed-vectorized Levenberg-Marquardt solve per response:
+            # every seed is a row of the (n_seeds, k) observation matrices.
+            delay_result = map_estimate_batch(
+                self._delay_prior,
+                BatchMapObservations(sin=sin, cload=cload, vdd=vdd,
+                                     ieff=ieff_matrix.T,
+                                     response=delay_matrix.T,
+                                     beta=delay_beta),
+                model=self._model)
+            slew_result = map_estimate_batch(
+                self._slew_prior,
+                BatchMapObservations(sin=sin, cload=cload, vdd=vdd,
+                                     ieff=ieff_matrix.T,
+                                     response=slew_matrix.T,
+                                     beta=slew_beta),
+                model=self._model)
+            delay_params = delay_result.parameters
+            slew_params = slew_result.parameters
+            delay_converged = delay_result.converged
+            slew_converged = slew_result.converged
+        else:
+            delay_params = np.empty((n_seeds, 4))
+            slew_params = np.empty((n_seeds, 4))
+            for seed in range(n_seeds):
+                delay_obs = MapObservations(sin=sin, cload=cload, vdd=vdd,
+                                            ieff=ieff_matrix[:, seed],
+                                            response=delay_matrix[:, seed],
+                                            beta=delay_beta)
+                slew_obs = MapObservations(sin=sin, cload=cload, vdd=vdd,
+                                           ieff=ieff_matrix[:, seed],
+                                           response=slew_matrix[:, seed],
+                                           beta=slew_beta)
+                delay_params[seed] = map_estimate(self._delay_prior, delay_obs,
+                                                  model=self._model).params.as_array()
+                slew_params[seed] = map_estimate(self._slew_prior, slew_obs,
+                                                 model=self._model).params.as_array()
 
         return StatisticalCharacterization(
             cell_name=self._cell.name,
@@ -277,4 +347,11 @@ class StatisticalCharacterizer:
             inverter=inverter,
             fitting_conditions=tuple(conditions),
             simulation_runs=runs,
+            solver=solver,
+            delay_converged=delay_converged,
+            slew_converged=slew_converged,
         )
+
+    #: Alias so the statistical flow matches the nominal characterizer's
+    #: ``fit()`` entry point.
+    fit = characterize

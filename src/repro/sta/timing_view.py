@@ -96,6 +96,15 @@ class StatisticalTimingView(TimingView):
         """Number of Monte Carlo seeds carried per query."""
         return self._n_seeds
 
+    def gate_timing(self, cell_name: str, input_slew_s: float, load_cap_f: float
+                    ) -> Tuple[float, float]:
+        """Ensemble-mean delay and slew, so deterministic STA can run on a
+        statistical view (e.g. one produced by the library orchestrator)
+        without a separate nominal characterization."""
+        delay, slew = self.gate_timing_samples(cell_name, input_slew_s,
+                                               load_cap_f)
+        return float(np.mean(delay)), float(np.mean(slew))
+
     def gate_timing_samples(self, cell_name: str, input_slew_s, load_cap_f: float
                             ) -> Tuple[np.ndarray, np.ndarray]:
         """Per-seed delay and output-slew arrays of a cell.

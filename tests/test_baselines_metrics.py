@@ -93,6 +93,33 @@ class TestLutGrid:
     def test_n_entries(self):
         assert self.make_linear_grid().n_entries == 12
 
+    def test_interpolate_many_matches_scalar_path(self):
+        grid = self.make_linear_grid()
+        rng = np.random.default_rng(3)
+        conditions = [InputCondition(sin=float(s), cload=float(c), vdd=float(v))
+                      for s, c, v in zip(rng.uniform(0.5e-12, 20e-12, 40),
+                                         rng.uniform(0.5e-15, 5e-15, 40),
+                                         rng.uniform(0.6, 1.1, 40))]
+        # Include exact grid nodes and clamped out-of-range points.
+        conditions += [InputCondition(5e-12, 3e-15, 0.9),
+                       InputCondition(50e-12, 9e-15, 1.3),
+                       InputCondition(1e-13, 1e-16, 0.1)]
+        vectorized = grid.interpolate_many(conditions)
+        scalar = np.array([grid.interpolate(c) for c in conditions])
+        np.testing.assert_allclose(vectorized, scalar, rtol=1e-12, atol=0.0)
+
+    def test_interpolate_many_degenerate_axes(self):
+        grid = LutGrid(np.array([2e-12]), np.array([1e-15, 4e-15]),
+                       np.array([0.8]), np.arange(2.0).reshape(1, 2, 1))
+        conditions = [InputCondition(1e-12, 2.5e-15, 0.9),
+                      InputCondition(9e-12, 1e-15, 0.5)]
+        vectorized = grid.interpolate_many(conditions)
+        scalar = np.array([grid.interpolate(c) for c in conditions])
+        np.testing.assert_allclose(vectorized, scalar, rtol=1e-12, atol=0.0)
+
+    def test_interpolate_many_empty(self):
+        assert self.make_linear_grid().interpolate_many([]).shape == (0,)
+
 
 class TestLutCharacterizer:
     def test_build_and_predict(self, tech14, inv_cell):
