@@ -26,6 +26,10 @@ RESULTS_DIR = Path(__file__).parent / "benchmark_results"
 #: ``REPRO_BENCH_MAP_SEEDS``        seeds in the MAP extraction benchmark (200)
 #: ``REPRO_BENCH_MAP_CONDITIONS``   fitting conditions per seed (4)
 #: ``REPRO_BENCH_MAP_MIN_SPEEDUP``  assertion floor for batched/scipy MAP (3.0)
+#: ``REPRO_BENCH_SSTA_WIDTH``       gates per layer in the SSTA benchmark (100)
+#: ``REPRO_BENCH_SSTA_DEPTH``       layers in the SSTA benchmark netlist (50)
+#: ``REPRO_BENCH_SSTA_SEEDS``       seeds in the SSTA graph benchmark (200)
+#: ``REPRO_BENCH_SSTA_MIN_SPEEDUP`` assertion floor for batched/loop SSTA (5.0)
 #:
 #: Separately, ``REPRO_SIM_CACHE`` / ``REPRO_SIM_CACHE_SIZE`` control the
 #: library's global simulation cache (see ``repro.spice.testbench``).

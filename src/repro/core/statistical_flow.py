@@ -121,6 +121,50 @@ class StatisticalCharacterization:
             parameters, condition.sin, condition.cload, condition.vdd, ieff),
             dtype=float).reshape(-1)
 
+    def _ieff_row(self, vdd: float) -> np.ndarray:
+        """Per-seed effective currents at one supply, cached per vdd value.
+
+        An STA run queries one analysis supply thousands of times; the
+        device-model evaluation is identical every time, so it is paid once.
+        (The cache lives outside the frozen dataclass fields.)
+        """
+        cache = self.__dict__.get("_ieff_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_ieff_cache", cache)
+        row = cache.get(vdd)
+        if row is None:
+            row = np.asarray(self.inverter.effective_current(vdd),
+                             dtype=float).reshape(-1)
+            if row.size == 1:
+                row = np.full(self.n_seeds, float(row[0]))
+            cache[vdd] = row
+        return row
+
+    def _samples_many(self, sin: np.ndarray, cload: np.ndarray,
+                      vdd: np.ndarray, parameters: np.ndarray) -> np.ndarray:
+        sin = np.asarray(sin, dtype=float).reshape(-1)
+        cload = np.asarray(cload, dtype=float).reshape(-1)
+        vdd = np.asarray(vdd, dtype=float).reshape(-1)
+        if sin.size != cload.size or sin.size != vdd.size:
+            raise ValueError("sin, cload and vdd must have the same length")
+        if sin.size and np.all(vdd == vdd[0]):
+            ieff = np.broadcast_to(self._ieff_row(float(vdd[0])),
+                                   (sin.size, self.n_seeds))
+        else:
+            ieff = np.broadcast_to(
+                np.atleast_2d(np.asarray(
+                    self.inverter.effective_current(vdd[:, np.newaxis]),
+                    dtype=float)),
+                (sin.size, self.n_seeds))
+        # evaluate_array broadcasts the (n_seeds, 4) parameter matrix against
+        # the (n_points, 1) condition columns and the (n_points, n_seeds)
+        # effective currents: the whole ensemble at every operating point
+        # evaluates in one array pass.
+        return np.asarray(self._model.evaluate_array(
+            parameters, sin[:, np.newaxis], cload[:, np.newaxis],
+            vdd[:, np.newaxis], ieff), dtype=float)
+
     def delay_samples(self, condition: InputCondition) -> np.ndarray:
         """Per-seed delay predictions (seconds) at one operating point."""
         return self._samples(condition, self.delay_parameters)
@@ -128,6 +172,22 @@ class StatisticalCharacterization:
     def slew_samples(self, condition: InputCondition) -> np.ndarray:
         """Per-seed output-slew predictions (seconds) at one operating point."""
         return self._samples(condition, self.slew_parameters)
+
+    def delay_samples_many(self, sin: np.ndarray, cload: np.ndarray,
+                           vdd: np.ndarray) -> np.ndarray:
+        """Per-seed delays at many operating points, shape ``(n_points, n_seeds)``.
+
+        The vectorized form of :meth:`delay_samples`: condition arrays in SI
+        units, one row of seed samples per operating point.  This is the
+        query path the batched STA/SSTA engines hit once per netlist level
+        and cell type.
+        """
+        return self._samples_many(sin, cload, vdd, self.delay_parameters)
+
+    def slew_samples_many(self, sin: np.ndarray, cload: np.ndarray,
+                          vdd: np.ndarray) -> np.ndarray:
+        """Per-seed output slews at many points, shape ``(n_points, n_seeds)``."""
+        return self._samples_many(sin, cload, vdd, self.slew_parameters)
 
     def delay_statistics(self, condition: InputCondition) -> Dict[str, float]:
         """Mean / std / skew of the predicted delay distribution."""
@@ -144,20 +204,11 @@ class StatisticalCharacterization:
         Returns a dictionary with arrays ``mu_delay``, ``sigma_delay``,
         ``mu_slew``, ``sigma_slew`` of length ``len(conditions)``.
         """
-        conditions = list(conditions)
-        mu_delay = np.empty(len(conditions))
-        sigma_delay = np.empty(len(conditions))
-        mu_slew = np.empty(len(conditions))
-        sigma_slew = np.empty(len(conditions))
-        for index, condition in enumerate(conditions):
-            delay = self.delay_samples(condition)
-            slew = self.slew_samples(condition)
-            mu_delay[index] = delay.mean()
-            sigma_delay[index] = delay.std()
-            mu_slew[index] = slew.mean()
-            sigma_slew[index] = slew.std()
-        return {"mu_delay": mu_delay, "sigma_delay": sigma_delay,
-                "mu_slew": mu_slew, "sigma_slew": sigma_slew}
+        sin, cload, vdd = conditions_to_arrays(list(conditions))
+        delay = self.delay_samples_many(sin, cload, vdd)
+        slew = self.slew_samples_many(sin, cload, vdd)
+        return {"mu_delay": delay.mean(axis=1), "sigma_delay": delay.std(axis=1),
+                "mu_slew": slew.mean(axis=1), "sigma_slew": slew.std(axis=1)}
 
     def mean_parameters(self, response: str = "delay") -> TimingModelParameters:
         """Average extracted parameters across seeds."""

@@ -2,13 +2,26 @@
 
 Statistical library characterization exists to feed statistical static timing
 analysis; this package closes that loop so the examples can demonstrate the
-full use case.  It provides gate-level netlists, a topological STA engine
-with slew propagation and capacitive loading derived from the characterized
-cells, and a Monte Carlo SSTA variant that consumes the per-seed delay
-ensembles of the statistical flow.
+full use case.  It provides gate-level netlists (and their compiled,
+levelized array form), a topological STA engine with slew propagation and
+capacitive loading derived from the characterized cells, and a Monte Carlo
+SSTA variant that consumes the per-seed delay ensembles of the statistical
+flow.  Both analyzers run a level-batched engine by default (one vectorized
+timing query per topological level and cell type) with a per-gate loop
+engine retained for equivalence testing, and :mod:`repro.sta.synthetic`
+generates seeded netlists of arbitrary scale to exercise them.
 """
 
-from repro.sta.netlist import Gate, Netlist, inverter_chain, nand_nor_tree, c17_benchmark
+from repro.sta.netlist import (
+    CompiledNetlist,
+    Gate,
+    Netlist,
+    c17_benchmark,
+    compile_netlist,
+    inverter_chain,
+    nand_nor_tree,
+)
+from repro.sta.synthetic import random_layered_dag, synthetic_chain, synthetic_tree
 from repro.sta.timing_view import (
     CellTiming,
     StatisticalTimingView,
@@ -16,11 +29,13 @@ from repro.sta.timing_view import (
     timing_view_from_characterizers,
     timing_view_from_statistical,
 )
-from repro.sta.analysis import PathReport, StaticTimingAnalyzer
+from repro.sta.analysis import ENGINES, PathReport, StaticTimingAnalyzer
 from repro.sta.ssta import MonteCarloSsta, SstaReport
 
 __all__ = [
     "CellTiming",
+    "CompiledNetlist",
+    "ENGINES",
     "Gate",
     "MonteCarloSsta",
     "Netlist",
@@ -30,8 +45,12 @@ __all__ = [
     "StatisticalTimingView",
     "TimingView",
     "c17_benchmark",
+    "compile_netlist",
     "inverter_chain",
     "nand_nor_tree",
+    "random_layered_dag",
+    "synthetic_chain",
+    "synthetic_tree",
     "timing_view_from_characterizers",
     "timing_view_from_statistical",
 ]

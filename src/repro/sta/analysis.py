@@ -5,6 +5,22 @@ arrival time and transition time are computed from its driver's delay/slew at
 the actual capacitive load (sum of fanout input-pin capacitances plus any
 external load), and the worst primary-output arrival together with its
 critical path is reported.
+
+Two engines produce identical reports (the test suite enforces agreement at
+``rtol <= 1e-12``):
+
+* ``engine="loop"`` -- the reference engine: one Python iteration and one
+  timing-view query per gate.
+* ``engine="batched"`` (default) -- the level-batched engine: the netlist is
+  compiled once (:meth:`~repro.sta.netlist.Netlist.compile`), arrivals and
+  slews live in flat per-net arrays, each topological level resolves its
+  worst fanins with segmented ``np.maximum.reduceat`` reductions over the
+  CSR fanin arrays, and one batched timing query is issued per (level, cell
+  type) group.
+
+Both engines read every net's capacitive load from one precomputed load
+vector (external load plus summed fanout pin capacitances), so no fanout
+list is walked during propagation.
 """
 
 from __future__ import annotations
@@ -12,8 +28,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.sta.netlist import Gate, Netlist
+import numpy as np
+
+from repro.sta.netlist import CompiledNetlist, Netlist
 from repro.sta.timing_view import TimingView
+
+#: Propagation engines selectable on the analyzers.
+ENGINES = ("batched", "loop")
+
+#: Minimum load a gate output sees, even when dangling (farads).
+MIN_LOAD_F = 1e-17
 
 
 @dataclass(frozen=True)
@@ -41,44 +65,81 @@ class PathReport:
     critical_path: Tuple[str, ...]
 
 
-class StaticTimingAnalyzer:
-    """Topological STA over a :class:`Netlist` and a :class:`TimingView`."""
+def _check_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    return engine
+
+
+def _net_load_vector(compiled: CompiledNetlist, view: TimingView) -> np.ndarray:
+    """Per-net-index load vector from a view's input-pin capacitances."""
+    return compiled.net_loads(view.input_capacitances())
+
+
+class TimingGraphAnalyzer:
+    """Shared state management of the STA and SSTA analyzers.
+
+    Owns the compiled netlist, the per-net-index load vector and the
+    engine switch; subclasses provide ``_run_loop`` / ``_run_batched``.
+    """
 
     def __init__(self, netlist: Netlist, timing_view: TimingView,
                  primary_input_slew: float = 5e-12,
-                 primary_input_arrival: float = 0.0):
+                 primary_input_arrival: float = 0.0,
+                 engine: str = "batched"):
         if primary_input_slew <= 0.0:
             raise ValueError("primary_input_slew must be positive")
-        netlist.validate()
-        for gate in netlist.gates:
-            if not timing_view.has_cell(gate.cell_name):
-                raise KeyError(
-                    f"timing view does not cover cell {gate.cell_name!r} "
-                    f"(gate {gate.name})"
-                )
+        self._engine = _check_engine(engine)
         self._netlist = netlist
         self._view = timing_view
         self._input_slew = float(primary_input_slew)
         self._input_arrival = float(primary_input_arrival)
+        self._bind(netlist.compile())
 
-    # ------------------------------------------------------------------
-    # Loading
-    # ------------------------------------------------------------------
+    def _bind(self, compiled: CompiledNetlist) -> None:
+        for cell in dict.fromkeys(compiled.gate_cells):
+            if not self._view.has_cell(cell):
+                raise KeyError(f"timing view does not cover cell {cell!r}")
+        self._compiled = compiled
+        self._net_index = {name: index for index, name
+                           in enumerate(compiled.net_names)}
+        self._loads = _net_load_vector(compiled, self._view)
+
+    def _refresh(self) -> None:
+        """Re-derive compiled state if the netlist mutated since construction.
+
+        ``Netlist.compile()`` invalidates its cache on mutation, so this is
+        one identity check in the common case and keeps the precomputed load
+        vector (and the view-coverage check) live, matching the
+        pre-compiled engines' behaviour.
+        """
+        compiled = self._netlist.compile()
+        if compiled is not self._compiled:
+            self._bind(compiled)
+
     def net_load(self, net: str) -> float:
-        """Total capacitive load on a net, in farads."""
-        load = self._netlist.external_load(net)
-        for consumer in self._netlist.fanout_gates(net):
-            load += self._view.input_capacitance(consumer.cell_name)
-        return load
+        """Total capacitive load on a net, in farads (precomputed)."""
+        self._refresh()
+        if net not in self._net_index:
+            raise KeyError(f"netlist {self._netlist.name!r} has no net {net!r}")
+        return float(self._loads[self._net_index[net]])
 
-    # ------------------------------------------------------------------
-    # Analysis
-    # ------------------------------------------------------------------
-    def run(self) -> PathReport:
+    def run(self):
         """Propagate arrivals and slews and return the timing report."""
+        self._refresh()
+        if self._engine == "batched":
+            return self._run_batched()
+        return self._run_loop()
+
+
+class StaticTimingAnalyzer(TimingGraphAnalyzer):
+    """Topological STA over a :class:`Netlist` and a :class:`TimingView`."""
+
+    def _run_loop(self) -> PathReport:
         arrivals: Dict[str, float] = {}
         slews: Dict[str, float] = {}
         worst_input_gate: Dict[str, Optional[str]] = {}
+        net_index = self._net_index
 
         for net in self._netlist.primary_inputs:
             arrivals[net] = self._input_arrival
@@ -89,9 +150,7 @@ class StaticTimingAnalyzer:
             input_arrival = max(arrivals[net] for net in gate.input_nets)
             worst_net = max(gate.input_nets, key=lambda net: arrivals[net])
             input_slew = slews[worst_net]
-            load = self.net_load(gate.output_net)
-            # A gate must see a non-zero load even on dangling outputs.
-            load = max(load, 1e-17)
+            load = max(float(self._loads[net_index[gate.output_net]]), MIN_LOAD_F)
             delay, output_slew = self._view.gate_timing(gate.cell_name, input_slew,
                                                         load)
             arrivals[gate.output_net] = input_arrival + delay
@@ -106,6 +165,50 @@ class StaticTimingAnalyzer:
             transition_times=slews,
             critical_output=critical_output,
             critical_delay=float(arrivals[critical_output]),
+            critical_path=tuple(critical_path),
+        )
+
+    def _run_batched(self) -> PathReport:
+        compiled = self._compiled
+        arrival = np.full(compiled.n_nets, -np.inf)
+        slew = np.zeros(compiled.n_nets)
+        arrival[compiled.primary_input_nets] = self._input_arrival
+        slew[compiled.primary_input_nets] = self._input_slew
+        loads = np.maximum(self._loads, MIN_LOAD_F)
+        # Index into fanin_nets of each gate's chosen worst input (for the
+        # critical-path trace).
+        worst_fanin = np.zeros(compiled.n_gates, dtype=np.int64)
+
+        for level in range(compiled.n_levels):
+            start = int(compiled.level_starts[level])
+            stop = int(compiled.level_starts[level + 1])
+            nets, worst, first = compiled.level_worst_fanins(level, arrival)
+            worst_fanin[start:stop] = int(compiled.fanin_ptr[start]) + first
+            input_slews = slew[nets[first]]
+            out_nets = compiled.gate_output_net[start:stop]
+            out_loads = loads[out_nets]
+            for cell, local in compiled.level_groups[level]:
+                delay, out_slew = self._view.gate_timing_many(
+                    cell, input_slews[local], out_loads[local])
+                arrival[out_nets[local]] = worst[local] + delay
+                slew[out_nets[local]] = out_slew
+
+        po_nets = compiled.primary_output_nets
+        critical_index = int(po_nets[int(np.argmax(arrival[po_nets]))])
+        critical_path: List[str] = []
+        net = critical_index
+        while compiled.driver_gate[net] >= 0:
+            gate_index = int(compiled.driver_gate[net])
+            critical_path.append(compiled.gate_names[gate_index])
+            net = int(compiled.fanin_nets[worst_fanin[gate_index]])
+        critical_path.reverse()
+
+        names = compiled.net_names
+        return PathReport(
+            arrival_times={name: float(arrival[i]) for i, name in enumerate(names)},
+            transition_times={name: float(slew[i]) for i, name in enumerate(names)},
+            critical_output=names[critical_index],
+            critical_delay=float(arrival[critical_index]),
             critical_path=tuple(critical_path),
         )
 

@@ -1,4 +1,4 @@
-"""Gate-level netlists and benchmark circuit generators.
+"""Gate-level netlists, their compiled form, and benchmark circuit generators.
 
 A netlist is a directed acyclic graph of gate instances connected by named
 nets.  Every net has at most one driver (a gate output or a primary input);
@@ -6,14 +6,21 @@ combinational loops are rejected at construction time.  Three generators
 provide the circuits used by the examples and tests: an inverter chain (the
 classic ring-oscillator-style delay line), a balanced NAND/NOR reduction
 tree, and the ISCAS-85 C17 benchmark.
+
+:class:`CompiledNetlist` is the array form the batched STA/SSTA engines run
+on: nets and gates are integer-indexed, the DAG is levelized (gates stored
+level-major so each level is a contiguous slice), gate fanins are a CSR
+index array, and every net's capacitive load reduces to one scatter-add over
+the fanin pins.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import networkx as nx
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -57,7 +64,9 @@ class Netlist:
         self._primary_outputs = list(dict.fromkeys(primary_outputs))
         self._gates: Dict[str, Gate] = {}
         self._driver_of: Dict[str, str] = {}
+        self._consumers: Dict[str, List[str]] = {}
         self._output_loads = dict(output_loads_f or {})
+        self._compiled: Optional["CompiledNetlist"] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -72,12 +81,22 @@ class Netlist:
             raise ValueError(f"net {gate.output_net!r} is a primary input")
         self._gates[gate.name] = gate
         self._driver_of[gate.output_net] = gate.name
+        for net in dict.fromkeys(gate.input_nets):
+            self._consumers.setdefault(net, []).append(gate.name)
+        self._compiled = None
 
     def set_output_load(self, net: str, capacitance_f: float) -> None:
         """Attach an external load capacitance to a net (typically a PO)."""
         if capacitance_f < 0.0:
             raise ValueError("load capacitance must be non-negative")
         self._output_loads[net] = float(capacitance_f)
+        self._compiled = None
+
+    def add_primary_output(self, net: str) -> None:
+        """Declare an existing net a primary output (idempotent)."""
+        if net not in self._primary_outputs:
+            self._primary_outputs.append(net)
+            self._compiled = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -115,7 +134,7 @@ class Netlist:
 
     def fanout_gates(self, net: str) -> List[Gate]:
         """Gates whose inputs are connected to a net."""
-        return [gate for gate in self._gates.values() if net in gate.input_nets]
+        return [self._gates[name] for name in self._consumers.get(net, ())]
 
     def external_load(self, net: str) -> float:
         """External load capacitance attached to a net (0 if none)."""
@@ -123,12 +142,11 @@ class Netlist:
 
     def nets(self) -> List[str]:
         """Every net in the design (inputs, internal, outputs)."""
-        names = list(self._primary_inputs)
+        names = dict.fromkeys(self._primary_inputs)
         for gate in self._gates.values():
             for net in (*gate.input_nets, gate.output_net):
-                if net not in names:
-                    names.append(net)
-        return names
+                names.setdefault(net)
+        return list(names)
 
     # ------------------------------------------------------------------
     # Graph view
@@ -167,6 +185,270 @@ class Netlist:
             if net not in known:
                 raise ValueError(f"primary output {net!r} has no driver")
         self.topological_gates()
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def compile(self) -> "CompiledNetlist":
+        """The integer-indexed, levelized form used by the batched engines.
+
+        The compiled form is cached and invalidated by every mutator
+        (:meth:`add_gate`, :meth:`set_output_load`,
+        :meth:`add_primary_output`), so repeated analyzer constructions
+        share it.
+        """
+        if self._compiled is None:
+            self._compiled = compile_netlist(self)
+        return self._compiled
+
+
+@dataclass(frozen=True)
+class CompiledNetlist:
+    """Array view of a :class:`Netlist` for level-batched timing engines.
+
+    Gates are stored **level-major**: gates of topological level 1 first
+    (those fed only by primary inputs), then level 2, and so on, preserving
+    insertion order within a level.  All per-gate arrays use this compiled
+    order; ``level_starts`` delimits the levels, so each level is one
+    contiguous slice of every array.
+
+    Attributes
+    ----------
+    netlist:
+        The source netlist (kept for name lookups and report building).
+    net_names:
+        Net name per net index (primary inputs first, then gate outputs in
+        insertion order).
+    gate_names, gate_cells:
+        Instance and cell name per compiled gate index.
+    gate_output_net:
+        Net index driven by each gate.
+    gate_level:
+        Topological level of each gate (primary-input nets are level 0).
+    fanin_nets, fanin_ptr:
+        CSR fanin structure: gate ``g`` reads nets
+        ``fanin_nets[fanin_ptr[g]:fanin_ptr[g + 1]]``, in pin order.
+    level_starts:
+        Compiled-gate index where each level begins, length ``n_levels + 1``.
+    level_groups:
+        Per level, ``(cell_name, local_gate_indices)`` pairs grouping the
+        level's gates by cell type -- ``local_gate_indices`` index into the
+        level's slice.  One batched timing query is issued per pair.
+    driver_gate:
+        Driving gate per net index (-1 for primary inputs).
+    external_loads:
+        External load capacitance per net index, farads.
+    load_nets, load_pin_gate:
+        Flattened (net, consumer gate) pin pairs for load accumulation,
+        de-duplicated per gate (a gate tying one net to several of its pins
+        presents its pin capacitance once, matching the loop engines).
+    primary_input_nets, primary_output_nets:
+        Net indices of the primary inputs / outputs, in declaration order.
+    """
+
+    netlist: Netlist
+    net_names: Tuple[str, ...]
+    gate_names: Tuple[str, ...]
+    gate_cells: Tuple[str, ...]
+    gate_output_net: np.ndarray
+    gate_level: np.ndarray
+    fanin_nets: np.ndarray
+    fanin_ptr: np.ndarray
+    level_starts: np.ndarray
+    level_groups: Tuple[Tuple[Tuple[str, np.ndarray], ...], ...]
+    driver_gate: np.ndarray
+    external_loads: np.ndarray
+    load_nets: np.ndarray
+    load_pin_gate: np.ndarray
+    primary_input_nets: np.ndarray
+    primary_output_nets: np.ndarray
+
+    @property
+    def n_nets(self) -> int:
+        """Number of nets."""
+        return len(self.net_names)
+
+    @property
+    def n_gates(self) -> int:
+        """Number of gates."""
+        return len(self.gate_names)
+
+    @property
+    def n_levels(self) -> int:
+        """Number of topological levels (excluding the primary-input level 0)."""
+        return len(self.level_starts) - 1
+
+    def level_worst_fanins(self, level: int, arrival: np.ndarray
+                           ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Segment-reduce each gate's fanin arrivals over one level.
+
+        ``arrival`` is indexed by net -- shape ``(n_nets,)`` for
+        deterministic STA or ``(n_nets, n_seeds)`` for SSTA.  Returns
+        ``(nets, worst, first)``: the level's concatenated fanin net
+        indices, the worst (latest) arrival per gate, and the local index
+        into ``nets`` of the first pin attaining it (matching Python
+        ``max`` / ``np.argmax`` tie-breaking, seed-wise in the 2-D case).
+        """
+        start = int(self.level_starts[level])
+        stop = int(self.level_starts[level + 1])
+        fanin_lo = int(self.fanin_ptr[start])
+        fanin_hi = int(self.fanin_ptr[stop])
+        nets = self.fanin_nets[fanin_lo:fanin_hi]
+        pointers = self.fanin_ptr[start:stop] - fanin_lo
+        values = arrival[nets]
+        worst = np.maximum.reduceat(values, pointers, axis=0)
+        counts = np.diff(np.append(pointers, nets.size))
+        index = np.arange(nets.size).reshape((-1,) + (1,) * (values.ndim - 1))
+        candidates = np.where(values == np.repeat(worst, counts, axis=0),
+                              index, nets.size)
+        first = np.minimum.reduceat(candidates, pointers, axis=0)
+        # A NaN arrival matches nothing (NaN != NaN), leaving the sentinel;
+        # clamp so the gather stays in bounds and the NaN propagates to the
+        # gate's arrival exactly as in the loop engines.
+        first = np.minimum(first, nets.size - 1)
+        return nets, worst, first
+
+    def net_loads(self, input_caps_f: Mapping[str, float]) -> np.ndarray:
+        """Total capacitive load per net index, in farads.
+
+        ``input_caps_f`` maps cell name to input-pin capacitance.  The load
+        of a net is its external load plus one pin capacitance per consumer
+        gate connected to it -- computed for every net in one scatter-add
+        instead of the per-net fanout walk of the naive engines.
+        """
+        pin_caps = np.array([float(input_caps_f[self.gate_cells[g]])
+                             for g in self.load_pin_gate])
+        loads = self.external_loads.copy()
+        np.add.at(loads, self.load_nets, pin_caps)
+        return loads
+
+
+def compile_netlist(netlist: Netlist) -> CompiledNetlist:
+    """Build the :class:`CompiledNetlist` array view of a netlist.
+
+    Levelizes with Kahn's algorithm (detecting combinational loops and
+    driverless nets along the way), orders gates level-major, and prepares
+    the CSR fanin plus load-accumulation index arrays.
+    """
+    gates = netlist.gates
+    pis = netlist.primary_inputs
+
+    net_index: Dict[str, int] = {}
+    for net in pis:
+        net_index[net] = len(net_index)
+    for gate in gates:
+        net_index[gate.output_net] = len(net_index)
+    for gate in gates:
+        for net in gate.input_nets:
+            if net not in net_index:
+                raise ValueError(
+                    f"net {net!r} (input of {gate.name}) has no driver")
+    for net in netlist.primary_outputs:
+        if net not in net_index:
+            raise ValueError(f"primary output {net!r} has no driver")
+
+    # Kahn levelization over gates: a gate's level is one more than the
+    # worst level of its fanin nets; primary-input nets sit at level 0.
+    gate_pos = {gate.name: index for index, gate in enumerate(gates)}
+    driver_names = [netlist._driver_of.get(name) for name in net_index]
+    driver_pos = [gate_pos[name] if name is not None else -1
+                  for name in driver_names]
+    net_of_gate = [net_index[gate.output_net] for gate in gates]
+    indegree = np.zeros(len(gates), dtype=np.int64)
+    consumer_lists: List[List[int]] = [[] for _ in gates]
+    for position, gate in enumerate(gates):
+        for net in gate.input_nets:
+            driver = driver_pos[net_index[net]]
+            if driver >= 0:
+                indegree[position] += 1
+                consumer_lists[driver].append(position)
+
+    gate_level = np.zeros(len(gates), dtype=np.int64)
+    ready = [position for position in range(len(gates)) if indegree[position] == 0]
+    net_level = np.zeros(len(net_index), dtype=np.int64)
+    processed = 0
+    order: List[int] = []
+    while ready:
+        next_ready: List[int] = []
+        for position in ready:
+            gate = gates[position]
+            level = 1 + max(net_level[net_index[net]] for net in gate.input_nets)
+            gate_level[position] = level
+            net_level[net_of_gate[position]] = level
+            order.append(position)
+            processed += 1
+            for consumer in consumer_lists[position]:
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    next_ready.append(consumer)
+        ready = next_ready
+    if processed != len(gates):
+        raise ValueError(f"netlist {netlist.name!r} contains a combinational loop")
+
+    # Level-major compiled order, insertion order within a level.
+    compiled_order = sorted(range(len(gates)),
+                            key=lambda position: (gate_level[position], position))
+    gate_names: List[str] = []
+    gate_cells: List[str] = []
+    output_net = np.empty(len(gates), dtype=np.int64)
+    fanin_nets: List[int] = []
+    fanin_ptr = np.zeros(len(gates) + 1, dtype=np.int64)
+    load_nets: List[int] = []
+    load_pin_gate: List[int] = []
+    compiled_level = np.empty(len(gates), dtype=np.int64)
+    for compiled_index, position in enumerate(compiled_order):
+        gate = gates[position]
+        gate_names.append(gate.name)
+        gate_cells.append(gate.cell_name)
+        output_net[compiled_index] = net_index[gate.output_net]
+        compiled_level[compiled_index] = gate_level[position]
+        fanin_nets.extend(net_index[net] for net in gate.input_nets)
+        fanin_ptr[compiled_index + 1] = len(fanin_nets)
+        for net in dict.fromkeys(gate.input_nets):
+            load_nets.append(net_index[net])
+            load_pin_gate.append(compiled_index)
+
+    n_levels = int(compiled_level[-1]) if len(gates) else 0
+    level_starts = np.searchsorted(compiled_level, np.arange(1, n_levels + 1))
+    level_starts = np.append(level_starts, len(gates)).astype(np.int64)
+
+    level_groups: List[Tuple[Tuple[str, np.ndarray], ...]] = []
+    for level in range(n_levels):
+        start, stop = int(level_starts[level]), int(level_starts[level + 1])
+        by_cell: Dict[str, List[int]] = {}
+        for local, compiled_index in enumerate(range(start, stop)):
+            by_cell.setdefault(gate_cells[compiled_index], []).append(local)
+        level_groups.append(tuple(
+            (cell, np.asarray(indices, dtype=np.int64))
+            for cell, indices in by_cell.items()))
+
+    driver_gate = np.full(len(net_index), -1, dtype=np.int64)
+    driver_gate[output_net] = np.arange(len(gates))
+    external_loads = np.zeros(len(net_index))
+    for net, capacitance in netlist._output_loads.items():
+        if net in net_index:
+            external_loads[net_index[net]] = capacitance
+
+    return CompiledNetlist(
+        netlist=netlist,
+        net_names=tuple(net_index),
+        gate_names=tuple(gate_names),
+        gate_cells=tuple(gate_cells),
+        gate_output_net=output_net,
+        gate_level=compiled_level,
+        fanin_nets=np.asarray(fanin_nets, dtype=np.int64),
+        fanin_ptr=fanin_ptr,
+        level_starts=level_starts,
+        level_groups=tuple(level_groups),
+        driver_gate=driver_gate,
+        external_loads=external_loads,
+        load_nets=np.asarray(load_nets, dtype=np.int64),
+        load_pin_gate=np.asarray(load_pin_gate, dtype=np.int64),
+        primary_input_nets=np.asarray([net_index[net] for net in pis],
+                                      dtype=np.int64),
+        primary_output_nets=np.asarray(
+            [net_index[net] for net in netlist.primary_outputs], dtype=np.int64),
+    )
 
 
 # ----------------------------------------------------------------------

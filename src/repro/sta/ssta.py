@@ -7,16 +7,32 @@ seed-wise, and the result is the full distribution of the critical-path
 delay -- mean, sigma, and the high quantiles that statistical sign-off uses.
 This is the downstream consumer the paper's statistical library
 characterization exists to serve.
+
+As in the deterministic analyzer, two engines produce identical reports:
+
+* ``engine="loop"`` -- one Python iteration and one per-seed timing query
+  per gate.
+* ``engine="batched"`` (default) -- arrivals live in one
+  ``(n_nets, n_seeds)`` array, every topological level resolves its
+  seed-wise worst fanins with segmented reductions over the compiled CSR
+  fanin arrays, and one batched ``(gates x seeds)`` timing query is issued
+  per (level, cell type) group.
+
+Both engines select each gate's driving slew **per seed** from that seed's
+worst (latest-arriving) input -- not from one globally worst input -- and
+both accept a ``primary_input_arrival``, mirroring the deterministic
+analyzer.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
 
-from repro.analysis.distributions import DistributionSummary, summarize
+from repro.analysis.distributions import DistributionSummary, summarize_many
+from repro.sta.analysis import MIN_LOAD_F, TimingGraphAnalyzer
 from repro.sta.netlist import Netlist
 from repro.sta.timing_view import StatisticalTimingView
 
@@ -35,69 +51,115 @@ class SstaReport:
         Moments and quantiles of the critical-delay distribution.
     output_summaries:
         Distribution summary per primary output.
+    criticality:
+        Per primary output, the fraction of seeds for which that output has
+        the latest arrival -- the Monte Carlo criticality probability that
+        statistical sign-off ranks endpoints by.
     """
 
     critical_output: str
     delay_samples: np.ndarray
     summary: DistributionSummary
     output_summaries: Dict[str, DistributionSummary]
+    criticality: Dict[str, float]
 
 
-class MonteCarloSsta:
-    """Seed-vectorized SSTA over a :class:`StatisticalTimingView`."""
+def _criticality(names, samples: np.ndarray) -> Dict[str, float]:
+    """Fraction of seeds each output is the (first) latest arrival."""
+    winners = np.argmax(samples, axis=0)
+    n_seeds = samples.shape[1]
+    return {name: float(np.count_nonzero(winners == index) / n_seeds)
+            for index, name in enumerate(names)}
+
+
+class MonteCarloSsta(TimingGraphAnalyzer):
+    """Seed-vectorized SSTA over a :class:`StatisticalTimingView`.
+
+    Construction, engine selection, net-load precomputation and
+    post-mutation refresh are shared with the deterministic analyzer
+    (:class:`~repro.sta.analysis.TimingGraphAnalyzer`); :meth:`run` returns
+    an :class:`SstaReport` with the critical-delay distribution.
+    """
 
     def __init__(self, netlist: Netlist, timing_view: StatisticalTimingView,
-                 primary_input_slew: float = 5e-12):
-        if primary_input_slew <= 0.0:
-            raise ValueError("primary_input_slew must be positive")
-        netlist.validate()
-        for gate in netlist.gates:
-            if not timing_view.has_cell(gate.cell_name):
-                raise KeyError(
-                    f"timing view does not cover cell {gate.cell_name!r} "
-                    f"(gate {gate.name})"
-                )
-        self._netlist = netlist
-        self._view = timing_view
-        self._input_slew = float(primary_input_slew)
+                 primary_input_slew: float = 5e-12,
+                 primary_input_arrival: float = 0.0,
+                 engine: str = "batched"):
+        super().__init__(netlist, timing_view,
+                         primary_input_slew=primary_input_slew,
+                         primary_input_arrival=primary_input_arrival,
+                         engine=engine)
 
-    def net_load(self, net: str) -> float:
-        """Total capacitive load on a net, in farads."""
-        load = self._netlist.external_load(net)
-        for consumer in self._netlist.fanout_gates(net):
-            load += self._view.input_capacitance(consumer.cell_name)
-        return load
+    def _report(self, po_names, po_samples: np.ndarray) -> SstaReport:
+        output_summaries = dict(zip(po_names, summarize_many(po_samples)))
+        critical_output = max(output_summaries,
+                              key=lambda net: output_summaries[net].mean)
+        critical_index = list(po_names).index(critical_output)
+        return SstaReport(
+            critical_output=critical_output,
+            delay_samples=po_samples[critical_index].copy(),
+            summary=output_summaries[critical_output],
+            output_summaries=output_summaries,
+            criticality=_criticality(po_names, po_samples),
+        )
 
-    def run(self) -> SstaReport:
-        """Propagate per-seed arrivals and return the critical-delay distribution."""
+    def _run_loop(self) -> SstaReport:
         n_seeds = self._view.n_seeds
+        seed_index = np.arange(n_seeds)
+        net_index = self._net_index
         arrivals: Dict[str, np.ndarray] = {}
         slews: Dict[str, np.ndarray] = {}
 
         for net in self._netlist.primary_inputs:
-            arrivals[net] = np.zeros(n_seeds)
+            arrivals[net] = np.full(n_seeds, self._input_arrival)
             slews[net] = np.full(n_seeds, self._input_slew)
 
         for gate in self._netlist.topological_gates():
             stacked = np.stack([arrivals[net] for net in gate.input_nets], axis=0)
             input_arrival = stacked.max(axis=0)
-            # Seed-wise worst input; its slew drives the gate (collapsed to a
-            # representative scalar inside the view).
-            worst_index = int(np.argmax(stacked.mean(axis=1)))
-            input_slew = slews[gate.input_nets[worst_index]]
-            load = max(self.net_load(gate.output_net), 1e-17)
+            # Seed-wise worst input; each seed's driving slew comes from that
+            # seed's own latest-arriving input (collapsed to the ensemble
+            # mean inside the view's table query).
+            worst_input = np.argmax(stacked, axis=0)
+            slew_stack = np.stack([slews[net] for net in gate.input_nets], axis=0)
+            input_slew = slew_stack[worst_input, seed_index]
+            load = max(float(self._loads[net_index[gate.output_net]]), MIN_LOAD_F)
             delay, output_slew = self._view.gate_timing_samples(
                 gate.cell_name, input_slew, load)
             arrivals[gate.output_net] = input_arrival + delay
             slews[gate.output_net] = output_slew
 
-        output_summaries = {net: summarize(arrivals[net])
-                            for net in self._netlist.primary_outputs}
-        critical_output = max(output_summaries,
-                              key=lambda net: output_summaries[net].mean)
-        return SstaReport(
-            critical_output=critical_output,
-            delay_samples=arrivals[critical_output].copy(),
-            summary=output_summaries[critical_output],
-            output_summaries=output_summaries,
-        )
+        po_names = self._netlist.primary_outputs
+        po_samples = np.stack([arrivals[net] for net in po_names], axis=0)
+        return self._report(po_names, po_samples)
+
+    def _run_batched(self) -> SstaReport:
+        compiled = self._compiled
+        n_seeds = self._view.n_seeds
+        seed_index = np.arange(n_seeds)
+        arrival = np.full((compiled.n_nets, n_seeds), -np.inf)
+        slew = np.zeros((compiled.n_nets, n_seeds))
+        arrival[compiled.primary_input_nets] = self._input_arrival
+        slew[compiled.primary_input_nets] = self._input_slew
+        loads = np.maximum(self._loads, MIN_LOAD_F)
+
+        for level in range(compiled.n_levels):
+            start = int(compiled.level_starts[level])
+            stop = int(compiled.level_starts[level + 1])
+            # worst: (G, S) seed-wise latest fanin arrival; first: (G, S)
+            # seed-wise first pin attaining it (np.argmax tie-breaking).
+            nets, worst, first = compiled.level_worst_fanins(level, arrival)
+            drive_net = nets[first]                                # (G, S)
+            input_slews = slew[drive_net, seed_index[np.newaxis, :]]
+            out_nets = compiled.gate_output_net[start:stop]
+            out_loads = loads[out_nets]
+            for cell, local in compiled.level_groups[level]:
+                delay, out_slew = self._view.gate_timing_samples_many(
+                    cell, input_slews[local], out_loads[local])
+                arrival[out_nets[local]] = worst[local] + delay
+                slew[out_nets[local]] = out_slew
+
+        po_names = [compiled.net_names[index]
+                    for index in compiled.primary_output_nets]
+        po_samples = arrival[compiled.primary_output_nets]
+        return self._report(po_names, po_samples)

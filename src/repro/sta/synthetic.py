@@ -1,0 +1,156 @@
+"""Seeded synthetic-netlist generators for engine testing and benchmarking.
+
+The hand-written benchmark circuits (:func:`~repro.sta.netlist.inverter_chain`,
+:func:`~repro.sta.netlist.nand_nor_tree`, the C17 netlist) top out at a few
+dozen gates; exercising the level-batched STA/SSTA engines at the scale the
+ROADMAP targets needs netlists of thousands to tens of thousands of gates
+with controllable shape.  Everything here is deterministic in its ``rng``
+seed, so the batched-versus-loop equivalence suite can sweep a reproducible
+grid of circuit topologies.
+
+Three shapes are provided:
+
+* :func:`synthetic_chain` -- a deep single-path delay line (worst case for
+  level batching: every level holds one gate);
+* :func:`synthetic_tree` -- a balanced reduction tree (fanout 1, width
+  halving per level);
+* :func:`random_layered_dag` -- the general case: ``depth`` layers of
+  ``width`` gates whose fanins are drawn at random from the preceding
+  ``window`` layers, with a configurable input-pin mix (which fixes the
+  expected fanout at ``mean fanin``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sta.netlist import Gate, Netlist, inverter_chain, nand_nor_tree
+from repro.utils.rng import RandomState, ensure_rng
+
+#: Default cell mix: (cell name, number of input pins, draw weight).
+DEFAULT_CELL_MIX: Tuple[Tuple[str, int, float], ...] = (
+    ("INV_X1", 1, 1.0),
+    ("NAND2_X1", 2, 1.0),
+    ("NOR2_X1", 2, 1.0),
+)
+
+
+def synthetic_chain(depth: int, cell_name: str = "INV_X1",
+                    load_f: float = 2e-15) -> Netlist:
+    """A ``depth``-stage inverter chain (one gate per topological level)."""
+    return inverter_chain(depth, cell_name=cell_name, load_f=load_f)
+
+
+def synthetic_tree(n_leaves: int, load_f: float = 2e-15) -> Netlist:
+    """A balanced NAND/NOR reduction tree over ``n_leaves`` inputs."""
+    return nand_nor_tree(n_leaves, load_f=load_f)
+
+
+def random_layered_dag(
+    width: int,
+    depth: int,
+    window: int = 2,
+    cells: Sequence[Tuple[str, int, float]] = DEFAULT_CELL_MIX,
+    n_primary_inputs: Optional[int] = None,
+    load_f: float = 2e-15,
+    rng: RandomState = 0,
+    name: Optional[str] = None,
+) -> Netlist:
+    """A random layered DAG of ``width x depth`` gates.
+
+    Layer 0 is the primary inputs; each of the ``depth`` gate layers holds
+    ``width`` gates whose cell type is drawn from ``cells`` (weighted) and
+    whose input nets are drawn without replacement from the nets of the
+    preceding ``window`` layers -- at least one from the immediately
+    preceding layer, so every gate of layer ``l`` sits at topological level
+    ``l`` and the levelized depth equals ``depth`` exactly.  Nets left
+    unconsumed at the end become primary outputs carrying ``load_f``.
+
+    Parameters
+    ----------
+    width:
+        Gates per layer.
+    depth:
+        Number of gate layers (= topological levels).
+    window:
+        How many preceding layers fanins may reach back into (>= 1); larger
+        windows produce higher-fanout, more DAG-like (less tree-like) nets.
+    cells:
+        The cell mix as ``(cell_name, n_input_pins, weight)`` triples.
+    n_primary_inputs:
+        Primary-input count (default ``width``).
+    load_f:
+        External load on every primary output, farads.
+    rng:
+        Seed or generator; the netlist is a pure function of it.
+    name:
+        Netlist name (default derived from the shape).
+    """
+    if width < 1 or depth < 1:
+        raise ValueError("width and depth must both be at least 1")
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    if not cells:
+        raise ValueError("the cell mix must not be empty")
+    generator = ensure_rng(rng)
+    n_inputs = int(n_primary_inputs) if n_primary_inputs is not None else width
+    if n_inputs < max(pins for _, pins, _ in cells):
+        raise ValueError("not enough primary inputs for the widest cell")
+
+    cell_names = [cell for cell, _, _ in cells]
+    cell_pins = np.array([pins for _, pins, _ in cells], dtype=np.int64)
+    weights = np.array([weight for _, _, weight in cells], dtype=float)
+    if np.any(weights < 0.0) or weights.sum() <= 0.0:
+        raise ValueError("cell weights must be non-negative with a positive sum")
+    weights = weights / weights.sum()
+
+    primary_inputs = [f"pi{index}" for index in range(n_inputs)]
+    netlist = Netlist(name or f"rand_dag_w{width}_d{depth}", primary_inputs, [])
+    layers: List[List[str]] = [primary_inputs]
+    consumed: Dict[str, bool] = {}
+
+    for layer in range(1, depth + 1):
+        recent = layers[max(0, layer - window):layer - 1]
+        pool = [net for nets in recent for net in nets]
+        previous = layers[layer - 1]
+        choices = generator.choice(len(cells), size=width, p=weights)
+        outputs: List[str] = []
+        for position in range(width):
+            cell_index = int(choices[position])
+            pins = int(cell_pins[cell_index])
+            # One pin always reads the previous layer (keeps the level depth
+            # exact); remaining pins read anywhere in the window, draining
+            # not-yet-consumed nets first so few internal nets dangle (real
+            # netlists have few primary outputs relative to their gate count).
+            first = previous[int(generator.integers(len(previous)))]
+            fanin = [first]
+            candidates = [net for net in previous + pool if net != first]
+            fresh = [net for net in candidates if net not in consumed]
+            stale = [net for net in candidates if net in consumed]
+            extra = min(pins - 1, len(candidates))
+            for source in (fresh, stale):
+                take = min(extra - (len(fanin) - 1), len(source))
+                if take > 0:
+                    picks = generator.choice(len(source), size=take,
+                                             replace=False)
+                    fanin.extend(source[int(pick)] for pick in picks)
+            while len(fanin) < pins:      # tiny nets: reuse the first pin's net
+                fanin.append(first)
+            output = f"n{layer}_{position}"
+            netlist.add_gate(Gate(name=f"g{layer}_{position}",
+                                  cell_name=cell_names[cell_index],
+                                  input_nets=tuple(fanin), output_net=output))
+            outputs.append(output)
+            for net in fanin:
+                consumed[net] = True
+        layers.append(outputs)
+
+    dangling = [net for nets in layers[1:] for net in nets
+                if net not in consumed]
+    for net in dangling:
+        netlist.add_primary_output(net)
+        netlist.set_output_load(net, load_f)
+    netlist.validate()
+    return netlist

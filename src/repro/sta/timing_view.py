@@ -6,12 +6,20 @@ needs, for each cell type, the input pin capacitance and a function from
 ``(input slew, load capacitance)`` to ``(delay, output slew)`` at the
 analysis supply.  :class:`TimingView` provides the nominal interface and
 :class:`StatisticalTimingView` the per-seed vectorized variant used by SSTA.
+
+Both views answer **batched** queries -- :meth:`TimingView.gate_timing_many`
+and :meth:`StatisticalTimingView.gate_timing_samples_many` evaluate one cell
+type at many ``(slew, load)`` points in a single call.  A view built from
+the characterization flows routes these through the vectorized model
+evaluators (one NumPy pass for a whole level of a netlist); views with only
+a scalar callback fall back to an internal loop, so the batched engines work
+against any view.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Tuple
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -23,6 +31,9 @@ from repro.core.statistical_flow import StatisticalCharacterization
 TimingCallback = Callable[[float, float], Tuple[float, float]]
 #: Signature of a statistical callback: (sin, cload) -> (delay[], slew[]).
 SampleCallback = Callable[[float, float], Tuple[np.ndarray, np.ndarray]]
+#: Signature of a batched callback: (sin[], cload[]) -> (delay..., slew...)
+#: with one leading axis over query points (plus a seed axis for samples).
+BatchCallback = Callable[[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]]
 
 
 @dataclass(frozen=True)
@@ -39,11 +50,16 @@ class CellTiming:
         Function mapping ``(input_slew_s, load_cap_f)`` to either
         ``(delay_s, slew_s)`` floats (nominal view) or per-seed arrays
         (statistical view).
+    batch_callback:
+        Optional vectorized form mapping ``(slews[], loads[])`` arrays to
+        ``(delays, slews)`` with one row per query point.  When absent,
+        batched queries loop over ``callback`` -- same numbers, no speedup.
     """
 
     cell_name: str
     input_cap_f: float
     callback: Callable
+    batch_callback: Optional[BatchCallback] = None
 
 
 class TimingView:
@@ -70,11 +86,45 @@ class TimingView:
         """Input pin capacitance of a cell type, in farads."""
         return self._entry(cell_name).input_cap_f
 
+    def input_capacitances(self) -> Dict[str, float]:
+        """Input pin capacitance of every covered cell type, in farads."""
+        return {name: entry.input_cap_f for name, entry in self._cells.items()}
+
     def gate_timing(self, cell_name: str, input_slew_s: float, load_cap_f: float
                     ) -> Tuple[float, float]:
         """Delay and output slew of a cell at the given loading, in seconds."""
         delay, slew = self._entry(cell_name).callback(input_slew_s, load_cap_f)
         return float(delay), float(slew)
+
+    def gate_timing_many(self, cell_name: str, input_slews_s: np.ndarray,
+                         load_caps_f: np.ndarray
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """Delay and output slew of one cell at many ``(slew, load)`` points.
+
+        Returns two arrays of the query length.  Uses the entry's
+        ``batch_callback`` when available, otherwise falls back to one
+        scalar :meth:`gate_timing` call per point.
+        """
+        entry = self._entry(cell_name)
+        slews = np.asarray(input_slews_s, dtype=float).reshape(-1)
+        loads = np.asarray(load_caps_f, dtype=float).reshape(-1)
+        if slews.size != loads.size:
+            raise ValueError("input_slews_s and load_caps_f must match in length")
+        if entry.batch_callback is not None:
+            delay, slew = entry.batch_callback(slews, loads)
+            delay = np.asarray(delay, dtype=float).reshape(-1)
+            slew = np.asarray(slew, dtype=float).reshape(-1)
+            if delay.size != slews.size or slew.size != slews.size:
+                raise ValueError(
+                    f"cell {cell_name!r} batch callback returned "
+                    f"{delay.size} points, expected {slews.size}")
+            return delay, slew
+        delay = np.empty(slews.size)
+        slew = np.empty(slews.size)
+        for index in range(slews.size):
+            delay[index], slew[index] = self.gate_timing(
+                cell_name, float(slews[index]), float(loads[index]))
+        return delay, slew
 
     def _entry(self, cell_name: str) -> CellTiming:
         if cell_name not in self._cells:
@@ -105,6 +155,14 @@ class StatisticalTimingView(TimingView):
                                                load_cap_f)
         return float(np.mean(delay)), float(np.mean(slew))
 
+    def gate_timing_many(self, cell_name: str, input_slews_s: np.ndarray,
+                         load_caps_f: np.ndarray
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """Ensemble-mean delay and slew at many points (deterministic STA)."""
+        delay, slew = self.gate_timing_samples_many(cell_name, input_slews_s,
+                                                    load_caps_f)
+        return delay.mean(axis=1), slew.mean(axis=1)
+
     def gate_timing_samples(self, cell_name: str, input_slew_s, load_cap_f: float
                             ) -> Tuple[np.ndarray, np.ndarray]:
         """Per-seed delay and output-slew arrays of a cell.
@@ -124,6 +182,41 @@ class StatisticalTimingView(TimingView):
             )
         return delay, slew
 
+    def gate_timing_samples_many(self, cell_name: str,
+                                 input_slews_s: np.ndarray,
+                                 load_caps_f: np.ndarray
+                                 ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-seed delay/slew of one cell at many ``(slew, load)`` points.
+
+        ``input_slews_s`` holds one already-collapsed slew per query point
+        (pass a ``(n_points, n_seeds)`` array to collapse seed-wise slews to
+        their means here, mirroring :meth:`gate_timing_samples`).  Returns
+        two ``(n_points, n_seeds)`` arrays.
+        """
+        entry = self._entry(cell_name)
+        slews = np.asarray(input_slews_s, dtype=float)
+        if slews.ndim == 2:
+            slews = slews.mean(axis=1)
+        slews = slews.reshape(-1)
+        loads = np.asarray(load_caps_f, dtype=float).reshape(-1)
+        if slews.size != loads.size:
+            raise ValueError("input_slews_s and load_caps_f must match in length")
+        if entry.batch_callback is not None:
+            delay, slew = entry.batch_callback(slews, loads)
+            delay = np.asarray(delay, dtype=float)
+            slew = np.asarray(slew, dtype=float)
+        else:
+            delay = np.empty((slews.size, self._n_seeds))
+            slew = np.empty((slews.size, self._n_seeds))
+            for index in range(slews.size):
+                delay[index], slew[index] = self.gate_timing_samples(
+                    cell_name, float(slews[index]), float(loads[index]))
+        if delay.shape != (slews.size, self._n_seeds) or delay.shape != slew.shape:
+            raise ValueError(
+                f"cell {cell_name!r} returned shape {delay.shape}, expected "
+                f"({slews.size}, {self._n_seeds})")
+        return delay, slew
+
 
 # ----------------------------------------------------------------------
 # Factories
@@ -135,22 +228,33 @@ def timing_view_from_characterizers(
     """Build a nominal :class:`TimingView` from fitted proposed-flow characterizers.
 
     Every characterizer must already have been fitted (``fit()`` called); the
-    view queries its analytical model at the requested slew and load.
+    view queries its analytical model at the requested slew and load --
+    scalar queries one at a time, batched queries in one vectorized model
+    evaluation per cell.
     """
     cells: Dict[str, CellTiming] = {}
     for cell_name, characterizer in characterizers.items():
         input_cap = characterizer.input_capacitance
 
-        def make_callback(bound=characterizer):
+        def make_callbacks(bound=characterizer):
             def callback(input_slew_s: float, load_cap_f: float):
                 condition = InputCondition(sin=input_slew_s, cload=load_cap_f, vdd=vdd)
                 delay = float(bound.predict_delay([condition])[0])
                 slew = float(bound.predict_slew([condition])[0])
                 return delay, slew
-            return callback
 
+            def batch_callback(input_slews_s: np.ndarray, load_caps_f: np.ndarray):
+                conditions = [InputCondition(sin=float(s), cload=float(c), vdd=vdd)
+                              for s, c in zip(input_slews_s, load_caps_f)]
+                return (np.asarray(bound.predict_delay(conditions), dtype=float),
+                        np.asarray(bound.predict_slew(conditions), dtype=float))
+
+            return callback, batch_callback
+
+        callback, batch_callback = make_callbacks()
         cells[cell_name] = CellTiming(cell_name=cell_name, input_cap_f=input_cap,
-                                      callback=make_callback())
+                                      callback=callback,
+                                      batch_callback=batch_callback)
     return TimingView(vdd=vdd, cells=cells)
 
 
@@ -160,6 +264,10 @@ def timing_view_from_statistical(
     vdd: float,
 ) -> StatisticalTimingView:
     """Build a :class:`StatisticalTimingView` from statistical characterizations.
+
+    Batched queries evaluate the whole ``(n_points, n_seeds)`` ensemble in
+    one pass of the compact model's vectorized evaluator
+    (:meth:`~repro.core.statistical_flow.StatisticalCharacterization.delay_samples_many`).
 
     Parameters
     ----------
@@ -180,13 +288,23 @@ def timing_view_from_statistical(
         if cell_name not in input_caps_f:
             raise KeyError(f"missing input capacitance for cell {cell_name!r}")
 
-        def make_callback(bound=characterization):
+        def make_callbacks(bound=characterization):
             def callback(input_slew_s: float, load_cap_f: float):
                 condition = InputCondition(sin=input_slew_s, cload=load_cap_f, vdd=vdd)
                 return bound.delay_samples(condition), bound.slew_samples(condition)
-            return callback
 
+            def batch_callback(input_slews_s: np.ndarray, load_caps_f: np.ndarray):
+                vdd_array = np.full(len(input_slews_s), vdd)
+                return (bound.delay_samples_many(input_slews_s, load_caps_f,
+                                                 vdd_array),
+                        bound.slew_samples_many(input_slews_s, load_caps_f,
+                                                vdd_array))
+
+            return callback, batch_callback
+
+        callback, batch_callback = make_callbacks()
         cells[cell_name] = CellTiming(cell_name=cell_name,
                                       input_cap_f=float(input_caps_f[cell_name]),
-                                      callback=make_callback())
+                                      callback=callback,
+                                      batch_callback=batch_callback)
     return StatisticalTimingView(vdd=vdd, cells=cells, n_seeds=n_seeds)
