@@ -30,9 +30,15 @@ RESULTS_DIR = Path(__file__).parent / "benchmark_results"
 #: ``REPRO_BENCH_SSTA_DEPTH``       layers in the SSTA benchmark netlist (50)
 #: ``REPRO_BENCH_SSTA_SEEDS``       seeds in the SSTA graph benchmark (200)
 #: ``REPRO_BENCH_SSTA_MIN_SPEEDUP`` assertion floor for batched/loop SSTA (5.0)
+#: ``REPRO_BENCH_RUNTIME_WIDTH``    gates per layer in the budgeted SSTA run (100)
+#: ``REPRO_BENCH_RUNTIME_DEPTH``    layers in the budgeted SSTA netlist (50)
+#: ``REPRO_BENCH_RUNTIME_SSTA_SEEDS``  seeds in the budgeted SSTA run (1000)
+#: ``REPRO_BENCH_RUNTIME_LIB_SEEDS``   seeds in the budgeted library run (200)
+#: ``REPRO_BENCH_RUNTIME_BUDGET_MB``   explicit max_bytes chunk budget (8.0)
 #:
-#: Separately, ``REPRO_SIM_CACHE`` / ``REPRO_SIM_CACHE_SIZE`` control the
-#: library's global simulation cache (see ``repro.spice.testbench``).
+#: Separately, ``REPRO_SIM_CACHE`` / ``REPRO_SIM_CACHE_SIZE`` /
+#: ``REPRO_SIM_CACHE_BYTES`` control the library's global simulation cache
+#: (see ``repro.spice.testbench``).
 
 
 def env_int(name: str, default: int) -> int:

@@ -28,6 +28,7 @@ import time
 import numpy as np
 
 from repro import (
+    RunLedger,
     SimulationCounter,
     characterize_historical_library,
     characterize_library,
@@ -36,7 +37,7 @@ from repro import (
     learn_prior,
     make_cell,
 )
-from repro.analysis import format_table
+from repro.analysis import format_ledger, format_table
 from repro.cells import StandardCellLibrary, Transition
 from repro.liberty import parse_liberty
 from repro.sta import MonteCarloSsta, StaticTimingAnalyzer, c17_benchmark, nand_nor_tree
@@ -66,9 +67,11 @@ def main() -> None:
     # transitions, shared seeds, batched extraction.
     # ------------------------------------------------------------------
     t_char = time.time()
+    ledger = RunLedger()
     result = characterize_library(
         target, library, delay_prior, slew_prior,
-        conditions=4, n_seeds=n_seeds, rng=17, counter=counter)
+        conditions=4, n_seeds=n_seeds, rng=17, counter=counter,
+        ledger=ledger)
     print(f"\nCharacterized {len(result.entries)} arcs of "
           f"{len(result.cell_names())} cells x {result.n_seeds} seeds in "
           f"{time.time() - t_char:.1f} s "
@@ -106,9 +109,10 @@ def main() -> None:
     view = result.timing_view(transition=Transition.FALL)
     rows = []
     for netlist in (c17_benchmark(), nand_nor_tree(8)):
-        sta = StaticTimingAnalyzer(netlist, view,
-                                   primary_input_slew=5e-12).run()
-        ssta = MonteCarloSsta(netlist, view, primary_input_slew=5e-12).run()
+        sta = StaticTimingAnalyzer(netlist, view, primary_input_slew=5e-12,
+                                   ledger=ledger).run()
+        ssta = MonteCarloSsta(netlist, view, primary_input_slew=5e-12,
+                              ledger=ledger).run()
         rows.append([
             netlist.name,
             len(netlist.gates),
@@ -123,6 +127,11 @@ def main() -> None:
         rows,
         title=f"Library-characterized timing at {result.vdd_nominal:.2f} V, 28 nm",
     ))
+    # ------------------------------------------------------------------
+    # The unified run ledger: stage wall time, simulation runs, solver
+    # iterations and runtime-cache activity across everything above.
+    # ------------------------------------------------------------------
+    print("\n" + format_ledger(ledger, title="Unified run ledger"))
     print(f"\nTotal simulations: {counter.total}")
     print(f"Elapsed          : {time.time() - start:.1f} s")
 

@@ -26,6 +26,7 @@ import time
 import numpy as np
 
 from repro import (
+    RunLedger,
     SimulationCounter,
     characterize_historical_library,
     characterize_library,
@@ -34,7 +35,7 @@ from repro import (
     learn_prior,
     make_cell,
 )
-from repro.analysis import format_table
+from repro.analysis import format_ledger, format_table
 from repro.sta import MonteCarloSsta, StaticTimingAnalyzer, random_layered_dag
 
 
@@ -54,9 +55,10 @@ def main() -> None:
     delay_prior = learn_prior(historical, response="delay")
     slew_prior = learn_prior(historical, response="slew")
 
+    ledger = RunLedger()
     library = characterize_library(target, cells, delay_prior, slew_prior,
                                    conditions=4, n_seeds=n_seeds, rng=7,
-                                   counter=counter)
+                                   counter=counter, ledger=ledger)
     print(f"Characterized {len(library.entries)} arcs with "
           f"{library.simulation_runs} simulations ({n_seeds} seeds each)")
 
@@ -92,7 +94,7 @@ def main() -> None:
         tic = time.perf_counter()
         reports[engine] = MonteCarloSsta(netlist, view,
                                          primary_input_slew=5e-12,
-                                         engine=engine).run()
+                                         engine=engine, ledger=ledger).run()
         elapsed = time.perf_counter() - tic
         summary = reports[engine].summary
         rows.append([engine, f"{elapsed:.3f}",
@@ -113,7 +115,11 @@ def main() -> None:
                     key=lambda item: item[1], reverse=True)[:5]
     print("Top endpoint criticalities: "
           + ", ".join(f"{net}={prob:.2f}" for net, prob in ranked if prob > 0))
-    print(f"Total simulations: {counter.total}")
+    # The unified run ledger merges the characterization stages with both
+    # SSTA runs: wall time per stage, simulation runs, solver iterations,
+    # and runtime-cache activity in one record.
+    print("\n" + format_ledger(ledger, title="Unified run ledger"))
+    print(f"\nTotal simulations: {counter.total}")
     print(f"Elapsed          : {time.time() - start:.1f} s")
 
 

@@ -87,6 +87,7 @@ from repro.core import (
 )
 from repro.bayes import GaussianDensity, GaussianFactorGraph, PrecisionModel
 from repro.experiments import AccuracyCurve, ExperimentRunner, compute_speedup
+from repro.runtime import LruCache, RunLedger, cache_stats
 
 __version__ = "1.0.0"
 
@@ -104,10 +105,12 @@ __all__ = [
     "InputCondition",
     "InputSpace",
     "LibraryCharacterization",
+    "LruCache",
     "LseCharacterizer",
     "LutCharacterizer",
     "PrecisionModel",
     "ProcessCorner",
+    "RunLedger",
     "SimulationCache",
     "SimulationCounter",
     "StandardCellLibrary",
@@ -122,6 +125,7 @@ __all__ = [
     "VariationSample",
     "WaveformBatch",
     "available_cells",
+    "cache_stats",
     "characterize_arc",
     "characterize_historical_library",
     "characterize_library",

@@ -19,7 +19,12 @@ from repro.analysis.comparison import (
     compare_curves,
     crossover_budget,
 )
-from repro.analysis.reporting import format_curve_table, format_table, format_speedups
+from repro.analysis.reporting import (
+    format_curve_table,
+    format_ledger,
+    format_speedups,
+    format_table,
+)
 
 __all__ = [
     "CurveComparison",
@@ -28,6 +33,7 @@ __all__ = [
     "crossover_budget",
     "empirical_pdf",
     "format_curve_table",
+    "format_ledger",
     "format_speedups",
     "format_table",
     "gaussian_pdf",

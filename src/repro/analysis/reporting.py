@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Sequence
 
 from repro.experiments.runner import AccuracyCurve, SpeedupSummary
+from repro.runtime.accounting import RunLedger
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
@@ -78,3 +79,45 @@ def format_speedups(speedups: Sequence[SpeedupSummary], title: str = "") -> str:
     for summary in speedups:
         lines.append(summary.describe())
     return "\n".join(lines)
+
+
+def format_ledger(ledger: RunLedger, title: str = "Run ledger") -> str:
+    """Render a :class:`~repro.runtime.accounting.RunLedger` as text.
+
+    Four sections (each omitted when empty): wall time per stage,
+    simulation runs per label, free-form metrics (solver iterations, gate
+    evaluations, ...) and cache hit/miss/eviction activity.
+    """
+    blocks: List[str] = []
+    stages = ledger.stages()
+    if stages:
+        blocks.append(format_table(
+            ["stage", "calls", "seconds"],
+            [[name, int(entry["calls"]), float(entry["wall_s"])]
+             for name, entry in stages.items()],
+            title=title))
+        title = ""
+    simulations = ledger.simulations_by_label()
+    if simulations:
+        rows: List[Sequence[object]] = [[label, runs] for label, runs
+                                        in sorted(simulations.items())]
+        rows.append(["TOTAL", ledger.simulations_total])
+        blocks.append(format_table(["simulations", "runs"], rows, title=title))
+        title = ""
+    metrics = ledger.metrics()
+    if metrics:
+        blocks.append(format_table(
+            ["metric", "value"],
+            [[name, value] for name, value in sorted(metrics.items())],
+            title=title))
+        title = ""
+    caches = ledger.cache_activity()
+    if caches:
+        blocks.append(format_table(
+            ["cache", "hits", "misses", "evictions"],
+            [[name, activity["hits"], activity["misses"], activity["evictions"]]
+             for name, activity in sorted(caches.items())],
+            title=title))
+    if not blocks:
+        return title + "\n(empty ledger)" if title else "(empty ledger)"
+    return "\n\n".join(blocks)

@@ -21,7 +21,6 @@ simulator integrates.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
@@ -29,6 +28,8 @@ import numpy as np
 
 from repro.cells.library import Cell, TimingArc, Transition
 from repro.devices import MOSFET, effective_current
+from repro.runtime import register_runtime_cache
+from repro.runtime.cache import LruCache
 from repro.technology.node import TechnologyNode
 from repro.technology.variation import VariationSample
 
@@ -158,9 +159,11 @@ def reduce_cell(
     )
 
 
-#: LRU cache of equivalent-inverter reductions (see :func:`reduce_cell_cached`).
-_REDUCTION_CACHE: "OrderedDict[tuple, EquivalentInverter]" = OrderedDict()
-_REDUCTION_CACHE_MAX = 512
+#: LRU cache of equivalent-inverter reductions (see :func:`reduce_cell_cached`),
+#: registered in the runtime cache registry so its hit/miss/eviction counters
+#: show up in ``repro.runtime.cache_stats()``.
+_REDUCTION_CACHE = register_runtime_cache(
+    LruCache("reduction", max_entries=512, max_bytes=64 * 2**20))
 
 
 def arc_identity_key(cell: Cell, technology: TechnologyNode, arc: TimingArc,
@@ -220,10 +223,7 @@ def reduce_cell_cached(
     key = _reduction_key(cell, technology, arc, variation)
     cached = _REDUCTION_CACHE.get(key)
     if cached is not None:
-        _REDUCTION_CACHE.move_to_end(key)
         return cached
     inverter = reduce_cell(cell, technology, arc=arc, variation=variation)
-    _REDUCTION_CACHE[key] = inverter
-    while len(_REDUCTION_CACHE) > _REDUCTION_CACHE_MAX:
-        _REDUCTION_CACHE.popitem(last=False)
+    _REDUCTION_CACHE.put(key, inverter)
     return inverter

@@ -53,6 +53,8 @@ from repro.core.timing_model import (
     N_PARAMETERS,
     TimingModelParameters,
 )
+from repro.runtime import resolve_max_bytes
+from repro.runtime.chunking import plan_chunks
 
 #: Default iteration cap; well above what quadratic LM convergence needs.
 DEFAULT_MAX_ITERATIONS = 60
@@ -215,6 +217,7 @@ def map_estimate_batch(
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
     gtol: float = 1e-10,
     xtol: float = 1e-12,
+    max_bytes: Optional[int] = None,
 ) -> BatchMapResult:
     """Seed-batched MAP extraction of the compact-model parameters.
 
@@ -242,6 +245,11 @@ def map_estimate_batch(
         Infinity-norm tolerance on the projected gradient.
     xtol:
         Relative step-size tolerance.
+    max_bytes:
+        Memory budget for the solver's working set; the seed axis is split
+        into deterministic chunks that are solved sequentially (seeds are
+        independent problems, so results are identical to the unchunked
+        solve).  ``None`` defers to ``repro.runtime.configure(max_bytes=...)``.
 
     Returns
     -------
@@ -258,6 +266,54 @@ def map_estimate_batch(
         raise ValueError(f"prior has dimension {density.dim}, expected {N_PARAMETERS}")
     model = model or CompactTimingModel()
 
+    # Per-seed working set: residual and cost rows of length k, the (k, 4)
+    # Jacobian plus its weighted copy, and the damped (4, 4) normal systems
+    # with their solve scratch -- roughly 8 * (6k + 80) bytes.
+    k = observations.k
+    chunks = plan_chunks(observations.n_seeds, 8 * (6 * k + 80),
+                         resolve_max_bytes(max_bytes))
+    if len(chunks) > 1:
+        parts = [
+            _solve_seed_block(density, _slice_observations(observations, rows),
+                              model, prior_weight, max_iterations, gtol, xtol)
+            for rows in chunks
+        ]
+        return BatchMapResult(
+            parameters=np.concatenate([p.parameters for p in parts], axis=0),
+            converged=np.concatenate([p.converged for p in parts]),
+            n_iterations=np.concatenate([p.n_iterations for p in parts]),
+            cost=np.concatenate([p.cost for p in parts]),
+            residuals=np.concatenate([p.residuals for p in parts], axis=0),
+            n_observations=k,
+        )
+    return _solve_seed_block(density, observations, model, prior_weight,
+                             max_iterations, gtol, xtol)
+
+
+def _slice_observations(observations: BatchMapObservations,
+                        rows: slice) -> BatchMapObservations:
+    """One contiguous seed block of a batch (conditions stay shared)."""
+    ieff = observations.ieff
+    return BatchMapObservations(
+        sin=observations.sin,
+        cload=observations.cload,
+        vdd=observations.vdd,
+        ieff=ieff if ieff.ndim == 1 else ieff[rows],
+        response=observations.response[rows],
+        beta=observations.beta,
+    )
+
+
+def _solve_seed_block(
+    density: GaussianDensity,
+    observations: BatchMapObservations,
+    model: CompactTimingModel,
+    prior_weight: float,
+    max_iterations: int,
+    gtol: float,
+    xtol: float,
+) -> BatchMapResult:
+    """The vectorized LM solve of one (possibly chunked) seed block."""
     mu0 = density.mean
     whitener = density.scaled_covariance(1.0 / prior_weight).whitening_matrix(
         jitter=1e-12)

@@ -12,12 +12,17 @@ orchestrates that workload:
   are bit-identical no matter how the jobs are executed;
 * the learned priors, the equivalent-inverter reduction cache and the global
   :class:`~repro.spice.testbench.SimulationCache` are shared across arcs;
-* optional ``concurrency="process"`` fan-out across arcs for multi-core
-  machines (each worker runs the same batched transient engine and batched
-  MAP solver, so the speedups multiply);
+* execution through the pluggable runtime executor
+  (:mod:`repro.runtime.executor`): ``concurrency="serial"`` shares the
+  in-process caches, ``"chunked"`` walks deterministic job chunks, and
+  ``"process"`` fans the arcs out over a process pool (each worker runs the
+  same batched transient engine and batched MAP solver, so the speedups
+  multiply);
 * simulation-run accounting identical to running the per-arc flows by hand:
   each arc charges ``k * n_seeds`` runs under a ``library:<cell>:<arc>``
-  label, whichever execution mode ran it.
+  label, whichever execution mode ran it, and per-arc
+  :class:`~repro.runtime.accounting.RunLedger` records merge into one
+  library-level ledger in job order.
 
 The resulting :class:`LibraryCharacterization` feeds the downstream
 consumers directly: :meth:`LibraryCharacterization.liberty_writer` emits a
@@ -29,8 +34,7 @@ consumes.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -46,14 +50,16 @@ from repro.core.statistical_flow import (
 )
 from repro.liberty.tables import NldmTable
 from repro.liberty.writer import CellTimingData, LibertyWriter, TimingTableSet
+from repro.runtime.accounting import RunLedger
+from repro.runtime.executor import EXECUTOR_MODES, get_executor
 from repro.spice.testbench import SimulationCounter
 from repro.technology.node import TechnologyNode
 from repro.technology.variation import VariationSample
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.units import NANO, PICO
 
-#: Execution modes of :func:`characterize_library`.
-CONCURRENCY_MODES = ("serial", "process")
+#: Execution modes of :func:`characterize_library` (the runtime executor's).
+CONCURRENCY_MODES = EXECUTOR_MODES
 
 
 @dataclass(frozen=True)
@@ -105,6 +111,10 @@ class LibraryCharacterization:
     entries:
         One :class:`LibraryArcCharacterization` per characterized arc, in
         deterministic (cell, arc) order.
+    ledger:
+        Unified :class:`~repro.runtime.accounting.RunLedger` of the run:
+        per-arc ledgers merged in job order plus the orchestrator's own
+        stage timings (identical accounting across execution modes).
     """
 
     library_name: str
@@ -117,6 +127,7 @@ class LibraryCharacterization:
     concurrency: str
     simulation_runs: int
     entries: Tuple[LibraryArcCharacterization, ...]
+    ledger: Optional[RunLedger] = field(default=None, compare=False)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -250,20 +261,25 @@ def _arc_jobs(cells: Sequence[Cell], transitions: Sequence[Transition],
     return jobs
 
 
-def _characterize_arc_job(payload: tuple) -> StatisticalCharacterization:
+def _characterize_arc_job(payload: tuple):
     """One (cell, arc) characterization; module-level for process pickling.
 
     Runs with a local counter (``None``): ``sweep_conditions`` charges
     deterministically per condition x seed, so the parent can account runs
-    identically for serial and process execution.
+    identically for serial and process execution.  Returns the
+    characterization together with the job's own :class:`RunLedger`
+    (filled in whatever process ran the job; the executor merges ledgers
+    back in payload order).
     """
     (technology, cell, arc, delay_prior, slew_prior, variation, conditions,
-     solver) = payload
+     solver, max_bytes) = payload
+    ledger = RunLedger()
     characterizer = StatisticalCharacterizer(
         technology, cell, delay_prior, slew_prior, arc=arc,
-        n_seeds=variation.n_seeds, solver=solver)
+        n_seeds=variation.n_seeds, solver=solver, ledger=ledger,
+        max_bytes=max_bytes)
     characterizer.use_variation(variation)
-    return characterizer.characterize(list(conditions))
+    return characterizer.characterize(list(conditions)), ledger
 
 
 def characterize_library(
@@ -281,6 +297,8 @@ def characterize_library(
     solver: str = "batched",
     concurrency: str = "serial",
     max_workers: Optional[int] = None,
+    ledger: Optional[RunLedger] = None,
+    max_bytes: Optional[int] = None,
 ) -> LibraryCharacterization:
     """Statistically characterize every requested arc of a cell library.
 
@@ -315,12 +333,23 @@ def characterize_library(
         Parameter-extraction solver (see
         :class:`~repro.core.statistical_flow.StatisticalCharacterizer`).
     concurrency:
-        ``"serial"`` (default; shares the in-process simulation cache) or
-        ``"process"`` (fan the arcs out over a process pool).  Results are
-        deterministic and identical across modes: the seed batch and every
-        arc's fitting conditions are fixed in the parent before dispatch.
+        Runtime executor mode: ``"serial"`` (default; shares the in-process
+        simulation cache), ``"chunked"`` (serial semantics over
+        deterministic job chunks) or ``"process"`` (fan the arcs out over a
+        process pool).  Results are deterministic and identical across
+        modes: the seed batch and every arc's fitting conditions are fixed
+        in the parent before dispatch.
     max_workers:
         Process-pool size for ``concurrency="process"``.
+    ledger:
+        Optional :class:`~repro.runtime.accounting.RunLedger`; per-arc
+        ledgers (stage wall time, simulation runs, solver iterations,
+        cache activity) merge into it in job order, identically in every
+        execution mode.  The merged record is also attached to the result.
+    max_bytes:
+        Memory budget threaded to every arc's batched engines (explicitly,
+        so process workers honor it too); ``None`` defers each process to
+        its own ``repro.runtime.configure(max_bytes=...)``.
 
     Raises
     ------
@@ -360,14 +389,14 @@ def characterize_library(
 
     payloads = [
         (technology, cell, arc, delay_prior, slew_prior, variation,
-         job_conditions[index], solver)
+         job_conditions[index], solver, max_bytes)
         for index, (cell, arc) in enumerate(jobs)
     ]
-    if concurrency == "process":
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            results = list(pool.map(_characterize_arc_job, payloads))
-    else:
-        results = [_characterize_arc_job(payload) for payload in payloads]
+    run_ledger = ledger if ledger is not None else RunLedger()
+    executor = get_executor(concurrency, max_workers=max_workers)
+    with run_ledger.stage("characterize_library"):
+        results = executor.map_accounted(_characterize_arc_job, payloads,
+                                         ledger=run_ledger)
 
     entries: List[LibraryArcCharacterization] = []
     total_runs = 0
@@ -397,4 +426,5 @@ def characterize_library(
         concurrency=concurrency,
         simulation_runs=total_runs,
         entries=tuple(entries),
+        ledger=run_ledger,
     )

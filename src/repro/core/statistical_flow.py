@@ -18,6 +18,8 @@ The total simulation cost is ``O(k * Nsample)``, compared with
 
 from __future__ import annotations
 
+import itertools
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -34,6 +36,9 @@ from repro.core.batch_map import BatchMapObservations, map_estimate_batch
 from repro.core.map_estimation import MapObservations, map_estimate
 from repro.core.prior_learning import TimingPrior
 from repro.core.timing_model import CompactTimingModel, TimingModelParameters
+from repro.runtime import register_runtime_cache
+from repro.runtime.accounting import RunLedger
+from repro.runtime.cache import LruCache
 from repro.spice.sweep import sweep_conditions
 from repro.spice.testbench import SimulationCounter
 from repro.technology.node import TechnologyNode
@@ -42,6 +47,17 @@ from repro.utils.rng import RandomState, ensure_rng
 
 #: Parameter-extraction solvers selectable in :class:`StatisticalCharacterizer`.
 SOLVERS = ("batched", "scipy")
+
+#: Per-(characterization, supply) effective-current rows.  An STA run queries
+#: one analysis supply thousands of times per characterization; the
+#: device-model evaluation is identical every time, so it is paid once and
+#: its reuse is visible in ``repro.runtime.cache_stats()["ieff"]``.
+_IEFF_CACHE = register_runtime_cache(
+    LruCache("ieff", max_entries=4096, max_bytes=64 * 2**20))
+
+#: Distinct tokens identifying characterization instances in the Ieff cache
+#: (tokens are never reused, unlike ``id()``).
+_IEFF_TOKENS = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -82,6 +98,19 @@ class StatisticalCharacterization:
     solver: str = "batched"
     delay_converged: Optional[np.ndarray] = None
     slew_converged: Optional[np.ndarray] = None
+
+    def __getstate__(self):
+        # The Ieff-cache token is process-local: a pickled copy landing in
+        # another process must not collide with tokens that process's own
+        # counter already handed out, so it is dropped here and lazily
+        # reissued by :meth:`_ieff_row` on first use.
+        state = self.__dict__.copy()
+        state.pop("_ieff_token", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        # Bypasses the frozen dataclass's __setattr__ (plain dict update).
+        self.__dict__.update(state)
 
     def unconverged_seeds(self) -> np.ndarray:
         """Seed indices whose delay or slew extraction failed to converge.
@@ -124,21 +153,24 @@ class StatisticalCharacterization:
     def _ieff_row(self, vdd: float) -> np.ndarray:
         """Per-seed effective currents at one supply, cached per vdd value.
 
-        An STA run queries one analysis supply thousands of times; the
-        device-model evaluation is identical every time, so it is paid once.
-        (The cache lives outside the frozen dataclass fields.)
+        Rows live in the runtime-registered ``"ieff"`` LRU, keyed by a
+        token unique to this characterization instance plus the supply, so
+        hits/misses/evictions are visible in ``runtime.cache_stats()`` and
+        the memory is bounded globally rather than per instance.  (The
+        token lives outside the frozen dataclass fields.)
         """
-        cache = self.__dict__.get("_ieff_cache")
-        if cache is None:
-            cache = {}
-            object.__setattr__(self, "_ieff_cache", cache)
-        row = cache.get(vdd)
+        token = self.__dict__.get("_ieff_token")
+        if token is None:
+            token = next(_IEFF_TOKENS)
+            object.__setattr__(self, "_ieff_token", token)
+        key = (token, float(vdd))
+        row = _IEFF_CACHE.get(key)
         if row is None:
             row = np.asarray(self.inverter.effective_current(vdd),
                              dtype=float).reshape(-1)
             if row.size == 1:
                 row = np.full(self.n_seeds, float(row[0]))
-            cache[vdd] = row
+            _IEFF_CACHE.put(key, row, nbytes=row.nbytes)
         return row
 
     def _samples_many(self, sin: np.ndarray, cload: np.ndarray,
@@ -226,7 +258,14 @@ def _moments(values: np.ndarray) -> Dict[str, float]:
 
 
 class StatisticalCharacterizer:
-    """Proposed-flow statistical characterizer for one cell timing arc."""
+    """Proposed-flow statistical characterizer for one cell timing arc.
+
+    ``ledger`` threads a :class:`~repro.runtime.accounting.RunLedger`
+    through the run (``simulate`` / ``extract`` stage timings, simulation
+    runs, solver iterations, cache activity); ``max_bytes`` bounds the
+    batched engines' working sets via deterministic chunking (``None``
+    defers to ``repro.runtime.configure(max_bytes=...)``).
+    """
 
     def __init__(
         self,
@@ -239,6 +278,8 @@ class StatisticalCharacterizer:
         rng: RandomState = None,
         counter: Optional[SimulationCounter] = None,
         solver: str = "batched",
+        ledger: Optional[RunLedger] = None,
+        max_bytes: Optional[int] = None,
     ):
         if n_seeds < 2:
             raise ValueError("statistical characterization needs at least 2 seeds")
@@ -256,6 +297,8 @@ class StatisticalCharacterizer:
         self._model = CompactTimingModel()
         self._variation: Optional[VariationSample] = None
         self._solver = solver
+        self._ledger = ledger
+        self._max_bytes = max_bytes
 
     # ------------------------------------------------------------------
     # Accessors
@@ -322,14 +365,21 @@ class StatisticalCharacterizer:
         inverter = reduce_cell_cached(self._cell, self._technology,
                                       arc=self._arc, variation=variation)
 
+        ledger = self._ledger
         runs_before = self._counter.total if self._counter is not None else 0
-        measurements = sweep_conditions(
-            self._cell, self._technology, [c.as_tuple() for c in conditions],
-            arc=self._arc, variation=variation, counter=self._counter,
-            counter_label=f"proposed_statistical:{self._cell.name}",
-        )
+        with (ledger.stage("simulate") if ledger is not None else nullcontext()), \
+             (ledger.caches() if ledger is not None else nullcontext()):
+            measurements = sweep_conditions(
+                self._cell, self._technology, [c.as_tuple() for c in conditions],
+                arc=self._arc, variation=variation, counter=self._counter,
+                counter_label=f"proposed_statistical:{self._cell.name}",
+                max_bytes=self._max_bytes,
+            )
         runs = ((self._counter.total - runs_before) if self._counter is not None
                 else len(conditions) * variation.n_seeds)
+        if ledger is not None:
+            ledger.add_simulations(
+                runs, label=f"proposed_statistical:{self._cell.name}")
 
         sin, cload, vdd = conditions_to_arrays(conditions)
         unit = self._space.normalize(conditions)
@@ -352,43 +402,51 @@ class StatisticalCharacterizer:
         n_seeds = variation.n_seeds
         delay_converged: Optional[np.ndarray] = None
         slew_converged: Optional[np.ndarray] = None
-        if solver == "batched":
-            # One seed-vectorized Levenberg-Marquardt solve per response:
-            # every seed is a row of the (n_seeds, k) observation matrices.
-            delay_result = map_estimate_batch(
-                self._delay_prior,
-                BatchMapObservations(sin=sin, cload=cload, vdd=vdd,
-                                     ieff=ieff_matrix.T,
-                                     response=delay_matrix.T,
-                                     beta=delay_beta),
-                model=self._model)
-            slew_result = map_estimate_batch(
-                self._slew_prior,
-                BatchMapObservations(sin=sin, cload=cload, vdd=vdd,
-                                     ieff=ieff_matrix.T,
-                                     response=slew_matrix.T,
-                                     beta=slew_beta),
-                model=self._model)
-            delay_params = delay_result.parameters
-            slew_params = slew_result.parameters
-            delay_converged = delay_result.converged
-            slew_converged = slew_result.converged
-        else:
-            delay_params = np.empty((n_seeds, 4))
-            slew_params = np.empty((n_seeds, 4))
-            for seed in range(n_seeds):
-                delay_obs = MapObservations(sin=sin, cload=cload, vdd=vdd,
-                                            ieff=ieff_matrix[:, seed],
-                                            response=delay_matrix[:, seed],
-                                            beta=delay_beta)
-                slew_obs = MapObservations(sin=sin, cload=cload, vdd=vdd,
-                                           ieff=ieff_matrix[:, seed],
-                                           response=slew_matrix[:, seed],
-                                           beta=slew_beta)
-                delay_params[seed] = map_estimate(self._delay_prior, delay_obs,
-                                                  model=self._model).params.as_array()
-                slew_params[seed] = map_estimate(self._slew_prior, slew_obs,
-                                                 model=self._model).params.as_array()
+        with (ledger.stage("extract") if ledger is not None else nullcontext()):
+            if solver == "batched":
+                # One seed-vectorized Levenberg-Marquardt solve per response:
+                # every seed is a row of the (n_seeds, k) observation matrices.
+                delay_result = map_estimate_batch(
+                    self._delay_prior,
+                    BatchMapObservations(sin=sin, cload=cload, vdd=vdd,
+                                         ieff=ieff_matrix.T,
+                                         response=delay_matrix.T,
+                                         beta=delay_beta),
+                    model=self._model, max_bytes=self._max_bytes)
+                slew_result = map_estimate_batch(
+                    self._slew_prior,
+                    BatchMapObservations(sin=sin, cload=cload, vdd=vdd,
+                                         ieff=ieff_matrix.T,
+                                         response=slew_matrix.T,
+                                         beta=slew_beta),
+                    model=self._model, max_bytes=self._max_bytes)
+                delay_params = delay_result.parameters
+                slew_params = slew_result.parameters
+                delay_converged = delay_result.converged
+                slew_converged = slew_result.converged
+                if ledger is not None:
+                    ledger.add_metric(
+                        "solver_iterations",
+                        int(delay_result.n_iterations.sum()
+                            + slew_result.n_iterations.sum()))
+            else:
+                delay_params = np.empty((n_seeds, 4))
+                slew_params = np.empty((n_seeds, 4))
+                for seed in range(n_seeds):
+                    delay_obs = MapObservations(sin=sin, cload=cload, vdd=vdd,
+                                                ieff=ieff_matrix[:, seed],
+                                                response=delay_matrix[:, seed],
+                                                beta=delay_beta)
+                    slew_obs = MapObservations(sin=sin, cload=cload, vdd=vdd,
+                                               ieff=ieff_matrix[:, seed],
+                                               response=slew_matrix[:, seed],
+                                               beta=slew_beta)
+                    delay_params[seed] = map_estimate(self._delay_prior, delay_obs,
+                                                      model=self._model).params.as_array()
+                    slew_params[seed] = map_estimate(self._slew_prior, slew_obs,
+                                                     model=self._model).params.as_array()
+                if ledger is not None:
+                    ledger.add_metric("extraction_solves", 2 * n_seeds)
 
         return StatisticalCharacterization(
             cell_name=self._cell.name,

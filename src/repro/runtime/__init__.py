@@ -1,0 +1,160 @@
+"""``repro.runtime`` -- the execution/caching/accounting substrate.
+
+One package underneath all three batched engines (transient, MAP
+extraction, timing graph):
+
+* :mod:`repro.runtime.cache` -- a generic, capacity-bounded, stats-reporting
+  LRU plus a process-wide registry (:func:`cache_stats`);
+* :mod:`repro.runtime.chunking` -- deterministic, memory-budgeted chunk
+  planning over the engines' work axes;
+* :mod:`repro.runtime.executor` -- pluggable ``serial`` / ``chunked`` /
+  ``process`` job execution with order-preserving results and merged
+  accounting;
+* :mod:`repro.runtime.accounting` -- the unified :class:`RunLedger`.
+
+Process-wide knobs live in :func:`configure`::
+
+    import repro.runtime as runtime
+
+    runtime.configure(max_bytes=256 * 2**20)   # chunk every batched engine
+    runtime.configure(cache_bytes=64 * 2**20)  # re-bound every cache
+    runtime.cache_stats()                      # {'simulation': CacheStats(...)}
+
+``configure`` applies to the current process only; process-pool workers
+start from defaults, so flows that must honor a budget everywhere thread
+``max_bytes`` explicitly (the library orchestrator does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.runtime.accounting import RunLedger
+from repro.runtime.cache import (
+    CacheStats,
+    LruCache,
+    cache_stats,
+    clear_all_caches,
+    default_sizeof,
+    get_registered_cache,
+    register_cache,
+    registered_caches,
+)
+from repro.runtime.chunking import chunk_count, plan_chunks
+from repro.runtime.executor import (
+    EXECUTOR_MODES,
+    ChunkedExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    get_executor,
+)
+
+#: Sentinel distinguishing "keep current" from an explicit ``None``.
+_KEEP = object()
+
+
+@dataclass
+class RuntimeConfig:
+    """Process-wide runtime settings (mutate through :func:`configure`).
+
+    Attributes
+    ----------
+    max_bytes:
+        Default chunking budget (bytes) consulted by every batched engine
+        whose ``max_bytes`` argument is left at ``None``.  ``None`` disables
+        chunking by default.
+    cache_bytes:
+        Byte bound applied to every registered runtime cache (current and
+        future).  ``None`` keeps each cache's own default bound.
+    """
+
+    max_bytes: Optional[int] = None
+    cache_bytes: Optional[int] = None
+
+
+_CONFIG = RuntimeConfig()
+
+
+def runtime_config() -> RuntimeConfig:
+    """The live process-wide :class:`RuntimeConfig`."""
+    return _CONFIG
+
+
+def configure(max_bytes=_KEEP, cache_bytes=_KEEP) -> RuntimeConfig:
+    """Update process-wide runtime settings; returns the live config.
+
+    Parameters
+    ----------
+    max_bytes:
+        Default chunk budget in bytes for all batched engines; ``None``
+        disables default chunking.  Omit to keep the current value.
+    cache_bytes:
+        Byte bound re-applied to **every** registered cache immediately (and
+        to caches registered later); ``None`` restores each registered
+        cache's original default bound.  Omit to keep the current value.
+    """
+    if max_bytes is not _KEEP:
+        if max_bytes is not None and int(max_bytes) < 1:
+            raise ValueError("max_bytes must be positive (or None)")
+        _CONFIG.max_bytes = None if max_bytes is None else int(max_bytes)
+    if cache_bytes is not _KEEP:
+        if cache_bytes is not None and int(cache_bytes) < 1:
+            raise ValueError("cache_bytes must be positive (or None)")
+        _CONFIG.cache_bytes = None if cache_bytes is None else int(cache_bytes)
+        for cache in registered_caches().values():
+            bound = (_CONFIG.cache_bytes if _CONFIG.cache_bytes is not None
+                     else _default_cache_bound(cache))
+            cache.set_bounds(max_bytes=bound)
+    return _CONFIG
+
+
+_DEFAULT_CACHE_BOUNDS: dict = {}
+
+
+def _default_cache_bound(cache: LruCache) -> Optional[int]:
+    """The byte bound a cache was registered with (for configure(None))."""
+    return _DEFAULT_CACHE_BOUNDS.get(cache.name)
+
+
+def register_runtime_cache(cache: LruCache) -> LruCache:
+    """Register a cache and apply the configured ``cache_bytes`` override.
+
+    The cache's own ``max_bytes`` is remembered as its default, so a later
+    ``configure(cache_bytes=None)`` restores it.
+    """
+    _DEFAULT_CACHE_BOUNDS[cache.name] = cache.max_bytes
+    register_cache(cache)
+    if _CONFIG.cache_bytes is not None:
+        cache.set_bounds(max_bytes=_CONFIG.cache_bytes)
+    return cache
+
+
+def resolve_max_bytes(max_bytes: Optional[int]) -> Optional[int]:
+    """An engine's effective chunk budget: explicit value or configured default."""
+    return _CONFIG.max_bytes if max_bytes is None else int(max_bytes)
+
+
+__all__ = [
+    "CacheStats",
+    "ChunkedExecutor",
+    "EXECUTOR_MODES",
+    "LruCache",
+    "ProcessExecutor",
+    "RunLedger",
+    "RuntimeConfig",
+    "SerialExecutor",
+    "cache_stats",
+    "chunk_count",
+    "clear_all_caches",
+    "configure",
+    "default_sizeof",
+    "get_executor",
+    "get_registered_cache",
+    "plan_chunks",
+    "register_cache",
+    "register_runtime_cache",
+    "registered_caches",
+    "resolve_max_bytes",
+    "runtime_config",
+]

@@ -1,0 +1,337 @@
+"""One LRU cache implementation for every memoization in the library.
+
+PRs 1-3 each grew a private cache -- the per-condition simulation cache, the
+equivalent-inverter reduction cache, the per-supply effective-current rows
+and the netlist compile cache -- with four different eviction policies and
+no shared visibility.  This module replaces all of them with one generic,
+capacity-bounded, stats-reporting LRU:
+
+* **Dual capacity bounds.**  Every cache can be bounded by entry count
+  (``max_entries``) and by payload size (``max_bytes``); either bound may be
+  ``None`` (unbounded on that axis).  Entry sizes are measured by
+  :func:`default_sizeof`, which understands NumPy arrays, containers and
+  dataclasses, or supplied explicitly by the caller via ``put(nbytes=...)``.
+* **Statistics.**  Hits, misses and evictions are counted per cache and
+  exposed as :class:`CacheStats`; the process-wide registry aggregates them
+  through :func:`cache_stats` (re-exported as ``repro.runtime.cache_stats``),
+  so a flow can finally *see* whether its memoization is working.
+* **Registry.**  Global caches register by name; ``configure(cache_bytes=N)``
+  in :mod:`repro.runtime` re-bounds every registered cache at once.
+
+The cache is deliberately not thread-safe: the library's concurrency story
+is process fan-out (see :mod:`repro.runtime.executor`), where each worker
+owns a private registry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+#: Sentinel distinguishing "absent" from a cached ``None``.
+_MISSING = object()
+
+
+def default_sizeof(value: Any, _seen: Optional[set] = None,
+                   _depth: int = 0) -> int:
+    """Approximate the memory footprint of a cached payload, in bytes.
+
+    NumPy arrays report ``nbytes`` (views count their base buffer once per
+    entry -- an over- rather than under-estimate); tuples, lists, dicts and
+    dataclasses recurse over their elements; strings and bytes report their
+    length.  Anything else falls back to ``sys.getsizeof``.  Recursion is
+    cycle-safe and depth-capped, so arbitrary object graphs cannot hang the
+    accounting.
+    """
+    if _depth > 8:
+        return 0
+    if _seen is None:
+        _seen = set()
+    marker = id(value)
+    if marker in _seen:
+        return 0
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (bytes, str)):
+        return len(value)
+    if isinstance(value, (int, float, complex, bool, type(None))):
+        return 32
+    if isinstance(value, (tuple, list, set, frozenset)):
+        _seen.add(marker)
+        return 64 + sum(default_sizeof(item, _seen, _depth + 1) for item in value)
+    if isinstance(value, dict):
+        _seen.add(marker)
+        return 64 + sum(default_sizeof(k, _seen, _depth + 1)
+                        + default_sizeof(v, _seen, _depth + 1)
+                        for k, v in value.items())
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        _seen.add(marker)
+        return 64 + sum(
+            default_sizeof(getattr(value, field.name, None), _seen, _depth + 1)
+            for field in dataclasses.fields(value))
+    try:
+        return int(sys.getsizeof(value))
+    except TypeError:
+        return 64
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of one cache's counters and occupancy.
+
+    Attributes
+    ----------
+    name:
+        Registry name of the cache.
+    hits, misses, evictions:
+        Lifetime lookup and eviction counters (reset by ``clear()``).
+    entries, current_bytes:
+        Current occupancy.
+    max_entries, max_bytes:
+        Configured capacity bounds (``None`` = unbounded on that axis).
+    """
+
+    name: str
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    current_bytes: int
+    max_entries: Optional[int]
+    max_bytes: Optional[int]
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class LruCache:
+    """Generic capacity-bounded LRU cache with hit/miss/eviction statistics.
+
+    Parameters
+    ----------
+    name:
+        Identifying name (used by the registry and in reports).
+    max_entries:
+        Entry-count bound, or ``None`` for unbounded.
+    max_bytes:
+        Payload-size bound in bytes, or ``None`` for unbounded.  A single
+        payload larger than the whole budget is rejected outright (counted
+        as an eviction) rather than flushing everything else.
+    sizeof:
+        Size estimator for stored values; defaults to :func:`default_sizeof`.
+    """
+
+    def __init__(self, name: str, max_entries: Optional[int] = None,
+                 max_bytes: Optional[int] = None,
+                 sizeof: Callable[[Any], int] = default_sizeof):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be at least 1 (or None)")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be at least 1 (or None)")
+        self._name = str(name)
+        self._max_entries = max_entries if max_entries is None else int(max_entries)
+        self._max_bytes = max_bytes if max_bytes is None else int(max_bytes)
+        self._sizeof = sizeof
+        self._entries: "OrderedDict[Any, Tuple[Any, int]]" = OrderedDict()
+        self._current_bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._enabled = True
+
+    # ------------------------------------------------------------------
+    # Introspection / control
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Registry name of the cache."""
+        return self._name
+
+    @property
+    def enabled(self) -> bool:
+        """Whether lookups are currently served."""
+        return self._enabled
+
+    @property
+    def hits(self) -> int:
+        """Number of successful lookups so far."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Number of failed lookups so far."""
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        """Number of entries dropped to respect the capacity bounds."""
+        return self._evictions
+
+    @property
+    def current_bytes(self) -> int:
+        """Estimated bytes currently held."""
+        return self._current_bytes
+
+    @property
+    def max_entries(self) -> Optional[int]:
+        """Entry-count bound (``None`` = unbounded)."""
+        return self._max_entries
+
+    @property
+    def max_bytes(self) -> Optional[int]:
+        """Byte bound (``None`` = unbounded)."""
+        return self._max_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def enable(self) -> None:
+        """Serve lookups again after :meth:`disable`."""
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Make every lookup miss (stored entries are kept)."""
+        self._enabled = False
+
+    def clear(self) -> None:
+        """Drop all entries and reset the statistics."""
+        self._entries.clear()
+        self._current_bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def stats(self) -> CacheStats:
+        """Current counters and occupancy as a :class:`CacheStats`."""
+        return CacheStats(
+            name=self._name,
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            entries=len(self._entries),
+            current_bytes=self._current_bytes,
+            max_entries=self._max_entries,
+            max_bytes=self._max_bytes,
+        )
+
+    def set_bounds(self, max_entries: Optional[int] = _MISSING,
+                   max_bytes: Optional[int] = _MISSING) -> None:
+        """Re-bound the cache; excess entries are evicted immediately.
+
+        Arguments left at their default keep the current bound; pass ``None``
+        explicitly to unbound an axis.
+        """
+        if max_entries is not _MISSING:
+            if max_entries is not None and max_entries < 1:
+                raise ValueError("max_entries must be at least 1 (or None)")
+            self._max_entries = (max_entries if max_entries is None
+                                 else int(max_entries))
+        if max_bytes is not _MISSING:
+            if max_bytes is not None and max_bytes < 1:
+                raise ValueError("max_bytes must be at least 1 (or None)")
+            self._max_bytes = max_bytes if max_bytes is None else int(max_bytes)
+        self._evict()
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Return the cached value for ``key`` (marking it most recent).
+
+        Returns ``default`` -- and counts a miss -- when absent or disabled.
+        """
+        if not self._enabled:
+            return default
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self._misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return value[0]
+
+    def put(self, key: Any, value: Any, nbytes: Optional[int] = None) -> None:
+        """Store ``value`` under ``key`` (no-op while disabled).
+
+        ``nbytes`` overrides the size estimator for this entry.
+        """
+        if not self._enabled:
+            return
+        size = int(self._sizeof(value)) if nbytes is None else int(nbytes)
+        if self._max_bytes is not None and size > self._max_bytes:
+            # Storing would immediately flush the rest of the cache for one
+            # oversized entry; refuse and record the rejection.
+            self._evictions += 1
+            self.discard(key)
+            return
+        old = self._entries.get(key)
+        if old is not None:
+            self._current_bytes -= old[1]
+        self._entries[key] = (value, size)
+        self._current_bytes += size
+        self._entries.move_to_end(key)
+        self._evict()
+
+    def discard(self, key: Any) -> None:
+        """Remove one entry if present (not counted as an eviction)."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._current_bytes -= entry[1]
+
+    def _evict(self) -> None:
+        while ((self._max_entries is not None
+                and len(self._entries) > self._max_entries)
+               or (self._max_bytes is not None
+                   and self._current_bytes > self._max_bytes
+                   and self._entries)):
+            _, (_, size) = self._entries.popitem(last=False)
+            self._current_bytes -= size
+            self._evictions += 1
+
+
+# ----------------------------------------------------------------------
+# Process-wide registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, LruCache] = {}
+
+
+def register_cache(cache: LruCache) -> LruCache:
+    """Register a cache under its name (replacing any previous holder).
+
+    Returns the cache for chaining, so module-level globals can read
+    ``CACHE = register_cache(LruCache("name", ...))``.
+    """
+    _REGISTRY[cache.name] = cache
+    return cache
+
+
+def get_registered_cache(name: str) -> Optional[LruCache]:
+    """Look up a registered cache by name (``None`` when absent)."""
+    return _REGISTRY.get(name)
+
+
+def registered_caches() -> Dict[str, LruCache]:
+    """A snapshot of the registry (name to cache)."""
+    return dict(_REGISTRY)
+
+
+def cache_stats() -> Dict[str, CacheStats]:
+    """Statistics of every registered cache, keyed by cache name."""
+    return {name: cache.stats() for name, cache in sorted(_REGISTRY.items())}
+
+
+def clear_all_caches() -> None:
+    """Clear every registered cache (entries and statistics)."""
+    for cache in _REGISTRY.values():
+        cache.clear()

@@ -19,6 +19,8 @@ import numpy as np
 
 from repro.cells.equivalent_inverter import reduce_cell_cached
 from repro.cells.library import Cell, TimingArc
+from repro.runtime import resolve_max_bytes
+from repro.runtime.chunking import plan_chunks
 from repro.spice.batch import simulate_arc_transitions
 from repro.spice.testbench import (
     SimulationCache,
@@ -26,7 +28,7 @@ from repro.spice.testbench import (
     TimingMeasurement,
     get_simulation_cache,
 )
-from repro.spice.transient import DEFAULT_STEPS, simulate_arc_transition
+from repro.spice.transient import DEFAULT_STEPS, _phase_steps, simulate_arc_transition
 from repro.technology.node import TechnologyNode
 from repro.technology.variation import VariationSample
 
@@ -45,6 +47,7 @@ def sweep_conditions(
     counter_label: Optional[str] = None,
     engine: str = "batched",
     cache: bool = True,
+    max_bytes: Optional[int] = None,
 ) -> List[TimingMeasurement]:
     """Simulate one arc across a list of operating points.
 
@@ -70,6 +73,12 @@ def sweep_conditions(
     cache:
         Whether to consult/fill the global simulation cache (batched engine
         only; ignored for ``engine="serial"``).
+    max_bytes:
+        Memory budget for the batched engine's waveform matrices; uncached
+        conditions are split into deterministic chunks integrated one after
+        the other (conditions are independent, so the per-condition results
+        are identical to the one-pass batch).  ``None`` defers to
+        ``repro.runtime.configure(max_bytes=...)``.
 
     Returns
     -------
@@ -115,14 +124,26 @@ def sweep_conditions(
     if missing:
         if engine == "batched":
             triples = np.array([conditions[i] for i in missing], dtype=float)
-            result = simulate_arc_transitions(
-                inverter, triples[:, 0], triples[:, 1], triples[:, 2],
-                n_steps=n_steps)
-            batch_delay = result.delay()
-            batch_slew = result.output_slew()
-            for row, index in enumerate(missing):
-                delays[index] = np.asarray(batch_delay[row], dtype=float)
-                slews[index] = np.asarray(batch_slew[row], dtype=float)
+            # Peak per-condition footprint of the batched integrator: the
+            # shared time matrix plus the (len, n_seeds) voltage and input
+            # matrices and the RK4 stage/derivative buffers.
+            n_seeds = variation.n_seeds if variation is not None else 1
+            ramp_steps, tail_steps = _phase_steps(n_steps)
+            base_len = ramp_steps + 1 + tail_steps
+            item_bytes = 8 * base_len * (4 * n_seeds + 2)
+            # Chunks integrate one after the other and scatter their results
+            # immediately, so each chunk's waveform matrices are freed before
+            # the next one allocates (the point of the budget).
+            for rows in plan_chunks(len(missing), item_bytes,
+                                    resolve_max_bytes(max_bytes)):
+                result = simulate_arc_transitions(
+                    inverter, triples[rows, 0], triples[rows, 1],
+                    triples[rows, 2], n_steps=n_steps)
+                batch_delay = result.delay()
+                batch_slew = result.output_slew()
+                for row, index in enumerate(missing[rows]):
+                    delays[index] = np.asarray(batch_delay[row], dtype=float)
+                    slews[index] = np.asarray(batch_slew[row], dtype=float)
         else:
             for index in missing:
                 sin, cload, vdd = conditions[index]

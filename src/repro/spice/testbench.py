@@ -21,7 +21,6 @@ claims are about), while the cache only shortens wall-clock time.
 from __future__ import annotations
 
 import os
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -29,6 +28,8 @@ import numpy as np
 
 from repro.cells.equivalent_inverter import arc_identity_key
 from repro.cells.library import Cell, TimingArc
+from repro.runtime import register_runtime_cache
+from repro.runtime.cache import LruCache
 from repro.spice.transient import DEFAULT_STEPS
 from repro.technology.node import TechnologyNode
 from repro.technology.variation import VariationSample
@@ -70,8 +71,19 @@ class SimulationCounter:
         self._by_label.clear()
 
 
-class SimulationCache:
+#: Default byte bound of the global simulation cache (256 MiB).  Before the
+#: runtime substrate the cache was bounded only by entry count, so a
+#: many-seed workload could hold gigabytes of per-condition arrays.
+DEFAULT_SIM_CACHE_BYTES = 256 * 2**20
+
+
+class SimulationCache(LruCache):
     """LRU memoization of per-condition transient results.
+
+    A :class:`~repro.runtime.cache.LruCache` specialization: bounded both by
+    entry count and by payload bytes, with hit/miss/eviction statistics
+    reported through ``repro.runtime.cache_stats()`` for the registered
+    global instance.
 
     Keys identify the operating point: cell name and unit device widths,
     technology name plus content fingerprint, timing arc, the content
@@ -84,53 +96,17 @@ class SimulationCache:
     The global instance (:func:`get_simulation_cache`) is consulted by
     :func:`repro.spice.sweep.sweep_conditions` and everything layered on top
     of it.  Set the environment variable ``REPRO_SIM_CACHE=0`` to disable
-    caching process-wide, and ``REPRO_SIM_CACHE_SIZE`` to change the entry
-    limit (default 4096 conditions).
+    caching process-wide, ``REPRO_SIM_CACHE_SIZE`` to change the entry limit
+    (default 4096 conditions) and ``REPRO_SIM_CACHE_BYTES`` to change the
+    byte bound; ``repro.runtime.configure(cache_bytes=...)`` re-bounds the
+    registered instance at run time.
     """
 
-    def __init__(self, max_entries: int = 4096):
-        if max_entries < 1:
-            raise ValueError("max_entries must be at least 1")
-        self._entries: "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" = OrderedDict()
-        self._max_entries = int(max_entries)
-        self._hits = 0
-        self._misses = 0
-        self._enabled = True
-
-    # ------------------------------------------------------------------
-    # Introspection / control
-    # ------------------------------------------------------------------
-    @property
-    def enabled(self) -> bool:
-        """Whether lookups are currently served."""
-        return self._enabled
-
-    @property
-    def hits(self) -> int:
-        """Number of successful lookups so far."""
-        return self._hits
-
-    @property
-    def misses(self) -> int:
-        """Number of failed lookups so far."""
-        return self._misses
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def enable(self) -> None:
-        """Serve lookups again after :meth:`disable`."""
-        self._enabled = True
-
-    def disable(self) -> None:
-        """Make every lookup miss (stored entries are kept)."""
-        self._enabled = False
-
-    def clear(self) -> None:
-        """Drop all entries and reset the hit/miss statistics."""
-        self._entries.clear()
-        self._hits = 0
-        self._misses = 0
+    def __init__(self, max_entries: int = 4096,
+                 max_bytes: Optional[int] = DEFAULT_SIM_CACHE_BYTES,
+                 name: str = "simulation"):
+        super().__init__(name=name, max_entries=max_entries,
+                         max_bytes=max_bytes)
 
     # ------------------------------------------------------------------
     # Keying and access
@@ -154,38 +130,39 @@ class SimulationCache:
 
     def get(self, key: tuple) -> Optional[Tuple[np.ndarray, np.ndarray]]:
         """Return ``(delay, slew)`` copies for ``key``, or ``None`` on a miss."""
-        if not self._enabled:
-            return None
-        entry = self._entries.get(key)
+        entry = super().get(key)
         if entry is None:
-            self._misses += 1
             return None
-        self._entries.move_to_end(key)
-        self._hits += 1
         return entry[0].copy(), entry[1].copy()
 
     def put(self, key: tuple, delay: np.ndarray, slew: np.ndarray) -> None:
         """Store ``(delay, slew)`` for ``key`` (no-op while disabled)."""
-        if not self._enabled:
-            return
-        self._entries[key] = (np.array(delay, dtype=float, copy=True),
-                              np.array(slew, dtype=float, copy=True))
-        self._entries.move_to_end(key)
-        while len(self._entries) > self._max_entries:
-            self._entries.popitem(last=False)
+        delay = np.array(delay, dtype=float, copy=True)
+        slew = np.array(slew, dtype=float, copy=True)
+        super().put(key, (delay, slew), nbytes=delay.nbytes + slew.nbytes)
 
 
 _SIMULATION_CACHE: Optional[SimulationCache] = None
 
 
 def get_simulation_cache() -> SimulationCache:
-    """The process-wide :class:`SimulationCache` (lazily constructed)."""
+    """The process-wide :class:`SimulationCache` (lazily constructed).
+
+    The instance is registered in the runtime cache registry under the name
+    ``"simulation"``, so its statistics appear in
+    ``repro.runtime.cache_stats()`` and ``configure(cache_bytes=...)``
+    re-bounds it.
+    """
     global _SIMULATION_CACHE
     if _SIMULATION_CACHE is None:
+        max_bytes_env = os.environ.get("REPRO_SIM_CACHE_BYTES")
         cache = SimulationCache(
-            max_entries=int(os.environ.get("REPRO_SIM_CACHE_SIZE", "4096")))
+            max_entries=int(os.environ.get("REPRO_SIM_CACHE_SIZE", "4096")),
+            max_bytes=(int(max_bytes_env) if max_bytes_env
+                       else DEFAULT_SIM_CACHE_BYTES))
         if os.environ.get("REPRO_SIM_CACHE", "1") in ("0", "false", "off"):
             cache.disable()
+        register_runtime_cache(cache)
         _SIMULATION_CACHE = cache
     return _SIMULATION_CACHE
 

@@ -25,11 +25,13 @@ list is walked during propagation.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.runtime.accounting import RunLedger
 from repro.sta.netlist import CompiledNetlist, Netlist
 from repro.sta.timing_view import TimingView
 
@@ -81,12 +83,19 @@ class TimingGraphAnalyzer:
 
     Owns the compiled netlist, the per-net-index load vector and the
     engine switch; subclasses provide ``_run_loop`` / ``_run_batched``.
+    An optional :class:`~repro.runtime.accounting.RunLedger` records each
+    :meth:`run` as one stage (``"sta"`` / ``"ssta"``) with per-run cache
+    activity and a ``gate_evaluations`` metric.
     """
+
+    #: Ledger stage name of :meth:`run` (overridden per analyzer).
+    _ledger_stage = "timing_graph"
 
     def __init__(self, netlist: Netlist, timing_view: TimingView,
                  primary_input_slew: float = 5e-12,
                  primary_input_arrival: float = 0.0,
-                 engine: str = "batched"):
+                 engine: str = "batched",
+                 ledger: Optional[RunLedger] = None):
         if primary_input_slew <= 0.0:
             raise ValueError("primary_input_slew must be positive")
         self._engine = _check_engine(engine)
@@ -94,6 +103,7 @@ class TimingGraphAnalyzer:
         self._view = timing_view
         self._input_slew = float(primary_input_slew)
         self._input_arrival = float(primary_input_arrival)
+        self._ledger = ledger
         self._bind(netlist.compile())
 
     def _bind(self, compiled: CompiledNetlist) -> None:
@@ -127,13 +137,21 @@ class TimingGraphAnalyzer:
     def run(self):
         """Propagate arrivals and slews and return the timing report."""
         self._refresh()
-        if self._engine == "batched":
-            return self._run_batched()
-        return self._run_loop()
+        ledger = self._ledger
+        with (ledger.stage(self._ledger_stage) if ledger is not None
+              else nullcontext()), \
+             (ledger.caches() if ledger is not None else nullcontext()):
+            if ledger is not None:
+                ledger.add_metric("gate_evaluations", self._compiled.n_gates)
+            if self._engine == "batched":
+                return self._run_batched()
+            return self._run_loop()
 
 
 class StaticTimingAnalyzer(TimingGraphAnalyzer):
     """Topological STA over a :class:`Netlist` and a :class:`TimingView`."""
+
+    _ledger_stage = "sta"
 
     def _run_loop(self) -> PathReport:
         arrivals: Dict[str, float] = {}

@@ -16,11 +16,25 @@ the fanin pins.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import itertools
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
+
+from repro.runtime import register_runtime_cache
+from repro.runtime.cache import LruCache
+
+#: Compiled netlists, keyed by ``(netlist token, mutation epoch)`` in the
+#: runtime-registered ``"netlist_compile"`` LRU.  Repeated analyzer
+#: constructions over an unchanged netlist hit; every mutator bumps the
+#: epoch, so stale compilations age out instead of lingering per instance.
+_COMPILE_CACHE = register_runtime_cache(
+    LruCache("netlist_compile", max_entries=32, max_bytes=512 * 2**20))
+
+#: Distinct per-instance tokens (never reused, unlike ``id()``).
+_NETLIST_TOKENS = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -66,7 +80,20 @@ class Netlist:
         self._driver_of: Dict[str, str] = {}
         self._consumers: Dict[str, List[str]] = {}
         self._output_loads = dict(output_loads_f or {})
-        self._compiled: Optional["CompiledNetlist"] = None
+        self._token = next(_NETLIST_TOKENS)
+        self._epoch = 0
+
+    def __getstate__(self):
+        # The compile-cache token is process-local: a pickled copy landing in
+        # another process must not collide with tokens that process's own
+        # counter already handed out, so it is reissued on unpickling.
+        state = self.__dict__.copy()
+        del state["_token"]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._token = next(_NETLIST_TOKENS)
 
     # ------------------------------------------------------------------
     # Construction
@@ -83,20 +110,20 @@ class Netlist:
         self._driver_of[gate.output_net] = gate.name
         for net in dict.fromkeys(gate.input_nets):
             self._consumers.setdefault(net, []).append(gate.name)
-        self._compiled = None
+        self._epoch += 1
 
     def set_output_load(self, net: str, capacitance_f: float) -> None:
         """Attach an external load capacitance to a net (typically a PO)."""
         if capacitance_f < 0.0:
             raise ValueError("load capacitance must be non-negative")
         self._output_loads[net] = float(capacitance_f)
-        self._compiled = None
+        self._epoch += 1
 
     def add_primary_output(self, net: str) -> None:
         """Declare an existing net a primary output (idempotent)."""
         if net not in self._primary_outputs:
             self._primary_outputs.append(net)
-            self._compiled = None
+            self._epoch += 1
 
     # ------------------------------------------------------------------
     # Introspection
@@ -192,14 +219,21 @@ class Netlist:
     def compile(self) -> "CompiledNetlist":
         """The integer-indexed, levelized form used by the batched engines.
 
-        The compiled form is cached and invalidated by every mutator
+        Compilations live in the runtime-registered ``"netlist_compile"``
+        LRU, keyed by this instance plus its mutation epoch: every mutator
         (:meth:`add_gate`, :meth:`set_output_load`,
-        :meth:`add_primary_output`), so repeated analyzer constructions
-        share it.
+        :meth:`add_primary_output`) bumps the epoch, so repeated analyzer
+        constructions over an unchanged netlist share one
+        :class:`CompiledNetlist` object (identity-stable while cached,
+        which is what the analyzers' refresh check relies on), and total
+        compile memory is bounded across all netlists.
         """
-        if self._compiled is None:
-            self._compiled = compile_netlist(self)
-        return self._compiled
+        key = (self._token, self._epoch)
+        compiled = _COMPILE_CACHE.get(key)
+        if compiled is None:
+            compiled = compile_netlist(self)
+            _COMPILE_CACHE.put(key, compiled)
+        return compiled
 
 
 @dataclass(frozen=True)

@@ -27,11 +27,12 @@ analyzer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.analysis.distributions import DistributionSummary, summarize_many
+from repro.runtime.accounting import RunLedger
 from repro.sta.analysis import MIN_LOAD_F, TimingGraphAnalyzer
 from repro.sta.netlist import Netlist
 from repro.sta.timing_view import StatisticalTimingView
@@ -81,14 +82,17 @@ class MonteCarloSsta(TimingGraphAnalyzer):
     an :class:`SstaReport` with the critical-delay distribution.
     """
 
+    _ledger_stage = "ssta"
+
     def __init__(self, netlist: Netlist, timing_view: StatisticalTimingView,
                  primary_input_slew: float = 5e-12,
                  primary_input_arrival: float = 0.0,
-                 engine: str = "batched"):
+                 engine: str = "batched",
+                 ledger: Optional[RunLedger] = None):
         super().__init__(netlist, timing_view,
                          primary_input_slew=primary_input_slew,
                          primary_input_arrival=primary_input_arrival,
-                         engine=engine)
+                         engine=engine, ledger=ledger)
 
     def _report(self, po_names, po_samples: np.ndarray) -> SstaReport:
         output_summaries = dict(zip(po_names, summarize_many(po_samples)))

@@ -26,6 +26,21 @@ import numpy as np
 from repro.characterization.input_space import InputCondition
 from repro.core.characterizer import BayesianCharacterizer
 from repro.core.statistical_flow import StatisticalCharacterization
+from repro.runtime import resolve_max_bytes
+from repro.runtime.chunking import plan_chunks
+
+
+def _query_chunks(n_points: int, n_seeds: int) -> list:
+    """Memory-budgeted split of a batched timing query's point axis.
+
+    Honors ``repro.runtime.configure(max_bytes=...)`` (one chunk when no
+    budget is set).  Per-point working set: the delay and slew outputs plus
+    the model evaluator's broadcast intermediates (overdrive, Ieff rows,
+    power terms) -- about eight ``n_seeds``-wide double rows.
+    """
+    return plan_chunks(n_points, 8 * 8 * max(n_seeds, 1),
+                       resolve_max_bytes(None))
+
 
 #: Signature of a nominal timing callback: (sin, cload) -> (delay, slew).
 TimingCallback = Callable[[float, float], Tuple[float, float]]
@@ -111,19 +126,40 @@ class TimingView:
         if slews.size != loads.size:
             raise ValueError("input_slews_s and load_caps_f must match in length")
         if entry.batch_callback is not None:
-            delay, slew = entry.batch_callback(slews, loads)
-            delay = np.asarray(delay, dtype=float).reshape(-1)
-            slew = np.asarray(slew, dtype=float).reshape(-1)
-            if delay.size != slews.size or slew.size != slews.size:
-                raise ValueError(
-                    f"cell {cell_name!r} batch callback returned "
-                    f"{delay.size} points, expected {slews.size}")
+            chunks = _query_chunks(slews.size, 1)
+            if len(chunks) <= 1:
+                # Unbudgeted common case: no intermediate copy.
+                return self._checked_batch(entry, cell_name, slews, loads,
+                                           slews.size)
+            delay = np.empty(slews.size)
+            slew = np.empty(slews.size)
+            # Points are independent queries, so the memory-budgeted chunk
+            # walk returns exactly the one-call results.
+            for rows in chunks:
+                d, s = self._checked_batch(entry, cell_name, slews[rows],
+                                           loads[rows], rows.stop - rows.start)
+                delay[rows] = d
+                slew[rows] = s
             return delay, slew
         delay = np.empty(slews.size)
         slew = np.empty(slews.size)
         for index in range(slews.size):
             delay[index], slew[index] = self.gate_timing(
                 cell_name, float(slews[index]), float(loads[index]))
+        return delay, slew
+
+    @staticmethod
+    def _checked_batch(entry: CellTiming, cell_name: str, slews: np.ndarray,
+                       loads: np.ndarray, expected: int
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+        """One nominal batch-callback call with length validation."""
+        delay, slew = entry.batch_callback(slews, loads)
+        delay = np.asarray(delay, dtype=float).reshape(-1)
+        slew = np.asarray(slew, dtype=float).reshape(-1)
+        if delay.size != expected or slew.size != expected:
+            raise ValueError(
+                f"cell {cell_name!r} batch callback returned "
+                f"{delay.size} points, expected {expected}")
         return delay, slew
 
     def _entry(self, cell_name: str) -> CellTiming:
@@ -202,19 +238,41 @@ class StatisticalTimingView(TimingView):
         if slews.size != loads.size:
             raise ValueError("input_slews_s and load_caps_f must match in length")
         if entry.batch_callback is not None:
-            delay, slew = entry.batch_callback(slews, loads)
-            delay = np.asarray(delay, dtype=float)
-            slew = np.asarray(slew, dtype=float)
+            chunks = _query_chunks(slews.size, self._n_seeds)
+            if len(chunks) <= 1:
+                # Unbudgeted common case: no intermediate copy.
+                return self._checked_samples(entry, cell_name, slews, loads,
+                                             slews.size)
+            delay = np.empty((slews.size, self._n_seeds))
+            slew = np.empty((slews.size, self._n_seeds))
+            # Chunking the point axis keeps the (points x seeds) working set
+            # under the configured budget; rows are independent, so the
+            # chunk walk returns exactly the one-call ensemble.
+            for rows in chunks:
+                d, s = self._checked_samples(entry, cell_name, slews[rows],
+                                             loads[rows],
+                                             rows.stop - rows.start)
+                delay[rows] = d
+                slew[rows] = s
         else:
             delay = np.empty((slews.size, self._n_seeds))
             slew = np.empty((slews.size, self._n_seeds))
             for index in range(slews.size):
                 delay[index], slew[index] = self.gate_timing_samples(
                     cell_name, float(slews[index]), float(loads[index]))
-        if delay.shape != (slews.size, self._n_seeds) or delay.shape != slew.shape:
+        return delay, slew
+
+    def _checked_samples(self, entry: CellTiming, cell_name: str,
+                         slews: np.ndarray, loads: np.ndarray, expected: int
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """One statistical batch-callback call with shape validation."""
+        delay, slew = entry.batch_callback(slews, loads)
+        delay = np.asarray(delay, dtype=float)
+        slew = np.asarray(slew, dtype=float)
+        if delay.shape != (expected, self._n_seeds) or delay.shape != slew.shape:
             raise ValueError(
                 f"cell {cell_name!r} returned shape {delay.shape}, expected "
-                f"({slews.size}, {self._n_seeds})")
+                f"({expected}, {self._n_seeds})")
         return delay, slew
 
 

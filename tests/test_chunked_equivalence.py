@@ -1,0 +1,192 @@
+"""Chunked-versus-unchunked equivalence across all three batched engines.
+
+The memory-budgeted chunk planner (:mod:`repro.runtime.chunking`) splits
+each engine's work axis -- conditions in the transient sweep, seeds in the
+MAP solver, query points in the timing views -- into independently computed
+blocks, so a budgeted run must reproduce the unbudgeted run exactly.  Every
+test here forces aggressively small budgets (many chunks) and pins the
+results at ``rtol <= 1e-12`` (they are bit-identical in practice, because
+chunk rows never interact inside any engine).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.runtime as runtime
+from repro.core.batch_map import BatchMapObservations, map_estimate_batch
+from repro.core.statistical_flow import StatisticalCharacterizer
+from repro.spice.sweep import sweep_conditions
+from repro.sta import MonteCarloSsta, StaticTimingAnalyzer
+from repro.sta.synthetic import random_layered_dag
+
+RTOL = 1e-12
+
+#: A small (sin, cload, vdd) grid spanning slow and fast corners.
+CONDITIONS = [
+    (4e-12, 1.5e-15, 0.85),
+    (9e-12, 3.0e-15, 0.90),
+    (15e-12, 6.0e-15, 0.80),
+    (6e-12, 2.0e-15, 0.95),
+    (12e-12, 4.5e-15, 0.88),
+]
+
+
+@pytest.fixture(autouse=True)
+def _unconfigured_runtime():
+    """Each test starts and ends without a global chunk budget."""
+    runtime.configure(max_bytes=None)
+    yield
+    runtime.configure(max_bytes=None)
+
+
+class TestTransientSweepChunking:
+    def test_chunked_sweep_matches_unchunked(self, tech28, nand2_cell):
+        variation = tech28.variation.sample(12, rng=31)
+        baseline = sweep_conditions(nand2_cell, tech28, CONDITIONS,
+                                    variation=variation, cache=False)
+        # max_bytes=1 forces one condition per chunk (the budget floor).
+        chunked = sweep_conditions(nand2_cell, tech28, CONDITIONS,
+                                   variation=variation, cache=False,
+                                   max_bytes=1)
+        for base, chunk in zip(baseline, chunked):
+            np.testing.assert_allclose(chunk.delay, base.delay, rtol=RTOL)
+            np.testing.assert_allclose(chunk.output_slew, base.output_slew,
+                                       rtol=RTOL)
+
+    def test_global_budget_is_honored(self, tech28, inv_cell):
+        baseline = sweep_conditions(inv_cell, tech28, CONDITIONS, cache=False)
+        runtime.configure(max_bytes=50_000)
+        chunked = sweep_conditions(inv_cell, tech28, CONDITIONS, cache=False)
+        for base, chunk in zip(baseline, chunked):
+            np.testing.assert_allclose(chunk.delay, base.delay, rtol=RTOL)
+
+    def test_counter_accounting_unchanged(self, tech28, inv_cell):
+        from repro.spice.testbench import SimulationCounter
+
+        variation = tech28.variation.sample(5, rng=3)
+        plain, budgeted = SimulationCounter(), SimulationCounter()
+        sweep_conditions(inv_cell, tech28, CONDITIONS, variation=variation,
+                         cache=False, counter=plain)
+        sweep_conditions(inv_cell, tech28, CONDITIONS, variation=variation,
+                         cache=False, counter=budgeted, max_bytes=1)
+        assert budgeted.total == plain.total == len(CONDITIONS) * 5
+        assert budgeted.by_label() == plain.by_label()
+
+
+class TestMapSolverChunking:
+    @pytest.fixture(scope="class")
+    def observations(self):
+        rng = np.random.default_rng(11)
+        k, n_seeds = 5, 37
+        return BatchMapObservations(
+            sin=np.abs(rng.normal(6e-12, 1e-12, k)),
+            cload=np.abs(rng.normal(2e-15, 4e-16, k)),
+            vdd=np.full(k, 0.9),
+            ieff=np.abs(rng.normal(1e-4, 8e-6, (n_seeds, k))),
+            response=np.abs(rng.normal(1.2e-11, 1.5e-12, (n_seeds, k))),
+        )
+
+    def test_chunked_solve_is_bit_identical(self, delay_prior, observations):
+        baseline = map_estimate_batch(delay_prior, observations)
+        # A budget of three seeds' working set -> ~13 chunks of 37 seeds.
+        item_bytes = 8 * (6 * observations.k + 80)
+        chunked = map_estimate_batch(delay_prior, observations,
+                                     max_bytes=3 * item_bytes)
+        np.testing.assert_allclose(chunked.parameters, baseline.parameters,
+                                   rtol=RTOL)
+        np.testing.assert_array_equal(chunked.converged, baseline.converged)
+        np.testing.assert_array_equal(chunked.n_iterations,
+                                      baseline.n_iterations)
+        np.testing.assert_allclose(chunked.residuals, baseline.residuals,
+                                   rtol=RTOL)
+
+    def test_shared_ieff_row_and_global_budget(self, delay_prior, observations):
+        shared = BatchMapObservations(
+            sin=observations.sin, cload=observations.cload,
+            vdd=observations.vdd, ieff=observations.ieff[0],
+            response=observations.response)
+        baseline = map_estimate_batch(delay_prior, shared)
+        runtime.configure(max_bytes=2_000)
+        chunked = map_estimate_batch(delay_prior, shared)
+        np.testing.assert_allclose(chunked.parameters, baseline.parameters,
+                                   rtol=RTOL)
+
+    def test_characterizer_budget_end_to_end(self, tech28, inv_cell,
+                                             delay_prior, slew_prior):
+        variation = tech28.variation.sample(10, rng=5)
+
+        def run(max_bytes):
+            characterizer = StatisticalCharacterizer(
+                tech28, inv_cell, delay_prior, slew_prior, n_seeds=10,
+                max_bytes=max_bytes)
+            characterizer.use_variation(variation)
+            return characterizer.characterize(
+                [c for c in _fit_conditions(tech28)])
+
+        baseline = run(None)
+        budgeted = run(10_000)
+        np.testing.assert_allclose(budgeted.delay_parameters,
+                                   baseline.delay_parameters, rtol=RTOL)
+        np.testing.assert_allclose(budgeted.slew_parameters,
+                                   baseline.slew_parameters, rtol=RTOL)
+
+
+def _fit_conditions(technology):
+    from repro.characterization.input_space import InputSpace
+
+    return InputSpace(technology).sample_lhs(3, np.random.default_rng(2))
+
+
+class TestTimingGraphChunking:
+    @pytest.fixture(scope="class")
+    def ssta_setup(self, tech28, delay_prior, slew_prior, inv_cell,
+                   nand2_cell, nor2_cell):
+        from repro.core.library_flow import characterize_library
+
+        library = characterize_library(
+            tech28, [inv_cell, nand2_cell, nor2_cell], delay_prior,
+            slew_prior, conditions=3, n_seeds=16, rng=23)
+        view = library.timing_view()
+        netlist = random_layered_dag(width=12, depth=6, window=2, rng=41)
+        return netlist, view
+
+    def test_chunked_ssta_is_bit_identical(self, ssta_setup):
+        netlist, view = ssta_setup
+        baseline = MonteCarloSsta(netlist, view).run()
+        runtime.configure(max_bytes=4_000)  # a few query points per chunk
+        chunked = MonteCarloSsta(netlist, view).run()
+        np.testing.assert_allclose(chunked.delay_samples,
+                                   baseline.delay_samples, rtol=RTOL)
+        assert chunked.critical_output == baseline.critical_output
+        assert chunked.criticality == baseline.criticality
+        for net, summary in baseline.output_summaries.items():
+            assert chunked.output_summaries[net].mean == pytest.approx(
+                summary.mean, rel=RTOL)
+
+    def test_chunked_deterministic_sta_matches(self, ssta_setup):
+        netlist, view = ssta_setup
+        baseline = StaticTimingAnalyzer(netlist, view).run()
+        runtime.configure(max_bytes=4_000)
+        chunked = StaticTimingAnalyzer(netlist, view).run()
+        assert chunked.critical_delay == pytest.approx(
+            baseline.critical_delay, rel=RTOL)
+        assert chunked.critical_path == baseline.critical_path
+        for net, arrival in baseline.arrival_times.items():
+            assert chunked.arrival_times[net] == pytest.approx(arrival,
+                                                               rel=RTOL)
+
+    def test_view_query_chunking_direct(self, ssta_setup):
+        _, view = ssta_setup
+        cell = view.input_capacitances().keys().__iter__().__next__()
+        rng = np.random.default_rng(9)
+        slews = np.abs(rng.normal(8e-12, 2e-12, 50))
+        loads = np.abs(rng.normal(3e-15, 5e-16, 50))
+        base_delay, base_slew = view.gate_timing_samples_many(cell, slews,
+                                                              loads)
+        runtime.configure(max_bytes=1)  # one point per chunk
+        chunk_delay, chunk_slew = view.gate_timing_samples_many(cell, slews,
+                                                                loads)
+        np.testing.assert_allclose(chunk_delay, base_delay, rtol=RTOL)
+        np.testing.assert_allclose(chunk_slew, base_slew, rtol=RTOL)
