@@ -30,6 +30,10 @@ RESULTS_DIR = Path(__file__).parent / "benchmark_results"
 #: ``REPRO_BENCH_SSTA_DEPTH``       layers in the SSTA benchmark netlist (50)
 #: ``REPRO_BENCH_SSTA_SEEDS``       seeds in the SSTA graph benchmark (200)
 #: ``REPRO_BENCH_SSTA_MIN_SPEEDUP`` assertion floor for batched/loop SSTA (5.0)
+#: ``REPRO_BENCH_LIB_CELLS``        cells in the fused-library benchmark (20)
+#: ``REPRO_BENCH_LIB_SEEDS``        seeds in the fused-library benchmark (200)
+#: ``REPRO_BENCH_LIB_CONDITIONS``   shared fitting conditions per arc (4)
+#: ``REPRO_BENCH_LIB_MIN_SPEEDUP``  assertion floor for fused/per-arc (3.0)
 #: ``REPRO_BENCH_RUNTIME_WIDTH``    gates per layer in the budgeted SSTA run (100)
 #: ``REPRO_BENCH_RUNTIME_DEPTH``    layers in the budgeted SSTA netlist (50)
 #: ``REPRO_BENCH_RUNTIME_SSTA_SEEDS``  seeds in the budgeted SSTA run (1000)

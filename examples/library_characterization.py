@@ -3,16 +3,20 @@
 The library-scale view of the paper's flow: learn the cross-technology
 priors once, then characterize *every* arc of a standard-cell library --
 cells x input pins x output transitions -- through
-:func:`repro.core.library_flow.characterize_library`, which shares the seed
-batch, the priors and the simulation caches across arcs and extracts every
-seed's compact-model parameters with the batched MAP solver.  The resulting
-:class:`LibraryCharacterization` is consumed directly:
+:func:`repro.core.library_flow.characterize_library`.  The default *fused*
+pipeline flattens the whole library into one simulation plan (grouped by
+equivalent-inverter signature, deduplicated per operating point) and one
+stacked MAP solve per response; the unified ledger shows exactly where the
+library's time goes (plan / simulate / extract / solve stages, rows per
+signature group).  The resulting :class:`LibraryCharacterization` is
+consumed directly:
 
 1. Liberty (.lib) export with NLDM mean tables and LVF-style sigma tables;
 2. a per-seed statistical timing view driving deterministic STA and Monte
    Carlo SSTA on the ISCAS-85 C17 benchmark;
 3. identical results (and identical simulation-run accounting) whether the
-   arcs run serially or fanned out over a process pool.
+   library runs fused or arc by arc, serially or fanned out over a process
+   pool.
 
 Run with::
 
@@ -27,6 +31,7 @@ import time
 
 import numpy as np
 
+import repro.runtime as runtime
 from repro import (
     RunLedger,
     SimulationCounter,
@@ -64,7 +69,8 @@ def main() -> None:
 
     # ------------------------------------------------------------------
     # One call characterizes the whole library: every cell, both output
-    # transitions, shared seeds, batched extraction.
+    # transitions, shared seeds, one fused simulation plan, one stacked
+    # MAP solve per response.
     # ------------------------------------------------------------------
     t_char = time.time()
     ledger = RunLedger()
@@ -72,15 +78,38 @@ def main() -> None:
         target, library, delay_prior, slew_prior,
         conditions=4, n_seeds=n_seeds, rng=17, counter=counter,
         ledger=ledger)
+    fused_seconds = time.time() - t_char
+    metrics = ledger.metrics()
     print(f"\nCharacterized {len(result.entries)} arcs of "
           f"{len(result.cell_names())} cells x {result.n_seeds} seeds in "
-          f"{time.time() - t_char:.1f} s "
+          f"{fused_seconds:.1f} s "
           f"({result.simulation_runs} simulation runs, "
-          f"solver={result.solver!r})")
+          f"pipeline={result.pipeline!r}, solver={result.solver!r})")
+    print(f"  simulation plan: {metrics.get('fused_rows_simulated', 0)} rows "
+          f"in {metrics.get('fused_signature_groups', 0)} signature groups "
+          f"({metrics.get('fused_rows_deduplicated', 0)} deduplicated, "
+          f"{metrics.get('fused_rows_cached', 0)} cache hits)")
     if result.unconverged_arcs():
         print(f"  WARNING: unconverged extractions on {result.unconverged_arcs()}")
 
-    # Same job fanned out across processes: bit-identical results.
+    # The pre-fusion pipeline (one simulate-and-extract job per arc) on
+    # cold caches: same results, one Python-level pass per arc.
+    runtime.clear_all_caches()
+    t_per_arc = time.time()
+    per_arc = characterize_library(
+        target, library, delay_prior, slew_prior,
+        conditions=4, n_seeds=n_seeds, rng=17, pipeline="per_arc")
+    per_arc_seconds = time.time() - t_per_arc
+    agree = all(
+        np.allclose(a.statistical.delay_parameters,
+                    b.statistical.delay_parameters, rtol=1e-12)
+        for a, b in zip(result.entries, per_arc.entries))
+    print(f"Per-arc pipeline finished in {per_arc_seconds:.1f} s "
+          f"(fused ran {per_arc_seconds / max(fused_seconds, 1e-9):.1f}x "
+          f"faster); results match: {agree}")
+
+    # Same fused job fanned out across processes, split on the flat
+    # simulation axis: bit-identical results.
     t_par = time.time()
     parallel = characterize_library(
         target, library, delay_prior, slew_prior,

@@ -84,9 +84,11 @@ def format_speedups(speedups: Sequence[SpeedupSummary], title: str = "") -> str:
 def format_ledger(ledger: RunLedger, title: str = "Run ledger") -> str:
     """Render a :class:`~repro.runtime.accounting.RunLedger` as text.
 
-    Four sections (each omitted when empty): wall time per stage,
+    Five sections (each omitted when empty): wall time per stage,
     simulation runs per label, free-form metrics (solver iterations, gate
-    evaluations, ...) and cache hit/miss/eviction activity.
+    evaluations, ...), work-group size summaries (e.g. the fused library
+    pipeline's rows per equivalent-inverter signature group) and cache
+    hit/miss/eviction activity.
     """
     blocks: List[str] = []
     stages = ledger.stages()
@@ -109,6 +111,19 @@ def format_ledger(ledger: RunLedger, title: str = "Run ledger") -> str:
         blocks.append(format_table(
             ["metric", "value"],
             [[name, value] for name, value in sorted(metrics.items())],
+            title=title))
+        title = ""
+    groups = ledger.group_sizes()
+    if groups:
+        rows = []
+        for name, sizes in sorted(groups.items()):
+            if sizes:
+                rows.append([name, len(sizes), sum(sizes), min(sizes),
+                             float(sum(sizes)) / len(sizes), max(sizes)])
+            else:
+                rows.append([name, 0, 0, 0, 0.0, 0])
+        blocks.append(format_table(
+            ["groups", "count", "items", "min", "mean", "max"], rows,
             title=title))
         title = ""
     caches = ledger.cache_activity()

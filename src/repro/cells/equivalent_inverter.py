@@ -21,6 +21,8 @@ simulator integrates.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass
 from typing import Optional
 
@@ -91,6 +93,58 @@ class EquivalentInverter:
         width = np.asarray(self.driving_device.params.vth0)
         return int(width.size) if width.ndim else 1
 
+    def simulation_signature(self) -> tuple:
+        """Hashable token of everything the transient engine reads.
+
+        Two reductions with equal signatures are interchangeable inside
+        :func:`repro.spice.batch.simulate_arc_transitions`: the devices
+        (model class plus every parameter array, bit for bit), the lumped
+        capacitances and the output-transition polarity all match, so their
+        conditions can share one mega-batched RK4 pass.  This is how the
+        fused library pipeline groups heterogeneous cells -- footprint
+        twins (same drive, same topology class, different logic names) land
+        in the same group even though their cache identities differ.
+
+        The token is a content digest (cell and arc *names* are deliberately
+        excluded -- the engine only reads them for error messages), computed
+        lazily and memoized on the frozen instance.
+        """
+        cached = self.__dict__.get("_simulation_signature")
+        if cached is not None:
+            return cached
+        digest = hashlib.sha1()
+
+        def feed(value) -> None:
+            array = np.ascontiguousarray(np.asarray(value, dtype=float))
+            digest.update(str(array.shape).encode())
+            digest.update(array.tobytes())
+
+        for device in (self.nmos, self.pmos):
+            digest.update(type(device).__name__.encode())
+            for field in dataclasses.fields(device.params):
+                value = getattr(device.params, field.name)
+                digest.update(field.name.encode())
+                if isinstance(value, (str, bytes)) or not np.asarray(
+                        value).dtype.kind in "fiub":
+                    digest.update(str(value).encode())
+                else:
+                    feed(value)
+        feed(self.parasitic_cap)
+        feed(self.miller_cap)
+        signature = (self.arc.output_transition.value, digest.hexdigest())
+        object.__setattr__(self, "_simulation_signature", signature)
+        return signature
+
+
+def default_arc(cell: Cell) -> TimingArc:
+    """The arc a reduction defaults to: first input pin, falling output.
+
+    One definition shared by :func:`reduce_cell`, :func:`reduce_cell_cached`
+    and :func:`repro.spice.sweep.sweep_conditions`, so their cache keys and
+    measurements can never disagree about what ``arc=None`` means.
+    """
+    return cell.arc(cell.input_pins[0], Transition.FALL)
+
 
 def reduce_cell(
     cell: Cell,
@@ -124,7 +178,7 @@ def reduce_cell(
         If the arc's input pin does not exist on the cell.
     """
     if arc is None:
-        arc = cell.arc(cell.input_pins[0], Transition.FALL)
+        arc = default_arc(cell)
     if arc.input_pin not in cell.input_pins:
         raise KeyError(f"cell {cell.name} has no input pin {arc.input_pin!r}")
 
@@ -219,7 +273,7 @@ def reduce_cell_cached(
     its arrays.
     """
     if arc is None:
-        arc = cell.arc(cell.input_pins[0], Transition.FALL)
+        arc = default_arc(cell)
     key = _reduction_key(cell, technology, arc, variation)
     cached = _REDUCTION_CACHE.get(key)
     if cached is not None:

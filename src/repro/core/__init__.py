@@ -35,6 +35,7 @@ from repro.core.batch_map import (
     BatchMapObservations,
     BatchMapResult,
     map_estimate_batch,
+    map_estimate_stacked,
 )
 from repro.core.characterizer import BayesianCharacterizer, NominalCharacterization
 from repro.core.statistical_flow import (
@@ -68,4 +69,5 @@ __all__ = [
     "learn_prior",
     "map_estimate",
     "map_estimate_batch",
+    "map_estimate_stacked",
 ]

@@ -36,12 +36,23 @@ The result is ~10 vectorized LM iterations for a full seed batch instead of
 hundreds of scipy solves; the parity suite pins the extracted parameters to
 the scipy path at tight tolerance, and ``benchmarks/test_perf_map.py`` tracks
 the speedup in ``BENCH_map.json``.
+
+Beyond the single-arc batch, :func:`map_estimate_stacked` stacks *many* arcs'
+seed batches into one solve: every ``(arc, seed)`` pair becomes a row of one
+``(sum of n_seeds, 4)`` problem, block-diagonal by arc -- each row carries its
+own arc's fitting conditions, precision weights and (optionally) its own
+prior.  Rows never interact (the per-row damping, retirement and 4x4 normal
+solves are exactly the single-arc ones), so the stacked solve reproduces the
+per-arc solves bit-for-bit while paying the interpreted per-iteration
+overhead once for the whole library instead of once per arc.  This is the
+extraction half of the fused library pipeline
+(:func:`repro.core.library_flow.characterize_library`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -78,7 +89,10 @@ class BatchMapObservations:
     Attributes
     ----------
     sin, cload, vdd:
-        Operating points, shape ``(k,)``, SI units.
+        Operating points, shape ``(k,)`` (shared by every seed, the
+        single-arc case) or ``(n_seeds, k)`` (one condition set per row --
+        the stacked multi-arc solve, where each row belongs to an arc with
+        its own fitting conditions), SI units.
     ieff:
         Effective current of the driving device, shape ``(n_seeds, k)`` or
         ``(k,)`` (shared across seeds), in amperes.
@@ -86,8 +100,10 @@ class BatchMapObservations:
         Observed delay or output slew per seed, shape ``(n_seeds, k)``, in
         seconds.
     beta:
-        Model precision per condition (shared across seeds, like the learned
-        precision model that produces it); ``None`` means unit precision.
+        Model precision per condition, shape ``(k,)`` (shared across seeds,
+        like the learned precision model that produces it) or
+        ``(n_seeds, k)`` (per-row, stacked solves); ``None`` means unit
+        precision.
     """
 
     sin: np.ndarray
@@ -98,30 +114,33 @@ class BatchMapObservations:
     beta: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
-        sin = np.asarray(self.sin, dtype=float).reshape(-1)
-        cload = np.asarray(self.cload, dtype=float).reshape(-1)
-        vdd = np.asarray(self.vdd, dtype=float).reshape(-1)
         response = np.atleast_2d(np.asarray(self.response, dtype=float))
-        k = sin.size
+        if response.ndim != 2:
+            raise ValueError(
+                f"response must have shape (n_seeds, k), got {response.shape}")
+        k = response.shape[1]
         if k == 0:
             raise ValueError("at least one observation is required")
-        for name, array in (("cload", cload), ("vdd", vdd)):
-            if array.size != k:
-                raise ValueError(f"{name} has {array.size} entries, expected {k}")
-        if response.ndim != 2 or response.shape[1] != k:
-            raise ValueError(
-                f"response must have shape (n_seeds, {k}), got {response.shape}"
-            )
         if np.any(response <= 0.0):
             raise ValueError("responses must be strictly positive")
-        ieff = np.asarray(self.ieff, dtype=float)
-        if ieff.ndim == 1:
-            if ieff.size != k:
-                raise ValueError(f"ieff has {ieff.size} entries, expected {k}")
-        elif ieff.shape != response.shape:
-            raise ValueError(
-                f"ieff must have shape {response.shape} or ({k},), got {ieff.shape}"
-            )
+
+        def conditions(name: str, value) -> np.ndarray:
+            array = np.asarray(value, dtype=float)
+            if array.ndim <= 1:
+                array = array.reshape(-1)
+                if array.size != k:
+                    raise ValueError(
+                        f"{name} has {array.size} entries, expected {k}")
+            elif array.shape != response.shape:
+                raise ValueError(
+                    f"{name} must have shape ({k},) or {response.shape}, "
+                    f"got {array.shape}")
+            return array
+
+        sin = conditions("sin", self.sin)
+        cload = conditions("cload", self.cload)
+        vdd = conditions("vdd", self.vdd)
+        ieff = conditions("ieff", self.ieff)
         if np.any(ieff <= 0.0):
             raise ValueError("effective currents must be strictly positive")
         object.__setattr__(self, "sin", sin)
@@ -130,9 +149,7 @@ class BatchMapObservations:
         object.__setattr__(self, "ieff", ieff)
         object.__setattr__(self, "response", response)
         if self.beta is not None:
-            beta = np.asarray(self.beta, dtype=float).reshape(-1)
-            if beta.size != k:
-                raise ValueError("beta must have one entry per observation")
+            beta = conditions("beta", self.beta)
             if np.any(beta <= 0.0):
                 raise ValueError("beta values must be strictly positive")
             object.__setattr__(self, "beta", beta)
@@ -140,7 +157,7 @@ class BatchMapObservations:
     @property
     def k(self) -> int:
         """Number of fitting observations per seed."""
-        return int(self.sin.size)
+        return int(self.response.shape[1])
 
     @property
     def n_seeds(self) -> int:
@@ -264,18 +281,256 @@ def map_estimate_batch(
     density = prior.density if isinstance(prior, TimingPrior) else prior
     if density.dim != N_PARAMETERS:
         raise ValueError(f"prior has dimension {density.dim}, expected {N_PARAMETERS}")
-    model = model or CompactTimingModel()
+    term = _PriorTerm.from_density(density, prior_weight)
+    return _chunked_solve(term, observations, model or CompactTimingModel(),
+                          max_iterations, gtol, xtol, max_bytes)
 
+
+def map_estimate_stacked(
+    priors: Union["TimingPrior | GaussianDensity",
+                  Sequence["TimingPrior | GaussianDensity"]],
+    observations: Sequence[BatchMapObservations],
+    model: Optional[CompactTimingModel] = None,
+    prior_weight: float = 1.0,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    gtol: float = 1e-10,
+    xtol: float = 1e-12,
+    max_bytes: Optional[int] = None,
+) -> List[BatchMapResult]:
+    """One block-diagonal MAP solve for many arcs' seed batches at once.
+
+    Every block (one arc's :class:`BatchMapObservations`) contributes its
+    ``n_seeds`` rows to a single stacked problem; rows carry their own
+    block's fitting conditions, precision weights and prior, so the blocks
+    remain fully independent -- the stacked solve returns exactly the
+    per-block :func:`map_estimate_batch` results, computed in one run of
+    vectorized LM iterations instead of one run per arc.  This is the
+    library-wide extraction of the fused characterization pipeline.
+
+    Parameters
+    ----------
+    priors:
+        One prior shared by every block, or a sequence with one prior per
+        block.  When every block resolves to the same Gaussian density the
+        solver keeps the shared-whitener fast path of the single-arc solve
+        (and reproduces it bit-for-bit); heterogeneous priors switch the
+        prior term to per-row matrices.
+    observations:
+        One :class:`BatchMapObservations` per block.  All blocks must share
+        the observation count ``k`` (they stack on a common condition axis);
+        their condition values may differ freely.
+    model, prior_weight, max_iterations, gtol, xtol, max_bytes:
+        As in :func:`map_estimate_batch`; ``max_bytes`` chunks the stacked
+        row axis (chunks may span block boundaries -- rows are independent).
+
+    Returns
+    -------
+    list of BatchMapResult
+        One result per block, in input order.
+    """
+    blocks = list(observations)
+    if not blocks:
+        raise ValueError("at least one observation block is required")
+    if isinstance(priors, (TimingPrior, GaussianDensity)):
+        priors = [priors] * len(blocks)
+    else:
+        priors = list(priors)
+        if len(priors) != len(blocks):
+            raise ValueError(
+                f"got {len(priors)} priors for {len(blocks)} observation blocks")
+    if prior_weight <= 0.0:
+        raise ValueError("prior_weight must be positive")
+    if max_iterations < 1:
+        raise ValueError("max_iterations must be at least 1")
+    k = blocks[0].k
+    for index, block in enumerate(blocks):
+        if block.k != k:
+            raise ValueError(
+                f"observation block {index} has k={block.k}, expected {k} "
+                "(stacked solves need a uniform condition count)")
+    densities = []
+    for prior in priors:
+        density = prior.density if isinstance(prior, TimingPrior) else prior
+        if density.dim != N_PARAMETERS:
+            raise ValueError(
+                f"prior has dimension {density.dim}, expected {N_PARAMETERS}")
+        densities.append(density)
+
+    def stack(field: str) -> np.ndarray:
+        values = [getattr(block, field) for block in blocks]
+        # Shared-grid fast path: when every block carries the same 1-D
+        # condition vector (the NLDM convention -- one fitting grid for the
+        # whole library), keep it 1-D instead of materializing a dense
+        # (total_rows, k) copy.
+        first = values[0]
+        if all(value.ndim == 1 and (value is first
+                                    or np.array_equal(value, first))
+               for value in values):
+            return first
+        return np.concatenate(
+            [np.broadcast_to(value, block.response.shape)
+             if value.ndim == 1 else value
+             for value, block in zip(values, blocks)], axis=0)
+
+    betas = [block.beta for block in blocks]
+    if all(beta is None for beta in betas):
+        beta_rows = None
+    else:
+        first_beta = betas[0]
+        if (first_beta is not None
+                and all(beta is not None and beta.ndim == 1
+                        and (beta is first_beta
+                             or np.array_equal(beta, first_beta))
+                        for beta in betas)):
+            beta_rows = first_beta
+        else:
+            parts = []
+            for block in blocks:
+                beta = block.beta if block.beta is not None else np.ones(k)
+                if beta.ndim == 1:
+                    beta = np.broadcast_to(beta, block.response.shape)
+                parts.append(beta)
+            beta_rows = np.concatenate(parts, axis=0)
+
+    stacked = BatchMapObservations(
+        sin=stack("sin"), cload=stack("cload"), vdd=stack("vdd"),
+        ieff=stack("ieff"), response=stack("response"), beta=beta_rows)
+    block_sizes = [block.n_seeds for block in blocks]
+    term = _PriorTerm.from_densities(densities, block_sizes, prior_weight)
+    result = _chunked_solve(term, stacked, model or CompactTimingModel(),
+                            max_iterations, gtol, xtol, max_bytes)
+
+    results: List[BatchMapResult] = []
+    start = 0
+    for size in block_sizes:
+        rows = slice(start, start + size)
+        results.append(BatchMapResult(
+            parameters=result.parameters[rows],
+            converged=result.converged[rows],
+            n_iterations=result.n_iterations[rows],
+            cost=result.cost[rows],
+            residuals=result.residuals[rows],
+            n_observations=k,
+        ))
+        start += size
+    return results
+
+
+class _PriorTerm:
+    """The Gaussian prior contribution, shared across rows or per-row.
+
+    The single-arc solve shares one ``(4,)`` mean and one ``(4, 4)``
+    whitener across every seed; the stacked multi-arc solve may carry one
+    prior per arc, expanded here to per-row matrices.  Keeping the shared
+    case on the original 2-D matmul expressions preserves bit-identical
+    results with the pre-stacking solver.
+    """
+
+    def __init__(self, mu0: np.ndarray, whitener: np.ndarray,
+                 normal: Optional[np.ndarray] = None):
+        self.mu0 = mu0
+        self.whitener = whitener
+        self.shared = mu0.ndim == 1
+        # W^T W of the normal equations, precomputed once per solve (row
+        # subsets slice it rather than recomputing the einsum).
+        if normal is not None:
+            self._normal = normal
+        elif self.shared:
+            self._normal = whitener.T @ whitener
+        else:
+            self._normal = np.einsum("mki,mkj->mij", whitener, whitener)
+
+    @classmethod
+    def from_density(cls, density: GaussianDensity,
+                     prior_weight: float) -> "_PriorTerm":
+        whitener = density.scaled_covariance(
+            1.0 / prior_weight).whitening_matrix(jitter=1e-12)
+        return cls(np.asarray(density.mean, dtype=float), whitener)
+
+    @classmethod
+    def from_densities(cls, densities: Sequence[GaussianDensity],
+                       block_sizes: Sequence[int],
+                       prior_weight: float) -> "_PriorTerm":
+        """Per-block priors expanded to rows (shared fast path when equal)."""
+        first = densities[0]
+        if all(density is first
+               or (np.array_equal(density.mean, first.mean)
+                   and np.array_equal(density.covariance, first.covariance))
+               for density in densities):
+            return cls.from_density(first, prior_weight)
+        mu_rows = []
+        whitener_rows = []
+        for density, size in zip(densities, block_sizes):
+            term = cls.from_density(density, prior_weight)
+            mu_rows.append(np.broadcast_to(term.mu0, (size, N_PARAMETERS)))
+            whitener_rows.append(np.broadcast_to(
+                term.whitener, (size, N_PARAMETERS, N_PARAMETERS)))
+        return cls(np.concatenate(mu_rows, axis=0),
+                   np.concatenate(whitener_rows, axis=0))
+
+    def take(self, rows) -> "_PriorTerm":
+        """The term restricted to a row subset (no-op when shared)."""
+        if self.shared:
+            return self
+        return _PriorTerm(self.mu0[rows], self.whitener[rows],
+                          normal=self._normal[rows])
+
+    def residual(self, theta: np.ndarray) -> np.ndarray:
+        """Whitened prior residual ``W (theta - mu0)`` per row."""
+        if self.shared:
+            return (theta - self.mu0) @ self.whitener.T
+        return np.einsum("mij,mj->mi", self.whitener, theta - self.mu0)
+
+    def gradient(self, r_prior: np.ndarray) -> np.ndarray:
+        """Gradient contribution ``W^T r_prior`` per row."""
+        if self.shared:
+            return r_prior @ self.whitener
+        return np.einsum("mji,mj->mi", self.whitener, r_prior)
+
+    def normal(self) -> np.ndarray:
+        """Normal-matrix contribution ``W^T W`` (per row when not shared)."""
+        return self._normal
+
+    def start(self, lower: np.ndarray, upper: np.ndarray,
+              n_rows: int) -> np.ndarray:
+        """Per-row starting point: the prior mean, nudged inside the bounds."""
+        start = np.clip(self.mu0, lower + 1e-9, upper - 1e-9)
+        if self.shared:
+            return np.broadcast_to(start, (n_rows, N_PARAMETERS)).copy()
+        return start.copy()
+
+
+def _chunked_solve(
+    term: _PriorTerm,
+    observations: BatchMapObservations,
+    model: CompactTimingModel,
+    max_iterations: int,
+    gtol: float,
+    xtol: float,
+    max_bytes: Optional[int],
+) -> BatchMapResult:
+    """Split the row axis under the memory budget and solve sequentially."""
     # Per-seed working set: residual and cost rows of length k, the (k, 4)
     # Jacobian plus its weighted copy, and the damped (4, 4) normal systems
-    # with their solve scratch -- roughly 8 * (6k + 80) bytes.
+    # with their solve scratch -- roughly 8 * (6k + 80) bytes.  Rows that
+    # carry their own condition vectors (stacked multi-arc solves) add the
+    # stored (k,) arrays plus the per-iteration gathered copies; per-row
+    # priors add their (4,) mean and two (4, 4) matrices.
     k = observations.k
-    chunks = plan_chunks(observations.n_seeds, 8 * (6 * k + 80),
+    item_bytes = 8 * (6 * k + 80)
+    for value in (observations.sin, observations.cload, observations.vdd,
+                  observations.beta):
+        if value is not None and value.ndim == 2:
+            item_bytes += 8 * 2 * k
+    if not term.shared:
+        item_bytes += 8 * 2 * (N_PARAMETERS + 2 * N_PARAMETERS ** 2)
+    chunks = plan_chunks(observations.n_seeds, item_bytes,
                          resolve_max_bytes(max_bytes))
     if len(chunks) > 1:
         parts = [
-            _solve_seed_block(density, _slice_observations(observations, rows),
-                              model, prior_weight, max_iterations, gtol, xtol)
+            _solve_seed_block(term.take(rows),
+                              _slice_observations(observations, rows),
+                              model, max_iterations, gtol, xtol)
             for rows in chunks
         ]
         return BatchMapResult(
@@ -286,37 +541,38 @@ def map_estimate_batch(
             residuals=np.concatenate([p.residuals for p in parts], axis=0),
             n_observations=k,
         )
-    return _solve_seed_block(density, observations, model, prior_weight,
-                             max_iterations, gtol, xtol)
+    return _solve_seed_block(term, observations, model, max_iterations,
+                             gtol, xtol)
 
 
 def _slice_observations(observations: BatchMapObservations,
                         rows: slice) -> BatchMapObservations:
-    """One contiguous seed block of a batch (conditions stay shared)."""
-    ieff = observations.ieff
+    """One contiguous seed block of a batch (shared conditions stay shared)."""
+
+    def take(value: Optional[np.ndarray]) -> Optional[np.ndarray]:
+        if value is None or value.ndim == 1:
+            return value
+        return value[rows]
+
     return BatchMapObservations(
-        sin=observations.sin,
-        cload=observations.cload,
-        vdd=observations.vdd,
-        ieff=ieff if ieff.ndim == 1 else ieff[rows],
+        sin=take(observations.sin),
+        cload=take(observations.cload),
+        vdd=take(observations.vdd),
+        ieff=take(observations.ieff),
         response=observations.response[rows],
-        beta=observations.beta,
+        beta=take(observations.beta),
     )
 
 
 def _solve_seed_block(
-    density: GaussianDensity,
+    term: _PriorTerm,
     observations: BatchMapObservations,
     model: CompactTimingModel,
-    prior_weight: float,
     max_iterations: int,
     gtol: float,
     xtol: float,
 ) -> BatchMapResult:
-    """The vectorized LM solve of one (possibly chunked) seed block."""
-    mu0 = density.mean
-    whitener = density.scaled_covariance(1.0 / prior_weight).whitening_matrix(
-        jitter=1e-12)
+    """The vectorized LM solve of one (possibly chunked) row block."""
     lower, upper = model.bounds
     bound_atol = 1e-10 * (upper - lower)
 
@@ -327,30 +583,33 @@ def _solve_seed_block(
     beta = (observations.beta if observations.beta is not None else np.ones(k))
     # Residual weights: sqrt(beta) / response gives the relative, precision-
     # weighted data residual of Eq. 15 when multiplied by (model - response).
-    weight = np.sqrt(beta)[np.newaxis, :] / response
+    sqrt_beta = np.sqrt(beta)
+    weight = (sqrt_beta[np.newaxis, :] if sqrt_beta.ndim == 1
+              else sqrt_beta) / response
+
+    def row_take(value: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        return value if value.ndim == 1 else value[rows]
 
     def data_residual_jacobian(theta: np.ndarray, rows: np.ndarray
                                ) -> "tuple[np.ndarray, np.ndarray]":
-        row_ieff = ieff if ieff.ndim == 1 else ieff[rows]
         prediction, jacobian = CompactTimingModel.evaluate_and_jacobian(
-            theta, sin, cload, vdd, row_ieff)
+            theta, row_take(sin, rows), row_take(cload, rows),
+            row_take(vdd, rows), row_take(ieff, rows))
         w = weight[rows]
         return (prediction - response[rows]) * w, jacobian * w[..., np.newaxis]
 
-    def cost_of(theta: np.ndarray, rows: np.ndarray) -> np.ndarray:
-        row_ieff = ieff if ieff.ndim == 1 else ieff[rows]
+    def cost_of(theta: np.ndarray, rows: np.ndarray,
+                row_term: _PriorTerm) -> np.ndarray:
         prediction = CompactTimingModel.evaluate_array(
-            theta[:, np.newaxis, :], sin, cload, vdd, row_ieff)
+            theta[:, np.newaxis, :], row_take(sin, rows),
+            row_take(cload, rows), row_take(vdd, rows), row_take(ieff, rows))
         data = (prediction - response[rows]) * weight[rows]
-        prior_res = (theta - mu0) @ whitener.T
+        prior_res = row_term.residual(theta)
         return np.einsum("ij,ij->i", data, data) + np.einsum(
             "ij,ij->i", prior_res, prior_res)
 
-    # Same starting point as the scalar path: the prior mean, nudged inside
-    # the bounds.
-    start = np.clip(mu0, lower + 1e-9, upper - 1e-9)
-    theta = np.broadcast_to(start, (n_seeds, N_PARAMETERS)).copy()
-    cost = cost_of(theta, np.arange(n_seeds))
+    theta = term.start(lower, upper, n_seeds)
+    cost = cost_of(theta, np.arange(n_seeds), term)
     damping = np.full(n_seeds, _LAMBDA_INIT)
     converged = np.zeros(n_seeds, dtype=bool)
     iterations = np.zeros(n_seeds, dtype=int)
@@ -362,15 +621,16 @@ def _solve_seed_block(
             break
         iterations[active] += 1
         theta_a = theta[active]
+        active_term = term.take(active)
         r_data, j_data = data_residual_jacobian(theta_a, active)
-        r_prior = (theta_a - mu0) @ whitener.T
+        r_prior = active_term.residual(theta_a)
         # Gradient and Gauss-Newton normal matrix of the stacked problem;
         # the prior block contributes whitener^T whitener, which keeps every
         # normal matrix positive definite regardless of the data.
         gradient = (np.einsum("mki,mk->mi", j_data, r_data)
-                    + r_prior @ whitener)
+                    + active_term.gradient(r_prior))
         normal = (np.einsum("mki,mkj->mij", j_data, j_data)
-                  + whitener.T @ whitener)
+                  + active_term.normal())
 
         # Active-set classification: a coordinate resting on a bound whose
         # gradient pushes further outward is frozen for this iteration (it
@@ -396,7 +656,7 @@ def _solve_seed_block(
         step = np.linalg.solve(damped, -projected[..., np.newaxis])[..., 0]
         candidate = np.clip(theta_a + step, lower, upper)
         moved = candidate - theta_a
-        new_cost = cost_of(candidate, active)
+        new_cost = cost_of(candidate, active, active_term)
 
         accept = new_cost <= cost[active]
         # Tiny accepted moves mean the iterate is numerically stationary

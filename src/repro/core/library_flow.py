@@ -15,14 +15,32 @@ orchestrates that workload:
 * execution through the pluggable runtime executor
   (:mod:`repro.runtime.executor`): ``concurrency="serial"`` shares the
   in-process caches, ``"chunked"`` walks deterministic job chunks, and
-  ``"process"`` fans the arcs out over a process pool (each worker runs the
-  same batched transient engine and batched MAP solver, so the speedups
-  multiply);
+  ``"process"`` fans the work out over a process pool;
 * simulation-run accounting identical to running the per-arc flows by hand:
   each arc charges ``k * n_seeds`` runs under a ``library:<cell>:<arc>``
-  label, whichever execution mode ran it, and per-arc
+  label, whichever execution mode or pipeline ran it, and
   :class:`~repro.runtime.accounting.RunLedger` records merge into one
-  library-level ledger in job order.
+  library-level ledger in deterministic order.
+
+Two pipelines produce identical results:
+
+* ``pipeline="fused"`` (default) flattens every ``(cell, arc, condition)``
+  of the library into one global simulation plan.  Rows first consult the
+  simulation cache; the remaining rows are grouped by *equivalent-inverter
+  simulation signature* (see
+  :meth:`repro.cells.equivalent_inverter.EquivalentInverter.simulation_signature`),
+  so footprint-equivalent cells share a handful of mega-batched RK4 passes
+  instead of one pass per arc -- and rows that are physically identical
+  (same signature, same operating point, e.g. footprint twins on a shared
+  condition grid) are integrated exactly once and scattered to every arc
+  that needs them.  Groups are split on the flat row axis --
+  honoring the ``runtime`` memory budget and the executor's shard hint
+  (better process-pool load balance than whole-arc fan-out) -- and all
+  extractions land in a single stacked, block-diagonal MAP solve
+  (:func:`repro.core.batch_map.map_estimate_stacked`).
+* ``pipeline="per_arc"`` runs one simulate-and-extract job per arc (the
+  pre-fusion flow), kept for parity testing; its results, counter charges
+  and ledger run counts are identical to the fused pipeline's.
 
 The resulting :class:`LibraryCharacterization` feeds the downstream
 consumers directly: :meth:`LibraryCharacterization.liberty_writer` emits a
@@ -42,17 +60,27 @@ import numpy as np
 from repro.cells.equivalent_inverter import reduce_cell_cached
 from repro.cells.library import Cell, StandardCellLibrary, TimingArc, Transition
 from repro.characterization.input_space import InputCondition, InputSpace
+from repro.core.batch_map import map_estimate_stacked
 from repro.core.prior_learning import TimingPrior
 from repro.core.statistical_flow import (
     SOLVERS,
     StatisticalCharacterization,
     StatisticalCharacterizer,
+    arc_observation_pair,
 )
 from repro.liberty.tables import NldmTable
 from repro.liberty.writer import CellTimingData, LibertyWriter, TimingTableSet
+from repro.runtime import resolve_max_bytes
 from repro.runtime.accounting import RunLedger
+from repro.runtime.chunking import plan_chunks
 from repro.runtime.executor import EXECUTOR_MODES, get_executor
-from repro.spice.testbench import SimulationCounter
+from repro.spice.batch import simulate_arc_transitions, transient_item_bytes
+from repro.spice.testbench import (
+    SimulationCache,
+    SimulationCounter,
+    get_simulation_cache,
+)
+from repro.spice.transient import DEFAULT_STEPS
 from repro.technology.node import TechnologyNode
 from repro.technology.variation import VariationSample
 from repro.utils.rng import RandomState, ensure_rng
@@ -60,6 +88,9 @@ from repro.utils.units import NANO, PICO
 
 #: Execution modes of :func:`characterize_library` (the runtime executor's).
 CONCURRENCY_MODES = EXECUTOR_MODES
+
+#: Characterization pipelines of :func:`characterize_library`.
+PIPELINES = ("fused", "per_arc")
 
 
 @dataclass(frozen=True)
@@ -105,12 +136,15 @@ class LibraryCharacterization:
     n_seeds:
         Monte Carlo seeds shared by every arc.
     solver, concurrency:
-        How the parameter extraction and the arc fan-out were executed.
+        How the parameter extraction and the fan-out were executed.
     simulation_runs:
         Total simulator invocations across all arcs.
     entries:
         One :class:`LibraryArcCharacterization` per characterized arc, in
         deterministic (cell, arc) order.
+    pipeline:
+        Which characterization pipeline ran (``"fused"`` or ``"per_arc"``;
+        both produce identical entries).
     ledger:
         Unified :class:`~repro.runtime.accounting.RunLedger` of the run:
         per-arc ledgers merged in job order plus the orchestrator's own
@@ -127,6 +161,7 @@ class LibraryCharacterization:
     concurrency: str
     simulation_runs: int
     entries: Tuple[LibraryArcCharacterization, ...]
+    pipeline: str = "fused"
     ledger: Optional[RunLedger] = field(default=None, compare=False)
 
     # ------------------------------------------------------------------
@@ -282,6 +317,244 @@ def _characterize_arc_job(payload: tuple):
     return characterizer.characterize(list(conditions)), ledger
 
 
+def _simulate_rows_job(payload: tuple):
+    """Integrate one chunk of flat simulation rows; module-level for pickling.
+
+    The payload carries a *representative* (cell, arc) of the chunk's
+    signature group -- every row in the chunk reduces to a bit-identical
+    equivalent inverter, so one reduction serves all rows whatever cell
+    they came from.  Returns the per-row delay/slew matrices plus the
+    chunk's :class:`RunLedger` (integration wall time, merged back in
+    payload order by the executor).
+    """
+    technology, cell, arc, variation, triples, n_steps = payload
+    ledger = RunLedger()
+    with ledger.caches():
+        inverter = reduce_cell_cached(cell, technology, arc=arc,
+                                      variation=variation)
+        with ledger.stage("fused:integrate"):
+            result = simulate_arc_transitions(
+                inverter, triples[:, 0], triples[:, 1], triples[:, 2],
+                n_steps=n_steps)
+            delay = np.asarray(result.delay(), dtype=float)
+            slew = np.asarray(result.output_slew(), dtype=float)
+    return (delay, slew), ledger
+
+
+@dataclass
+class _SignatureGroup:
+    """Simulation rows sharing one equivalent-inverter signature.
+
+    ``cell``/``arc`` are the representative reduction (first job that hit
+    the signature); ``rows`` are ``(job, cond, key, slot)`` tuples in
+    deterministic (job, condition) order, where ``slot`` indexes into
+    ``triples`` -- the group's *unique* operating points.  Rows of
+    footprint-twin arcs at the same operating point are physically the same
+    simulation, so they share a slot and are integrated exactly once (a
+    dedup the per-arc pipeline cannot see: its cache keys carry the cell
+    identity).
+    """
+
+    cell: Cell
+    arc: TimingArc
+    rows: List[tuple] = field(default_factory=list)
+    triples: List[tuple] = field(default_factory=list)
+    slot_index: Dict[tuple, int] = field(default_factory=dict)
+    delays: List[Optional[np.ndarray]] = field(default_factory=list)
+    slews: List[Optional[np.ndarray]] = field(default_factory=list)
+
+    def add_row(self, job: int, cond: int, key: tuple,
+                triple: tuple) -> None:
+        slot = self.slot_index.get(triple)
+        if slot is None:
+            slot = len(self.triples)
+            self.slot_index[triple] = slot
+            self.triples.append(triple)
+            self.delays.append(None)
+            self.slews.append(None)
+        self.rows.append((job, cond, key, slot))
+
+
+def _characterize_fused(
+    technology: TechnologyNode,
+    jobs: List[Tuple[Cell, TimingArc]],
+    job_conditions: List[List[InputCondition]],
+    delay_prior: TimingPrior,
+    slew_prior: TimingPrior,
+    variation: VariationSample,
+    solver: str,
+    executor,
+    ledger: RunLedger,
+    max_bytes: Optional[int],
+) -> List[StatisticalCharacterization]:
+    """The fused library pipeline: plan -> mega-batch -> stacked solve.
+
+    Produces exactly the per-arc pipeline's characterizations (same values,
+    same per-arc ledger run counts); see the module docstring for the
+    design.
+    """
+    n_seeds = variation.n_seeds
+    n_steps = DEFAULT_STEPS
+    sim_cache = get_simulation_cache()
+    variation_fp = variation.fingerprint()
+
+    # ------------------------------------------------------------------
+    # Plan: resolve reductions, consult the simulation cache per row, and
+    # group the rows that still need integrating by inverter signature.
+    # ------------------------------------------------------------------
+    inverters = []
+    job_delays: List[List[Optional[np.ndarray]]] = []
+    job_slews: List[List[Optional[np.ndarray]]] = []
+    groups: Dict[tuple, _SignatureGroup] = {}
+    # The plan consults the reduction cache and the simulation cache per
+    # row; recording its cache deltas keeps the fused ledger as observable
+    # as the per-arc pipeline's (which wraps its sweeps in ledger.caches()).
+    with ledger.stage("fused:plan"), ledger.caches():
+        for job, (cell, arc) in enumerate(jobs):
+            inverter = reduce_cell_cached(cell, technology, arc=arc,
+                                          variation=variation)
+            inverters.append(inverter)
+            prefix = SimulationCache.arc_prefix(cell, technology, arc,
+                                                variation_fp)
+            signature = inverter.simulation_signature()
+            conditions = job_conditions[job]
+            delays: List[Optional[np.ndarray]] = [None] * len(conditions)
+            slews: List[Optional[np.ndarray]] = [None] * len(conditions)
+            for cond, condition in enumerate(conditions):
+                triple = condition.as_tuple()
+                key = SimulationCache.condition_key(prefix, *triple, n_steps)
+                cached = sim_cache.get(key)
+                if cached is not None:
+                    delays[cond], slews[cond] = cached
+                    continue
+                group = groups.get(signature)
+                if group is None:
+                    group = _SignatureGroup(cell=cell, arc=arc)
+                    groups[signature] = group
+                group.add_row(job, cond, key, triple)
+            job_delays.append(delays)
+            job_slews.append(slews)
+
+        total_rows = sum(len(conditions) for conditions in job_conditions)
+        planned_rows = sum(len(group.rows) for group in groups.values())
+        unique_rows = sum(len(group.triples) for group in groups.values())
+        ledger.add_metric("fused_rows_total", total_rows)
+        ledger.add_metric("fused_rows_simulated", unique_rows)
+        ledger.add_metric("fused_rows_deduplicated",
+                          planned_rows - unique_rows)
+        ledger.add_metric("fused_rows_cached", total_rows - planned_rows)
+        ledger.add_metric("fused_signature_groups", len(groups))
+        if groups:
+            ledger.add_group_sizes(
+                "fused:signature_rows",
+                [len(group.triples) for group in groups.values()])
+
+    # ------------------------------------------------------------------
+    # Simulate: each signature group is one mega-batched RK4 pass, split on
+    # the flat row axis by the memory budget and the executor's shard hint
+    # (rows are independent, so any split reproduces the one-pass results).
+    # ------------------------------------------------------------------
+    budget = resolve_max_bytes(max_bytes)
+    item_bytes = transient_item_bytes(n_seeds, n_steps)
+    payloads = []
+    payload_slots: List[Tuple[_SignatureGroup, slice]] = []
+    for group in groups.values():
+        n_unique = len(group.triples)
+        for chunk in plan_chunks(n_unique, item_bytes, budget,
+                                 min_chunks=executor.shard_hint(n_unique)):
+            triples = np.array(group.triples[chunk], dtype=float)
+            payloads.append((technology, group.cell, group.arc, variation,
+                             triples, n_steps))
+            payload_slots.append((group, chunk))
+    if payloads:
+        # Worker-side cache activity (reductions, any in-worker cache use)
+        # arrives in the per-job ledgers merged by map_accounted; only the
+        # parent-side scatter (its cache *puts*) is snapshotted here, so
+        # serial execution does not double-count the workers' windows.
+        with ledger.stage("fused:simulate"):
+            results = executor.map_accounted(_simulate_rows_job, payloads,
+                                             ledger=ledger)
+        with ledger.caches():
+            for (group, chunk), (delay, slew) in zip(payload_slots, results):
+                for index, slot in enumerate(range(chunk.start, chunk.stop)):
+                    group.delays[slot] = np.asarray(delay[index], dtype=float)
+                    group.slews[slot] = np.asarray(slew[index], dtype=float)
+            for group in groups.values():
+                for job, cond, key, slot in group.rows:
+                    delay_row = group.delays[slot]
+                    slew_row = group.slews[slot]
+                    job_delays[job][cond] = delay_row
+                    job_slews[job][cond] = slew_row
+                    sim_cache.put(key, delay_row, slew_row)
+
+    # ------------------------------------------------------------------
+    # Account: each arc requires k * n_seeds runs whether its rows were
+    # simulated or replayed from the cache (identical to the per-arc flow).
+    # ------------------------------------------------------------------
+    for job, (cell, arc) in enumerate(jobs):
+        ledger.add_simulations(len(job_conditions[job]) * n_seeds,
+                               label=f"proposed_statistical:{cell.name}")
+
+    # ------------------------------------------------------------------
+    # Extract: stack every arc's seed batch into one block-diagonal MAP
+    # solve per response (batched solver); the scipy parity solver keeps
+    # its per-arc trust-region loops on the injected measurements.
+    # ------------------------------------------------------------------
+    characterizations: List[StatisticalCharacterization] = []
+    if solver == "batched":
+        space = InputSpace(technology)
+        with ledger.stage("fused:extract"):
+            delay_blocks = []
+            slew_blocks = []
+            for job, (cell, arc) in enumerate(jobs):
+                delay_obs, slew_obs = arc_observation_pair(
+                    technology, inverters[job], job_conditions[job],
+                    delay_prior, slew_prior,
+                    np.stack(job_delays[job], axis=0),
+                    np.stack(job_slews[job], axis=0), space=space)
+                delay_blocks.append(delay_obs)
+                slew_blocks.append(slew_obs)
+        with ledger.stage("fused:solve"):
+            delay_results = map_estimate_stacked(
+                delay_prior, delay_blocks, max_bytes=max_bytes)
+            slew_results = map_estimate_stacked(
+                slew_prior, slew_blocks, max_bytes=max_bytes)
+            ledger.add_metric(
+                "solver_iterations",
+                int(sum(int(result.n_iterations.sum())
+                        for result in delay_results)
+                    + sum(int(result.n_iterations.sum())
+                          for result in slew_results)))
+        for job, (cell, arc) in enumerate(jobs):
+            runs = len(job_conditions[job]) * n_seeds
+            characterizations.append(StatisticalCharacterization(
+                cell_name=cell.name,
+                arc_name=arc.name,
+                delay_parameters=delay_results[job].parameters,
+                slew_parameters=slew_results[job].parameters,
+                inverter=inverters[job],
+                fitting_conditions=tuple(job_conditions[job]),
+                simulation_runs=runs,
+                solver=solver,
+                delay_converged=delay_results[job].converged,
+                slew_converged=slew_results[job].converged,
+            ))
+    else:
+        with ledger.stage("fused:extract"):
+            for job, (cell, arc) in enumerate(jobs):
+                characterizer = StatisticalCharacterizer(
+                    technology, cell, delay_prior, slew_prior, arc=arc,
+                    n_seeds=n_seeds, solver=solver, ledger=ledger,
+                    max_bytes=max_bytes)
+                characterizer.use_variation(variation)
+                characterizations.append(
+                    characterizer.characterize_from_measurements(
+                        job_conditions[job],
+                        np.stack(job_delays[job], axis=0),
+                        np.stack(job_slews[job], axis=0)))
+    return characterizations
+
+
 def characterize_library(
     technology: TechnologyNode,
     library: Union[StandardCellLibrary, Sequence[Cell]],
@@ -296,6 +569,7 @@ def characterize_library(
     counter: Optional[SimulationCounter] = None,
     solver: str = "batched",
     concurrency: str = "serial",
+    pipeline: str = "fused",
     max_workers: Optional[int] = None,
     ledger: Optional[RunLedger] = None,
     max_bytes: Optional[int] = None,
@@ -335,10 +609,19 @@ def characterize_library(
     concurrency:
         Runtime executor mode: ``"serial"`` (default; shares the in-process
         simulation cache), ``"chunked"`` (serial semantics over
-        deterministic job chunks) or ``"process"`` (fan the arcs out over a
-        process pool).  Results are deterministic and identical across
-        modes: the seed batch and every arc's fitting conditions are fixed
-        in the parent before dispatch.
+        deterministic job chunks) or ``"process"`` (process-pool fan-out).
+        Results are deterministic and identical across modes: the seed
+        batch and every arc's fitting conditions are fixed in the parent
+        before dispatch.
+    pipeline:
+        ``"fused"`` (default) runs the library-wide fused pipeline -- one
+        global simulation plan grouped by equivalent-inverter signature,
+        one stacked MAP solve per response; under ``concurrency="process"``
+        it fans out chunks of the *flat simulation axis* (better load
+        balance than whole-arc jobs, since arcs of very different cost
+        split evenly).  ``"per_arc"`` runs the pre-fusion one-job-per-arc
+        flow (kept for parity testing); both pipelines produce identical
+        results, counter charges and ledger run counts.
     max_workers:
         Process-pool size for ``concurrency="process"``.
     ledger:
@@ -359,6 +642,9 @@ def characterize_library(
     if concurrency not in CONCURRENCY_MODES:
         raise ValueError(
             f"concurrency must be one of {CONCURRENCY_MODES}, got {concurrency!r}")
+    if pipeline not in PIPELINES:
+        raise ValueError(
+            f"pipeline must be one of {PIPELINES}, got {pipeline!r}")
     if solver not in SOLVERS:
         raise ValueError(f"solver must be one of {SOLVERS}, got {solver!r}")
     if input_pins not in ("first", "all"):
@@ -387,16 +673,21 @@ def characterize_library(
             raise ValueError("at least one fitting condition is required")
         job_conditions = [shared for _ in jobs]
 
-    payloads = [
-        (technology, cell, arc, delay_prior, slew_prior, variation,
-         job_conditions[index], solver, max_bytes)
-        for index, (cell, arc) in enumerate(jobs)
-    ]
     run_ledger = ledger if ledger is not None else RunLedger()
     executor = get_executor(concurrency, max_workers=max_workers)
     with run_ledger.stage("characterize_library"):
-        results = executor.map_accounted(_characterize_arc_job, payloads,
-                                         ledger=run_ledger)
+        if pipeline == "fused":
+            results = _characterize_fused(
+                technology, jobs, job_conditions, delay_prior, slew_prior,
+                variation, solver, executor, run_ledger, max_bytes)
+        else:
+            payloads = [
+                (technology, cell, arc, delay_prior, slew_prior, variation,
+                 job_conditions[index], solver, max_bytes)
+                for index, (cell, arc) in enumerate(jobs)
+            ]
+            results = executor.map_accounted(_characterize_arc_job, payloads,
+                                             ledger=run_ledger)
 
     entries: List[LibraryArcCharacterization] = []
     total_runs = 0
@@ -426,5 +717,6 @@ def characterize_library(
         concurrency=concurrency,
         simulation_runs=total_runs,
         entries=tuple(entries),
+        pipeline=pipeline,
         ledger=run_ledger,
     )

@@ -60,6 +60,77 @@ _IEFF_CACHE = register_runtime_cache(
 _IEFF_TOKENS = itertools.count()
 
 
+def arc_observation_pair(
+    technology: TechnologyNode,
+    inverter: EquivalentInverter,
+    conditions: Sequence[InputCondition],
+    delay_prior: TimingPrior,
+    slew_prior: TimingPrior,
+    delay_matrix: np.ndarray,
+    slew_matrix: np.ndarray,
+    space: Optional[InputSpace] = None,
+) -> Tuple[BatchMapObservations, BatchMapObservations]:
+    """Build the (delay, slew) MAP observation blocks of one arc.
+
+    This is the single definition of how measured per-seed samples become
+    Eq. 15 observations -- the per-seed effective currents at each fitting
+    supply, the precision weights from the learned priors, the
+    condition-major measurement matrices transposed to seed-major rows.
+    :meth:`StatisticalCharacterizer.characterize` and the fused library
+    pipeline both call it, so the two extraction paths can never drift.
+
+    Parameters
+    ----------
+    technology:
+        Target node (supplies the input-space normalization of the
+        precision model).
+    inverter:
+        Seed-vectorized equivalent inverter of the arc.
+    conditions:
+        The ``k`` fitting conditions, in measurement order.
+    delay_prior, slew_prior:
+        Learned priors whose precision models weight the residuals.
+    delay_matrix, slew_matrix:
+        Measured responses of shape ``(k, n_seeds)`` (condition-major, the
+        layout :func:`repro.spice.sweep.sweep_conditions` produces), SI
+        seconds.
+    space:
+        Optional pre-built :class:`InputSpace` (avoids rebuilding it per
+        arc in library-scale loops).
+    """
+    conditions = list(conditions)
+    sin, cload, vdd = conditions_to_arrays(conditions)
+    space = space if space is not None else InputSpace(technology)
+    unit = space.normalize(conditions)
+    delay_beta = delay_prior.precision_model.beta(unit)
+    slew_beta = slew_prior.precision_model.beta(unit)
+
+    delay_matrix = np.asarray(delay_matrix, dtype=float)
+    slew_matrix = np.asarray(slew_matrix, dtype=float)
+    if (delay_matrix.ndim != 2 or delay_matrix.shape[0] != len(conditions)
+            or slew_matrix.shape != delay_matrix.shape):
+        raise ValueError(
+            f"measurement matrices must have shape ({len(conditions)}, "
+            f"n_seeds); got {delay_matrix.shape} and {slew_matrix.shape}")
+    n_seeds = delay_matrix.shape[1]
+
+    # Per-seed effective currents at each fitting condition's supply,
+    # evaluated in one broadcast over (k, n_seeds).
+    ieff_matrix = np.broadcast_to(
+        np.atleast_2d(np.asarray(
+            inverter.effective_current(np.asarray(vdd)[:, np.newaxis]),
+            dtype=float)),
+        (len(conditions), n_seeds)).copy()
+
+    delay_obs = BatchMapObservations(
+        sin=sin, cload=cload, vdd=vdd, ieff=ieff_matrix.T,
+        response=delay_matrix.T, beta=delay_beta)
+    slew_obs = BatchMapObservations(
+        sin=sin, cload=cload, vdd=vdd, ieff=ieff_matrix.T,
+        response=slew_matrix.T, beta=slew_beta)
+    return delay_obs, slew_obs
+
+
 @dataclass(frozen=True)
 class StatisticalCharacterization:
     """Per-seed compact-model parameters of one arc plus prediction helpers.
@@ -381,25 +452,88 @@ class StatisticalCharacterizer:
             ledger.add_simulations(
                 runs, label=f"proposed_statistical:{self._cell.name}")
 
-        sin, cload, vdd = conditions_to_arrays(conditions)
-        unit = self._space.normalize(conditions)
-        delay_beta = self._delay_prior.precision_model.beta(unit)
-        slew_beta = self._slew_prior.precision_model.beta(unit)
-
-        # Per-seed effective currents at each fitting condition's supply,
-        # evaluated in one broadcast over (k, n_seeds).
-        ieff_matrix = np.broadcast_to(
-            np.atleast_2d(np.asarray(
-                inverter.effective_current(np.asarray(vdd)[:, np.newaxis]),
-                dtype=float)),
-            (len(conditions), variation.n_seeds)).copy()
-
         delay_matrix = np.stack([np.asarray(m.delay).reshape(-1)
                                  for m in measurements], axis=0)
         slew_matrix = np.stack([np.asarray(m.output_slew).reshape(-1)
                                 for m in measurements], axis=0)
+        return self._extract(conditions, inverter, delay_matrix, slew_matrix,
+                             runs, solver)
 
-        n_seeds = variation.n_seeds
+    def characterize_from_measurements(
+        self,
+        conditions: Sequence[InputCondition],
+        delay_matrix: np.ndarray,
+        slew_matrix: np.ndarray,
+        solver: Optional[str] = None,
+        simulation_runs: Optional[int] = None,
+    ) -> StatisticalCharacterization:
+        """Extraction-only flow: inject presimulated per-seed measurements.
+
+        The fused library pipeline (and any caller that obtained the
+        transient samples elsewhere -- a replayed cache, an external
+        simulator, a shared mega-batch) hands the measured matrices straight
+        to the MAP extraction, skipping the simulate stage entirely.  The
+        result is indistinguishable from :meth:`characterize` run on the
+        same samples.
+
+        Parameters
+        ----------
+        conditions:
+            The ``k`` fitting conditions the matrices were measured at.
+        delay_matrix, slew_matrix:
+            Measured responses of shape ``(k, n_seeds)`` (condition-major),
+            SI seconds, with ``n_seeds`` matching the characterizer's seed
+            batch.
+        solver:
+            Extraction solver override (as in :meth:`characterize`).
+        simulation_runs:
+            Run count recorded on the result; defaults to ``k * n_seeds``
+            (what measuring the matrices costs), letting orchestrators that
+            account runs themselves keep the per-arc bookkeeping identical.
+
+        Raises
+        ------
+        ValueError
+            If no seed batch is pinned (call :meth:`use_variation` first --
+            the per-seed effective currents require the concrete seeds) or
+            on shape mismatches.
+        """
+        solver = self._solver if solver is None else solver
+        if solver not in SOLVERS:
+            raise ValueError(f"solver must be one of {SOLVERS}, got {solver!r}")
+        conditions = list(conditions)
+        if not conditions:
+            raise ValueError("at least one fitting condition is required")
+        if self._variation is None:
+            raise ValueError(
+                "characterize_from_measurements needs a pinned seed batch; "
+                "call use_variation() with the seeds the measurements were "
+                "simulated with")
+        delay_matrix = np.asarray(delay_matrix, dtype=float)
+        slew_matrix = np.asarray(slew_matrix, dtype=float)
+        expected = (len(conditions), self._variation.n_seeds)
+        if delay_matrix.shape != expected or slew_matrix.shape != expected:
+            raise ValueError(
+                f"measurement matrices must have shape {expected}, got "
+                f"{delay_matrix.shape} and {slew_matrix.shape}")
+        inverter = reduce_cell_cached(self._cell, self._technology,
+                                      arc=self._arc, variation=self._variation)
+        runs = (int(simulation_runs) if simulation_runs is not None
+                else len(conditions) * self._variation.n_seeds)
+        return self._extract(conditions, inverter, delay_matrix, slew_matrix,
+                             runs, solver)
+
+    def _extract(self, conditions: List[InputCondition],
+                 inverter: EquivalentInverter, delay_matrix: np.ndarray,
+                 slew_matrix: np.ndarray, runs: int,
+                 solver: str) -> StatisticalCharacterization:
+        """The shared extract stage behind both characterization entry points."""
+        ledger = self._ledger
+        delay_obs, slew_obs = arc_observation_pair(
+            self._technology, inverter, conditions, self._delay_prior,
+            self._slew_prior, delay_matrix, slew_matrix, space=self._space)
+
+        n_seeds = delay_obs.n_seeds
         delay_converged: Optional[np.ndarray] = None
         slew_converged: Optional[np.ndarray] = None
         with (ledger.stage("extract") if ledger is not None else nullcontext()):
@@ -407,19 +541,11 @@ class StatisticalCharacterizer:
                 # One seed-vectorized Levenberg-Marquardt solve per response:
                 # every seed is a row of the (n_seeds, k) observation matrices.
                 delay_result = map_estimate_batch(
-                    self._delay_prior,
-                    BatchMapObservations(sin=sin, cload=cload, vdd=vdd,
-                                         ieff=ieff_matrix.T,
-                                         response=delay_matrix.T,
-                                         beta=delay_beta),
-                    model=self._model, max_bytes=self._max_bytes)
+                    self._delay_prior, delay_obs, model=self._model,
+                    max_bytes=self._max_bytes)
                 slew_result = map_estimate_batch(
-                    self._slew_prior,
-                    BatchMapObservations(sin=sin, cload=cload, vdd=vdd,
-                                         ieff=ieff_matrix.T,
-                                         response=slew_matrix.T,
-                                         beta=slew_beta),
-                    model=self._model, max_bytes=self._max_bytes)
+                    self._slew_prior, slew_obs, model=self._model,
+                    max_bytes=self._max_bytes)
                 delay_params = delay_result.parameters
                 slew_params = slew_result.parameters
                 delay_converged = delay_result.converged
@@ -433,17 +559,17 @@ class StatisticalCharacterizer:
                 delay_params = np.empty((n_seeds, 4))
                 slew_params = np.empty((n_seeds, 4))
                 for seed in range(n_seeds):
-                    delay_obs = MapObservations(sin=sin, cload=cload, vdd=vdd,
-                                                ieff=ieff_matrix[:, seed],
-                                                response=delay_matrix[:, seed],
-                                                beta=delay_beta)
-                    slew_obs = MapObservations(sin=sin, cload=cload, vdd=vdd,
-                                               ieff=ieff_matrix[:, seed],
-                                               response=slew_matrix[:, seed],
-                                               beta=slew_beta)
-                    delay_params[seed] = map_estimate(self._delay_prior, delay_obs,
+                    seed_delay = MapObservations(
+                        sin=delay_obs.sin, cload=delay_obs.cload,
+                        vdd=delay_obs.vdd, ieff=delay_obs.ieff[seed],
+                        response=delay_obs.response[seed], beta=delay_obs.beta)
+                    seed_slew = MapObservations(
+                        sin=slew_obs.sin, cload=slew_obs.cload,
+                        vdd=slew_obs.vdd, ieff=slew_obs.ieff[seed],
+                        response=slew_obs.response[seed], beta=slew_obs.beta)
+                    delay_params[seed] = map_estimate(self._delay_prior, seed_delay,
                                                       model=self._model).params.as_array()
-                    slew_params[seed] = map_estimate(self._slew_prior, slew_obs,
+                    slew_params[seed] = map_estimate(self._slew_prior, seed_slew,
                                                      model=self._model).params.as_array()
                 if ledger is not None:
                     ledger.add_metric("extraction_solves", 2 * n_seeds)

@@ -164,7 +164,9 @@ class CompactTimingModel:
             accepted and treated as a batch of one).
         sin, cload, vdd:
             Operating points of shape ``(k,)`` in SI units, shared by every
-            batch row.
+            batch row, or ``(n_batch, k)`` with one condition set per row
+            (the stacked library-wide MAP solve, where each row belongs to
+            a different arc with its own fitting conditions).
         ieff:
             Effective currents in amperes, shape ``(k,)`` (shared) or
             ``(n_batch, k)`` (per-seed).
@@ -180,28 +182,37 @@ class CompactTimingModel:
         theta = np.atleast_2d(np.asarray(theta, dtype=float))
         if theta.ndim != 2 or theta.shape[1] != N_PARAMETERS:
             raise ValueError(f"theta must have shape (n_batch, {N_PARAMETERS})")
-        sin = np.asarray(sin, dtype=float).reshape(-1)
-        cload = np.asarray(cload, dtype=float).reshape(-1)
-        vdd = np.asarray(vdd, dtype=float).reshape(-1)
-        ieff = np.asarray(ieff, dtype=float)
-        if ieff.ndim == 1:
-            ieff = ieff[np.newaxis, :]
+
+        def rows(name: str, value) -> np.ndarray:
+            array = np.asarray(value, dtype=float)
+            if array.ndim <= 1:
+                return array.reshape(-1)[np.newaxis, :]
+            if array.ndim != 2 or array.shape[0] != theta.shape[0]:
+                raise ValueError(
+                    f"{name} must have shape (k,) or (n_batch, k), "
+                    f"got {array.shape} for n_batch={theta.shape[0]}")
+            return array
+
+        sin = rows("sin", sin)
+        cload = rows("cload", cload)
+        vdd = rows("vdd", vdd)
+        ieff = rows("ieff", ieff)
 
         kd = theta[:, 0:1]
         cpar = theta[:, 1:2] * FEMTO
         vprime = theta[:, 2:3]
         alpha = theta[:, 3:4] * FEMTO / PICO
 
-        supply = vdd[np.newaxis, :] + vprime              # (n_batch, k)
-        charge_cap = cload[np.newaxis, :] + cpar + alpha * sin[np.newaxis, :]
+        supply = vdd + vprime                             # (n_batch, k)
+        charge_cap = cload + cpar + alpha * sin
         inv_ieff = 1.0 / ieff                             # broadcasts over rows
         prediction = kd * supply * charge_cap * inv_ieff
 
-        jacobian = np.empty(prediction.shape + (N_PARAMETERS,))
+        jacobian = np.empty(np.broadcast(prediction, sin).shape + (N_PARAMETERS,))
         jacobian[..., 0] = supply * charge_cap * inv_ieff
         jacobian[..., 1] = kd * supply * inv_ieff * FEMTO
         jacobian[..., 2] = kd * charge_cap * inv_ieff
-        jacobian[..., 3] = kd * supply * sin[np.newaxis, :] * inv_ieff * (FEMTO / PICO)
+        jacobian[..., 3] = kd * supply * sin * inv_ieff * (FEMTO / PICO)
         return prediction, jacobian
 
     # ------------------------------------------------------------------

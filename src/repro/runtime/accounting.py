@@ -12,6 +12,9 @@ The :class:`RunLedger` merges all of it into one picklable record:
   (``with ledger.stage("simulate"): ...``);
 * **metrics** -- free-form integer counters (solver iterations, timing
   queries, chunk counts);
+* **group sizes** -- named lists of work-group sizes (e.g. how many
+  simulation rows each equivalent-inverter signature group of the fused
+  library pipeline carried), so batching effectiveness is observable;
 * **cache activity** -- hit/miss/eviction deltas of the registered runtime
   caches (``with ledger.caches(): ...`` snapshots around a block).
 
@@ -25,7 +28,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
 
 class RunLedger:
@@ -41,6 +44,7 @@ class RunLedger:
         self._simulations: Dict[str, int] = {}
         self._stages: Dict[str, list] = {}
         self._metrics: Dict[str, int] = {}
+        self._groups: Dict[str, List[int]] = {}
         self._cache_activity: Dict[str, Dict[str, int]] = {}
 
     # ------------------------------------------------------------------
@@ -55,6 +59,18 @@ class RunLedger:
     def add_metric(self, name: str, value: int) -> None:
         """Accumulate a free-form integer counter (summed on merge)."""
         self._metrics[name] = self._metrics.get(name, 0) + int(value)
+
+    def add_group_sizes(self, name: str, sizes: Iterable[int]) -> None:
+        """Record the sizes of a named batch of work groups.
+
+        Sizes append in recording order and concatenate on merge, so a
+        library run's per-signature simulation-group sizes survive process
+        fan-out and show up in :func:`repro.analysis.reporting.format_ledger`.
+        """
+        validated = [int(size) for size in sizes]
+        if any(size < 0 for size in validated):
+            raise ValueError("group sizes must be non-negative")
+        self._groups.setdefault(name, []).extend(validated)
 
     def add_stage_time(self, name: str, wall_s: float, calls: int = 1) -> None:
         """Record ``wall_s`` seconds (and ``calls`` entries) against a stage."""
@@ -121,6 +137,8 @@ class RunLedger:
             self.add_stage_time(name, wall_s, calls)
         for name, value in other._metrics.items():
             self.add_metric(name, value)
+        for name, sizes in other._groups.items():
+            self.add_group_sizes(name, sizes)
         for cache_name, activity in other._cache_activity.items():
             self.add_cache_activity(cache_name, **activity)
         return self
@@ -151,6 +169,10 @@ class RunLedger:
         """All free-form counters."""
         return dict(self._metrics)
 
+    def group_sizes(self) -> Dict[str, List[int]]:
+        """Recorded work-group sizes per name, in recording order."""
+        return {name: list(sizes) for name, sizes in self._groups.items()}
+
     def cache_activity(self) -> Dict[str, Dict[str, int]]:
         """Hit/miss/eviction deltas per cache name."""
         return {name: dict(activity)
@@ -163,5 +185,6 @@ class RunLedger:
             "simulations_total": self.simulations_total,
             "stages": self.stages(),
             "metrics": self.metrics(),
+            "groups": self.group_sizes(),
             "caches": self.cache_activity(),
         }

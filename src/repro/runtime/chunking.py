@@ -45,7 +45,8 @@ def chunk_count(n_items: int, item_bytes: int,
 
 def plan_chunks(n_items: int, item_bytes: int = 0,
                 max_bytes: Optional[int] = None,
-                n_chunks: Optional[int] = None) -> List[slice]:
+                n_chunks: Optional[int] = None,
+                min_chunks: int = 1) -> List[slice]:
     """Plan contiguous, balanced slices of ``range(n_items)``.
 
     Parameters
@@ -59,6 +60,13 @@ def plan_chunks(n_items: int, item_bytes: int = 0,
     n_chunks:
         Explicit chunk count overriding the byte computation (used by tests
         and by callers that already know their split).
+    min_chunks:
+        Floor on the chunk count (still capped at one item per chunk).
+        Used by fan-out callers that want at least one chunk per worker
+        even when the byte budget alone would plan fewer (the fused
+        library pipeline shards its flat simulation axis this way).  A
+        floor of 0 is accepted so ``min_chunks=executor.shard_hint(n)``
+        composes for empty work lists (the plan is ``[]`` either way).
 
     Returns
     -------
@@ -66,8 +74,11 @@ def plan_chunks(n_items: int, item_bytes: int = 0,
         Slices covering ``range(n_items)`` exactly, in order, with sizes
         differing by at most one.  Empty for ``n_items == 0``.
     """
+    if min_chunks < 0:
+        raise ValueError("min_chunks must be non-negative")
     if n_chunks is None:
-        n_chunks = chunk_count(n_items, item_bytes, max_bytes)
+        n_chunks = max(chunk_count(n_items, item_bytes, max_bytes),
+                       int(min_chunks) if n_items else 0)
     if n_items == 0 or n_chunks <= 0:
         return []
     n_chunks = min(int(n_chunks), n_items)

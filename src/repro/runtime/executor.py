@@ -25,6 +25,7 @@ suite pins).
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -43,6 +44,18 @@ class SerialExecutor:
     def map(self, fn: Callable, payloads: Sequence) -> List:
         """Apply ``fn`` to every payload, returning results in order."""
         return [fn(payload) for payload in payloads]
+
+    def shard_hint(self, n_items: int) -> int:
+        """How many shards ``n_items`` work items should split into.
+
+        Serial execution gains nothing from splitting, so the hint is 1;
+        the process executor overrides this with its worker count.  Callers
+        that fan a flat work axis out through :meth:`map` (the fused
+        library pipeline's simulation rows) combine this hint with their
+        memory-budget chunk count -- splitting is always safe because chunk
+        rows are computed independently in every batched engine.
+        """
+        return 1 if n_items > 0 else 0
 
     def map_accounted(self, fn: Callable, payloads: Sequence,
                       ledger: Optional[RunLedger] = None) -> List:
@@ -108,6 +121,13 @@ class ProcessExecutor(SerialExecutor):
     def max_workers(self) -> Optional[int]:
         """Pool size cap (``None`` = executor default)."""
         return self._max_workers
+
+    def shard_hint(self, n_items: int) -> int:
+        """At least one shard per pool worker (capped at one item each)."""
+        if n_items <= 0:
+            return 0
+        workers = self._max_workers or os.cpu_count() or 1
+        return max(1, min(int(n_items), int(workers)))
 
     def map(self, fn: Callable, payloads: Sequence) -> List:
         payloads = list(payloads)

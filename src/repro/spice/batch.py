@@ -98,6 +98,21 @@ class BatchTransientResult:
         )
 
 
+def transient_item_bytes(n_seeds: int, n_steps: int = DEFAULT_STEPS) -> int:
+    """Peak bytes one condition row costs inside the batched integrator.
+
+    The shared time matrix plus the ``(len, n_seeds)`` voltage and input
+    matrices and the RK4 stage/derivative buffers.  Both
+    :func:`repro.spice.sweep.sweep_conditions` and the fused library
+    pipeline plan their flat-axis chunks from this single estimate, so a
+    ``runtime.configure(max_bytes=...)`` budget means the same thing at
+    every batching level.
+    """
+    ramp_steps, tail_steps = _phase_steps(n_steps)
+    base_len = ramp_steps + 1 + tail_steps
+    return 8 * base_len * (4 * max(int(n_seeds), 1) + 2)
+
+
 def _scalarize(value) -> object:
     """Collapse size-1 parameter arrays to Python floats.
 

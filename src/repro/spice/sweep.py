@@ -17,18 +17,18 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.cells.equivalent_inverter import reduce_cell_cached
+from repro.cells.equivalent_inverter import default_arc, reduce_cell_cached
 from repro.cells.library import Cell, TimingArc
 from repro.runtime import resolve_max_bytes
 from repro.runtime.chunking import plan_chunks
-from repro.spice.batch import simulate_arc_transitions
+from repro.spice.batch import simulate_arc_transitions, transient_item_bytes
 from repro.spice.testbench import (
     SimulationCache,
     SimulationCounter,
     TimingMeasurement,
     get_simulation_cache,
 )
-from repro.spice.transient import DEFAULT_STEPS, _phase_steps, simulate_arc_transition
+from repro.spice.transient import DEFAULT_STEPS, simulate_arc_transition
 from repro.technology.node import TechnologyNode
 from repro.technology.variation import VariationSample
 
@@ -72,7 +72,9 @@ def sweep_conditions(
         memoized batched results.
     cache:
         Whether to consult/fill the global simulation cache (batched engine
-        only; ignored for ``engine="serial"``).
+        only; ignored for ``engine="serial"``).  A sweep whose conditions
+        all hit short-circuits straight to measurement assembly -- no
+        equivalent-inverter reduction, no batched simulation plan.
     max_bytes:
         Memory budget for the batched engine's waveform matrices; uncached
         conditions are split into deterministic chunks integrated one after
@@ -95,9 +97,8 @@ def sweep_conditions(
                 f"conditions must be (sin, cload, vdd) triples, got {condition}"
             )
 
-    inverter = reduce_cell_cached(cell, technology, arc=arc,
-                                  variation=variation)
     label = counter_label or f"sweep:{cell.name}"
+    resolved_arc = arc if arc is not None else default_arc(cell)
 
     simulation_cache = (get_simulation_cache()
                         if cache and engine == "batched" else None)
@@ -109,28 +110,33 @@ def sweep_conditions(
     slews: List[Optional[np.ndarray]] = [None] * n_conditions
     keys: List[Optional[tuple]] = [None] * n_conditions
 
-    missing: List[int] = []
-    for index, (sin, cload, vdd) in enumerate(conditions):
-        if simulation_cache is not None:
-            key = SimulationCache.key(cell, technology, inverter.arc,
-                                      variation_fp, sin, cload, vdd, n_steps)
+    missing: List[int] = list(range(n_conditions))
+    if simulation_cache is not None:
+        # One arc-identity prefix for the whole sweep; only the operating
+        # point varies per key.
+        prefix = SimulationCache.arc_prefix(cell, technology, resolved_arc,
+                                            variation_fp)
+        missing = []
+        for index, (sin, cload, vdd) in enumerate(conditions):
+            key = SimulationCache.condition_key(prefix, sin, cload, vdd,
+                                                n_steps)
             keys[index] = key
             cached = simulation_cache.get(key)
             if cached is not None:
                 delays[index], slews[index] = cached
-                continue
-        missing.append(index)
+            else:
+                missing.append(index)
 
     if missing:
+        # A full cache hit never reaches this point: the equivalent-inverter
+        # reduction and the batched simulation plan are only built when at
+        # least one condition actually needs integrating.
+        inverter = reduce_cell_cached(cell, technology, arc=resolved_arc,
+                                      variation=variation)
         if engine == "batched":
             triples = np.array([conditions[i] for i in missing], dtype=float)
-            # Peak per-condition footprint of the batched integrator: the
-            # shared time matrix plus the (len, n_seeds) voltage and input
-            # matrices and the RK4 stage/derivative buffers.
             n_seeds = variation.n_seeds if variation is not None else 1
-            ramp_steps, tail_steps = _phase_steps(n_steps)
-            base_len = ramp_steps + 1 + tail_steps
-            item_bytes = 8 * base_len * (4 * n_seeds + 2)
+            item_bytes = transient_item_bytes(n_seeds, n_steps)
             # Chunks integrate one after the other and scatter their results
             # immediately, so each chunk's waveform matrices are freed before
             # the next one allocates (the point of the budget).
@@ -165,7 +171,7 @@ def sweep_conditions(
         measurements.append(
             TimingMeasurement(
                 cell_name=cell.name,
-                arc=inverter.arc,
+                arc=resolved_arc,
                 sin=sin,
                 cload=cload,
                 vdd=vdd,

@@ -88,10 +88,11 @@ class SimulationCache(LruCache):
     Keys identify the operating point: cell name and unit device widths,
     technology name plus content fingerprint, timing arc, the content
     fingerprint of the Monte Carlo seed batch (or ``"nominal"``), the
-    ``(sin, cload, vdd)`` condition, and the step count (see :meth:`key`
-    for the exact guarantees).  Values are the measured per-seed delay and
-    slew arrays; copies are stored and returned so callers can never
-    corrupt the cache.
+    ``(sin, cload, vdd)`` condition, and the step count -- built as
+    :meth:`arc_prefix` (one per swept arc; exact guarantees documented
+    there) plus a :meth:`condition_key` tail per operating point.  Values
+    are the measured per-seed delay and slew arrays; copies are stored and
+    returned so callers can never corrupt the cache.
 
     The global instance (:func:`get_simulation_cache`) is consulted by
     :func:`repro.spice.sweep.sweep_conditions` and everything layered on top
@@ -112,21 +113,23 @@ class SimulationCache(LruCache):
     # Keying and access
     # ------------------------------------------------------------------
     @staticmethod
-    def key(cell: Cell, technology: TechnologyNode, arc: TimingArc,
-            variation_fingerprint: str, sin: float, cload: float, vdd: float,
-            n_steps: int) -> tuple:
-        """Build the exact-match cache key for one operating point.
+    def arc_prefix(cell: Cell, technology: TechnologyNode, arc: TimingArc,
+                   variation_fingerprint: str) -> tuple:
+        """The arc-identity prefix shared by every key of one bound arc.
 
-        The arc identity part (and its exact guarantees) is the shared
-        :func:`repro.cells.equivalent_inverter.arc_identity_key`; the
-        operating point and step count are appended.
+        Sweeps and the fused library planner build this once per arc and
+        append per-condition tails with :meth:`condition_key`, instead of
+        re-deriving the cell/technology identity for every operating point.
+        The exact identity guarantees are those of the shared
+        :func:`repro.cells.equivalent_inverter.arc_identity_key`.
         """
-        return arc_identity_key(cell, technology, arc, variation_fingerprint) + (
-            float(sin),
-            float(cload),
-            float(vdd),
-            int(n_steps),
-        )
+        return arc_identity_key(cell, technology, arc, variation_fingerprint)
+
+    @staticmethod
+    def condition_key(prefix: tuple, sin: float, cload: float, vdd: float,
+                      n_steps: int) -> tuple:
+        """Append one operating point and step count to an arc prefix."""
+        return prefix + (float(sin), float(cload), float(vdd), int(n_steps))
 
     def get(self, key: tuple) -> Optional[Tuple[np.ndarray, np.ndarray]]:
         """Return ``(delay, slew)`` copies for ``key``, or ``None`` on a miss."""

@@ -328,3 +328,91 @@ class TestStatisticalFlowSolverSwitch:
                                         slew_prior, n_seeds=4)
         with pytest.raises(ValueError):
             flow.characterize(2, solver="magic")
+
+
+class TestStackedSolve:
+    """map_estimate_stacked must reproduce per-block map_estimate_batch."""
+
+    def make_blocks(self, n_blocks=3, n_seeds=6, k=4):
+        truth = np.array([0.45, 1.2, -0.2, 0.12])
+        blocks = []
+        for index in range(n_blocks):
+            sin, cload, vdd, ieff, response = make_batch(
+                truth, n_seeds=n_seeds, k=k, seed=30 + index, noise=0.01)
+            blocks.append(BatchMapObservations(
+                sin=sin, cload=cload, vdd=vdd, ieff=ieff, response=response,
+                beta=np.full(k, 2.0 + index)))
+        return blocks
+
+    def prior(self, scale=0.1):
+        mean = np.array([0.45, 1.2, -0.2, 0.12])
+        return GaussianDensity(mean, scale * np.eye(4))
+
+    def test_shared_prior_matches_per_block(self):
+        from repro.core.batch_map import map_estimate_stacked
+
+        blocks = self.make_blocks()
+        prior = self.prior()
+        stacked = map_estimate_stacked(prior, blocks)
+        assert len(stacked) == len(blocks)
+        for block, result in zip(blocks, stacked):
+            reference = map_estimate_batch(prior, block)
+            np.testing.assert_allclose(result.parameters,
+                                       reference.parameters, rtol=1e-12)
+            assert result.n_observations == block.k
+            assert result.n_seeds == block.n_seeds
+            assert result.converged.all()
+
+    def test_per_block_priors_match_per_block_solves(self):
+        from repro.core.batch_map import map_estimate_stacked
+
+        blocks = self.make_blocks()
+        priors = [self.prior(0.05), self.prior(0.2), self.prior(0.8)]
+        stacked = map_estimate_stacked(priors, blocks)
+        for prior, block, result in zip(priors, blocks, stacked):
+            reference = map_estimate_batch(prior, block)
+            np.testing.assert_allclose(result.parameters,
+                                       reference.parameters, rtol=1e-10)
+
+    def test_chunked_stack_matches_unchunked(self):
+        from repro.core.batch_map import map_estimate_stacked
+
+        blocks = self.make_blocks()
+        prior = self.prior()
+        unchunked = map_estimate_stacked(prior, blocks)
+        chunked = map_estimate_stacked(prior, blocks, max_bytes=1024)
+        for a, b in zip(unchunked, chunked):
+            np.testing.assert_allclose(a.parameters, b.parameters, rtol=1e-12)
+
+    def test_two_dimensional_conditions_accepted(self):
+        truth = np.array([0.45, 1.2, -0.2, 0.12])
+        sin, cload, vdd, ieff, response = make_batch(truth, n_seeds=4, k=3,
+                                                     seed=9)
+        rows = response.shape
+        observations = BatchMapObservations(
+            sin=np.broadcast_to(sin, rows).copy(),
+            cload=np.broadcast_to(cload, rows).copy(),
+            vdd=np.broadcast_to(vdd, rows).copy(),
+            ieff=ieff, response=response)
+        reference = map_estimate_batch(self.prior(), BatchMapObservations(
+            sin=sin, cload=cload, vdd=vdd, ieff=ieff, response=response))
+        result = map_estimate_batch(self.prior(), observations)
+        np.testing.assert_allclose(result.parameters, reference.parameters,
+                                   rtol=1e-12)
+
+    def test_input_validation(self):
+        from repro.core.batch_map import map_estimate_stacked
+
+        blocks = self.make_blocks(n_blocks=2)
+        with pytest.raises(ValueError):
+            map_estimate_stacked(self.prior(), [])
+        with pytest.raises(ValueError):
+            map_estimate_stacked([self.prior()], blocks)
+        short = self.make_blocks(n_blocks=1, k=2)
+        with pytest.raises(ValueError):
+            map_estimate_stacked(self.prior(), [blocks[0], short[0]])
+        with pytest.raises(ValueError):
+            BatchMapObservations(sin=np.full((3, 2), 1e-12),
+                                 cload=[1e-15, 2e-15], vdd=[0.8, 0.9],
+                                 ieff=[1e-4, 2e-4],
+                                 response=np.full((2, 2), 1e-12))
