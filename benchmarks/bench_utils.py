@@ -39,6 +39,9 @@ RESULTS_DIR = Path(__file__).parent / "benchmark_results"
 #: ``REPRO_BENCH_RUNTIME_SSTA_SEEDS``  seeds in the budgeted SSTA run (1000)
 #: ``REPRO_BENCH_RUNTIME_LIB_SEEDS``   seeds in the budgeted library run (200)
 #: ``REPRO_BENCH_RUNTIME_BUDGET_MB``   explicit max_bytes chunk budget (8.0)
+#: ``REPRO_BENCH_PRIORS_NODES``      historical nodes per technology star (8)
+#: ``REPRO_BENCH_PRIORS_CLASSES``    arc classes in the prior-learning fleet (50)
+#: ``REPRO_BENCH_PRIORS_MIN_SPEEDUP`` assertion floor for batched/loop BP (3.0)
 #:
 #: Separately, ``REPRO_SIM_CACHE`` / ``REPRO_SIM_CACHE_SIZE`` /
 #: ``REPRO_SIM_CACHE_BYTES`` control the library's global simulation cache

@@ -78,14 +78,23 @@ from repro.core import (
     StatisticalCharacterizer,
     TimingModelParameters,
     TimingPrior,
+    characterize_historical_libraries,
     characterize_historical_library,
     characterize_library,
     fit_least_squares,
+    learn_class_priors,
     learn_prior,
+    learn_priors,
     map_estimate,
     map_estimate_batch,
 )
-from repro.bayes import GaussianDensity, GaussianFactorGraph, PrecisionModel
+from repro.bayes import (
+    BatchedFactorGraph,
+    GaussianBatch,
+    GaussianDensity,
+    GaussianFactorGraph,
+    PrecisionModel,
+)
 from repro.experiments import AccuracyCurve, ExperimentRunner, compute_speedup
 from repro.runtime import LruCache, RunLedger, cache_stats
 
@@ -96,10 +105,12 @@ __all__ = [
     "BatchMapObservations",
     "BatchMapResult",
     "BatchTransientResult",
+    "BatchedFactorGraph",
     "BayesianCharacterizer",
     "Cell",
     "CompactTimingModel",
     "ExperimentRunner",
+    "GaussianBatch",
     "GaussianDensity",
     "GaussianFactorGraph",
     "InputCondition",
@@ -127,6 +138,7 @@ __all__ = [
     "available_cells",
     "cache_stats",
     "characterize_arc",
+    "characterize_historical_libraries",
     "characterize_historical_library",
     "characterize_library",
     "compute_speedup",
@@ -135,7 +147,9 @@ __all__ = [
     "get_simulation_cache",
     "get_technology",
     "historical_technologies",
+    "learn_class_priors",
     "learn_prior",
+    "learn_priors",
     "list_technologies",
     "make_cell",
     "map_estimate",

@@ -13,15 +13,24 @@ reusable pieces:
   Eq. 9 with input-space interpolation;
 * :mod:`repro.bayes.factor_graph` -- a Gaussian factor graph with sum-product
   message passing (exact on trees, loopy with damping otherwise), used to
-  propagate parameter beliefs along the chain of technology nodes.
+  propagate parameter beliefs along the chain of technology nodes, plus a
+  batched engine (:class:`~repro.bayes.factor_graph.BatchedFactorGraph`)
+  that sweeps a whole fleet of same-topology graphs at once.
 """
 
-from repro.bayes.gaussian import GaussianDensity
+from repro.bayes.gaussian import GaussianBatch, GaussianDensity
 from repro.bayes.conjugate import gaussian_linear_update, posterior_of_mean
 from repro.bayes.precision import PrecisionModel
-from repro.bayes.factor_graph import GaussianFactorGraph
+from repro.bayes.factor_graph import (
+    BatchedFactorGraph,
+    BeliefPropagationInfo,
+    GaussianFactorGraph,
+)
 
 __all__ = [
+    "BatchedFactorGraph",
+    "BeliefPropagationInfo",
+    "GaussianBatch",
     "GaussianDensity",
     "GaussianFactorGraph",
     "PrecisionModel",

@@ -222,3 +222,85 @@ class GaussianDensity:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"GaussianDensity(dim={self.dim}, mean={np.round(self._mean, 4)})"
+
+
+class GaussianBatch:
+    """A batch of same-dimension Gaussians: ``mean (B, d)``, ``cov (B, d, d)``.
+
+    The batched belief-propagation engine
+    (:class:`repro.bayes.factor_graph.BatchedFactorGraph`) returns one belief
+    *per stacked graph* for every variable; materializing B
+    :class:`GaussianDensity` objects (each paying an eigendecomposition in
+    validation) would dominate the batched solve, so beliefs stay stacked and
+    are expanded on demand via :meth:`density`.
+    """
+
+    def __init__(self, mean: np.ndarray, covariance: np.ndarray):
+        mean = np.asarray(mean, dtype=float)
+        covariance = np.asarray(covariance, dtype=float)
+        if mean.ndim != 2:
+            raise ValueError(f"mean must have shape (B, d), got {mean.shape}")
+        if covariance.shape != (mean.shape[0], mean.shape[1], mean.shape[1]):
+            raise ValueError(
+                f"covariance shape {covariance.shape} does not match mean "
+                f"shape {mean.shape}")
+        self._mean = mean
+        self._cov = 0.5 * (covariance + np.swapaxes(covariance, -1, -2))
+
+    @classmethod
+    def from_information(cls, precision: np.ndarray, shift: np.ndarray
+                         ) -> "GaussianBatch":
+        """Batched information-form constructor (``J (B,d,d)``, ``h (B,d)``)."""
+        precision = np.asarray(precision, dtype=float)
+        shift = np.asarray(shift, dtype=float)
+        covariance = np.linalg.inv(precision)
+        mean = np.matmul(covariance, shift[..., np.newaxis])[..., 0]
+        return cls(mean, covariance)
+
+    @classmethod
+    def from_densities(cls, densities: Sequence[GaussianDensity]
+                       ) -> "GaussianBatch":
+        """Stack scalar densities (all must share a dimension)."""
+        densities = list(densities)
+        if not densities:
+            raise ValueError("at least one density is required")
+        dims = {density.dim for density in densities}
+        if len(dims) != 1:
+            raise ValueError("all densities must share a dimension")
+        return cls(np.stack([d.mean for d in densities]),
+                   np.stack([d.covariance for d in densities]))
+
+    @property
+    def batch_size(self) -> int:
+        """Number of stacked Gaussians."""
+        return self._mean.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of each Gaussian."""
+        return self._mean.shape[1]
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Stacked means, shape ``(B, d)``."""
+        return self._mean.copy()
+
+    @property
+    def covariance(self) -> np.ndarray:
+        """Stacked covariances, shape ``(B, d, d)``."""
+        return self._cov.copy()
+
+    def standard_deviations(self) -> np.ndarray:
+        """Marginal standard deviations per graph, shape ``(B, d)``."""
+        diagonals = np.diagonal(self._cov, axis1=-2, axis2=-1)
+        return np.sqrt(np.clip(diagonals, 0.0, None))
+
+    def density(self, index: int) -> GaussianDensity:
+        """One stacked Gaussian as a full (validated) scalar density."""
+        return GaussianDensity(self._mean[index], self._cov[index])
+
+    def __len__(self) -> int:
+        return self.batch_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GaussianBatch(batch_size={self.batch_size}, dim={self.dim})"

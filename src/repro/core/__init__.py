@@ -27,16 +27,21 @@ from repro.core.timing_model import (
 from repro.core.prior_learning import (
     HistoricalLibraryData,
     TimingPrior,
+    characterize_historical_libraries,
     characterize_historical_library,
+    learn_class_priors,
     learn_prior,
+    learn_priors,
 )
 from repro.core.map_estimation import MapObservations, map_estimate
 from repro.core.batch_map import (
     BatchMapObservations,
     BatchMapResult,
+    fit_least_squares_stacked,
     map_estimate_batch,
     map_estimate_stacked,
 )
+from repro.core.simulation_plan import SimulationPlan
 from repro.core.characterizer import BayesianCharacterizer, NominalCharacterization
 from repro.core.statistical_flow import (
     StatisticalCharacterization,
@@ -59,14 +64,19 @@ __all__ = [
     "LibraryCharacterization",
     "MapObservations",
     "NominalCharacterization",
+    "SimulationPlan",
     "StatisticalCharacterization",
     "StatisticalCharacterizer",
     "TimingModelParameters",
     "TimingPrior",
+    "characterize_historical_libraries",
     "characterize_historical_library",
     "characterize_library",
     "fit_least_squares",
+    "fit_least_squares_stacked",
+    "learn_class_priors",
     "learn_prior",
+    "learn_priors",
     "map_estimate",
     "map_estimate_batch",
     "map_estimate_stacked",

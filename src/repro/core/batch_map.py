@@ -60,6 +60,7 @@ from repro.bayes.gaussian import GaussianDensity
 from repro.core.prior_learning import TimingPrior
 from repro.core.timing_model import (
     CompactTimingModel,
+    DEFAULT_INITIAL_GUESS,
     FitResult,
     N_PARAMETERS,
     TimingModelParameters,
@@ -356,6 +357,85 @@ def map_estimate_stacked(
                 f"prior has dimension {density.dim}, expected {N_PARAMETERS}")
         densities.append(density)
 
+    stacked, block_sizes = _stack_blocks(blocks)
+    term = _PriorTerm.from_densities(densities, block_sizes, prior_weight)
+    result = _chunked_solve(term, stacked, model or CompactTimingModel(),
+                            max_iterations, gtol, xtol, max_bytes)
+    return _split_stacked(result, block_sizes, k)
+
+
+def fit_least_squares_stacked(
+    observations: Sequence[BatchMapObservations],
+    model: Optional[CompactTimingModel] = None,
+    initial_guess: Optional[np.ndarray] = None,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    gtol: float = 1e-10,
+    xtol: float = 1e-12,
+    max_bytes: Optional[int] = None,
+) -> List[BatchMapResult]:
+    """Prior-free stacked least squares: the batched twin of
+    :func:`repro.core.timing_model.fit_least_squares`.
+
+    Every block's rows join one block-diagonal Levenberg-Marquardt solve of
+    the plain relative-residual objective (no prior term, no precision
+    weights unless a block carries ``beta``), starting from the same clipped
+    initial guess as the scipy path.  This is the extraction half of fused
+    historical-library characterization
+    (:func:`repro.core.prior_learning.characterize_historical_library`):
+    one solve fits every (arc, response) of a historical node instead of one
+    scipy trust-region loop per fit.  The two solvers optimize the same
+    objective from the same start, so the fitted parameters agree to solver
+    tolerance (~1e-6 relative; both well inside the fit's own residual
+    scale).
+
+    Parameters
+    ----------
+    observations:
+        One :class:`BatchMapObservations` per (arc, response) block; all
+        blocks must share the observation count ``k``.
+    model:
+        Optional :class:`CompactTimingModel` supplying parameter bounds.
+    initial_guess:
+        Starting parameter vector shared by every row; defaults to
+        :data:`repro.core.timing_model.DEFAULT_INITIAL_GUESS`.
+    max_iterations, gtol, xtol, max_bytes:
+        As in :func:`map_estimate_batch`.
+
+    Returns
+    -------
+    list of BatchMapResult
+        One result per block, in input order.
+    """
+    blocks = list(observations)
+    if not blocks:
+        raise ValueError("at least one observation block is required")
+    if max_iterations < 1:
+        raise ValueError("max_iterations must be at least 1")
+    k = blocks[0].k
+    for index, block in enumerate(blocks):
+        if block.k != k:
+            raise ValueError(
+                f"observation block {index} has k={block.k}, expected {k} "
+                "(stacked solves need a uniform condition count)")
+    if initial_guess is None:
+        start = DEFAULT_INITIAL_GUESS.copy()
+    else:
+        start = np.asarray(initial_guess, dtype=float).reshape(-1).copy()
+        if start.size != N_PARAMETERS:
+            raise ValueError(f"initial_guess must have {N_PARAMETERS} entries")
+
+    stacked, block_sizes = _stack_blocks(blocks)
+    term = _PriorTerm.free(start)
+    result = _chunked_solve(term, stacked, model or CompactTimingModel(),
+                            max_iterations, gtol, xtol, max_bytes)
+    return _split_stacked(result, block_sizes, k)
+
+
+def _stack_blocks(blocks: Sequence[BatchMapObservations]
+                  ) -> "tuple[BatchMapObservations, List[int]]":
+    """Concatenate blocks on the row axis (shared condition grids stay 1-D)."""
+    k = blocks[0].k
+
     def stack(field: str) -> np.ndarray:
         values = [getattr(block, field) for block in blocks]
         # Shared-grid fast path: when every block carries the same 1-D
@@ -395,11 +475,12 @@ def map_estimate_stacked(
     stacked = BatchMapObservations(
         sin=stack("sin"), cload=stack("cload"), vdd=stack("vdd"),
         ieff=stack("ieff"), response=stack("response"), beta=beta_rows)
-    block_sizes = [block.n_seeds for block in blocks]
-    term = _PriorTerm.from_densities(densities, block_sizes, prior_weight)
-    result = _chunked_solve(term, stacked, model or CompactTimingModel(),
-                            max_iterations, gtol, xtol, max_bytes)
+    return stacked, [block.n_seeds for block in blocks]
 
+
+def _split_stacked(result: "BatchMapResult", block_sizes: Sequence[int],
+                   k: int) -> List[BatchMapResult]:
+    """Slice one stacked solve back into per-block results."""
     results: List[BatchMapResult] = []
     start = 0
     for size in block_sizes:
@@ -421,9 +502,13 @@ class _PriorTerm:
 
     The single-arc solve shares one ``(4,)`` mean and one ``(4, 4)``
     whitener across every seed; the stacked multi-arc solve may carry one
-    prior per arc, expanded here to per-row matrices.  Keeping the shared
-    case on the original 2-D matmul expressions preserves bit-identical
-    results with the pre-stacking solver.
+    prior per arc, expanded here to per-row matrices.  Every per-row
+    expression uses ``einsum`` rather than ``@``: BLAS matmul picks a
+    different kernel for one-row operands (gemv vs gemm), whose last-ulp
+    rounding differs, so matmul results would depend on how many seeds are
+    still active -- breaking the bit-identity of memory-budgeted chunked
+    solves whenever an accept/converge test sits on a rounding knife-edge.
+    ``einsum`` computes each output row identically for any batch size.
     """
 
     def __init__(self, mu0: np.ndarray, whitener: np.ndarray,
@@ -446,6 +531,19 @@ class _PriorTerm:
         whitener = density.scaled_covariance(
             1.0 / prior_weight).whitening_matrix(jitter=1e-12)
         return cls(np.asarray(density.mean, dtype=float), whitener)
+
+    @classmethod
+    def free(cls, start: np.ndarray) -> "_PriorTerm":
+        """A zero-information prior: plain least squares from ``start``.
+
+        The whitener is all zeros, so the prior residual, gradient and
+        normal-matrix contributions vanish and only the LM damping
+        regularizes the normal equations -- exactly the objective of
+        :func:`repro.core.timing_model.fit_least_squares`.  ``start`` only
+        seeds the iteration (via :meth:`start`).
+        """
+        return cls(np.asarray(start, dtype=float),
+                   np.zeros((N_PARAMETERS, N_PARAMETERS)))
 
     @classmethod
     def from_densities(cls, densities: Sequence[GaussianDensity],
@@ -478,13 +576,13 @@ class _PriorTerm:
     def residual(self, theta: np.ndarray) -> np.ndarray:
         """Whitened prior residual ``W (theta - mu0)`` per row."""
         if self.shared:
-            return (theta - self.mu0) @ self.whitener.T
+            return np.einsum("ij,mj->mi", self.whitener, theta - self.mu0)
         return np.einsum("mij,mj->mi", self.whitener, theta - self.mu0)
 
     def gradient(self, r_prior: np.ndarray) -> np.ndarray:
         """Gradient contribution ``W^T r_prior`` per row."""
         if self.shared:
-            return r_prior @ self.whitener
+            return np.einsum("ji,mj->mi", self.whitener, r_prior)
         return np.einsum("mji,mj->mi", self.whitener, r_prior)
 
     def normal(self) -> np.ndarray:

@@ -62,6 +62,7 @@ from repro.cells.library import Cell, StandardCellLibrary, TimingArc, Transition
 from repro.characterization.input_space import InputCondition, InputSpace
 from repro.core.batch_map import map_estimate_stacked
 from repro.core.prior_learning import TimingPrior
+from repro.core.simulation_plan import SimulationPlan
 from repro.core.statistical_flow import (
     SOLVERS,
     StatisticalCharacterization,
@@ -70,17 +71,9 @@ from repro.core.statistical_flow import (
 )
 from repro.liberty.tables import NldmTable
 from repro.liberty.writer import CellTimingData, LibertyWriter, TimingTableSet
-from repro.runtime import resolve_max_bytes
 from repro.runtime.accounting import RunLedger
-from repro.runtime.chunking import plan_chunks
 from repro.runtime.executor import EXECUTOR_MODES, get_executor
-from repro.spice.batch import simulate_arc_transitions, transient_item_bytes
-from repro.spice.testbench import (
-    SimulationCache,
-    SimulationCounter,
-    get_simulation_cache,
-)
-from repro.spice.transient import DEFAULT_STEPS
+from repro.spice.testbench import SimulationCounter
 from repro.technology.node import TechnologyNode
 from repro.technology.variation import VariationSample
 from repro.utils.rng import RandomState, ensure_rng
@@ -317,64 +310,6 @@ def _characterize_arc_job(payload: tuple):
     return characterizer.characterize(list(conditions)), ledger
 
 
-def _simulate_rows_job(payload: tuple):
-    """Integrate one chunk of flat simulation rows; module-level for pickling.
-
-    The payload carries a *representative* (cell, arc) of the chunk's
-    signature group -- every row in the chunk reduces to a bit-identical
-    equivalent inverter, so one reduction serves all rows whatever cell
-    they came from.  Returns the per-row delay/slew matrices plus the
-    chunk's :class:`RunLedger` (integration wall time, merged back in
-    payload order by the executor).
-    """
-    technology, cell, arc, variation, triples, n_steps = payload
-    ledger = RunLedger()
-    with ledger.caches():
-        inverter = reduce_cell_cached(cell, technology, arc=arc,
-                                      variation=variation)
-        with ledger.stage("fused:integrate"):
-            result = simulate_arc_transitions(
-                inverter, triples[:, 0], triples[:, 1], triples[:, 2],
-                n_steps=n_steps)
-            delay = np.asarray(result.delay(), dtype=float)
-            slew = np.asarray(result.output_slew(), dtype=float)
-    return (delay, slew), ledger
-
-
-@dataclass
-class _SignatureGroup:
-    """Simulation rows sharing one equivalent-inverter signature.
-
-    ``cell``/``arc`` are the representative reduction (first job that hit
-    the signature); ``rows`` are ``(job, cond, key, slot)`` tuples in
-    deterministic (job, condition) order, where ``slot`` indexes into
-    ``triples`` -- the group's *unique* operating points.  Rows of
-    footprint-twin arcs at the same operating point are physically the same
-    simulation, so they share a slot and are integrated exactly once (a
-    dedup the per-arc pipeline cannot see: its cache keys carry the cell
-    identity).
-    """
-
-    cell: Cell
-    arc: TimingArc
-    rows: List[tuple] = field(default_factory=list)
-    triples: List[tuple] = field(default_factory=list)
-    slot_index: Dict[tuple, int] = field(default_factory=dict)
-    delays: List[Optional[np.ndarray]] = field(default_factory=list)
-    slews: List[Optional[np.ndarray]] = field(default_factory=list)
-
-    def add_row(self, job: int, cond: int, key: tuple,
-                triple: tuple) -> None:
-        slot = self.slot_index.get(triple)
-        if slot is None:
-            slot = len(self.triples)
-            self.slot_index[triple] = slot
-            self.triples.append(triple)
-            self.delays.append(None)
-            self.slews.append(None)
-        self.rows.append((job, cond, key, slot))
-
-
 def _characterize_fused(
     technology: TechnologyNode,
     jobs: List[Tuple[Cell, TimingArc]],
@@ -390,102 +325,45 @@ def _characterize_fused(
     """The fused library pipeline: plan -> mega-batch -> stacked solve.
 
     Produces exactly the per-arc pipeline's characterizations (same values,
-    same per-arc ledger run counts); see the module docstring for the
-    design.
+    same per-arc ledger run counts); the planning/mega-batching half is the
+    shared :class:`~repro.core.simulation_plan.SimulationPlan` (also driving
+    historical characterization for prior learning); see the module
+    docstring for the design.
     """
     n_seeds = variation.n_seeds
-    n_steps = DEFAULT_STEPS
-    sim_cache = get_simulation_cache()
-    variation_fp = variation.fingerprint()
 
     # ------------------------------------------------------------------
     # Plan: resolve reductions, consult the simulation cache per row, and
     # group the rows that still need integrating by inverter signature.
-    # ------------------------------------------------------------------
-    inverters = []
-    job_delays: List[List[Optional[np.ndarray]]] = []
-    job_slews: List[List[Optional[np.ndarray]]] = []
-    groups: Dict[tuple, _SignatureGroup] = {}
     # The plan consults the reduction cache and the simulation cache per
     # row; recording its cache deltas keeps the fused ledger as observable
     # as the per-arc pipeline's (which wraps its sweeps in ledger.caches()).
+    # ------------------------------------------------------------------
+    plan = SimulationPlan(technology, variation=variation,
+                          integrate_stage="fused:integrate")
     with ledger.stage("fused:plan"), ledger.caches():
         for job, (cell, arc) in enumerate(jobs):
-            inverter = reduce_cell_cached(cell, technology, arc=arc,
-                                          variation=variation)
-            inverters.append(inverter)
-            prefix = SimulationCache.arc_prefix(cell, technology, arc,
-                                                variation_fp)
-            signature = inverter.simulation_signature()
-            conditions = job_conditions[job]
-            delays: List[Optional[np.ndarray]] = [None] * len(conditions)
-            slews: List[Optional[np.ndarray]] = [None] * len(conditions)
-            for cond, condition in enumerate(conditions):
-                triple = condition.as_tuple()
-                key = SimulationCache.condition_key(prefix, *triple, n_steps)
-                cached = sim_cache.get(key)
-                if cached is not None:
-                    delays[cond], slews[cond] = cached
-                    continue
-                group = groups.get(signature)
-                if group is None:
-                    group = _SignatureGroup(cell=cell, arc=arc)
-                    groups[signature] = group
-                group.add_row(job, cond, key, triple)
-            job_delays.append(delays)
-            job_slews.append(slews)
-
-        total_rows = sum(len(conditions) for conditions in job_conditions)
-        planned_rows = sum(len(group.rows) for group in groups.values())
-        unique_rows = sum(len(group.triples) for group in groups.values())
-        ledger.add_metric("fused_rows_total", total_rows)
-        ledger.add_metric("fused_rows_simulated", unique_rows)
-        ledger.add_metric("fused_rows_deduplicated",
-                          planned_rows - unique_rows)
-        ledger.add_metric("fused_rows_cached", total_rows - planned_rows)
-        ledger.add_metric("fused_signature_groups", len(groups))
-        if groups:
-            ledger.add_group_sizes(
-                "fused:signature_rows",
-                [len(group.triples) for group in groups.values()])
+            plan.add_job(cell, arc, [condition.as_tuple()
+                                     for condition in job_conditions[job]])
+        plan.record_metrics(ledger, prefix="fused")
+    inverters = plan.inverters
+    job_delays = plan.job_delays
+    job_slews = plan.job_slews
 
     # ------------------------------------------------------------------
     # Simulate: each signature group is one mega-batched RK4 pass, split on
     # the flat row axis by the memory budget and the executor's shard hint
     # (rows are independent, so any split reproduces the one-pass results).
     # ------------------------------------------------------------------
-    budget = resolve_max_bytes(max_bytes)
-    item_bytes = transient_item_bytes(n_seeds, n_steps)
-    payloads = []
-    payload_slots: List[Tuple[_SignatureGroup, slice]] = []
-    for group in groups.values():
-        n_unique = len(group.triples)
-        for chunk in plan_chunks(n_unique, item_bytes, budget,
-                                 min_chunks=executor.shard_hint(n_unique)):
-            triples = np.array(group.triples[chunk], dtype=float)
-            payloads.append((technology, group.cell, group.arc, variation,
-                             triples, n_steps))
-            payload_slots.append((group, chunk))
-    if payloads:
+    if plan.needs_simulation:
         # Worker-side cache activity (reductions, any in-worker cache use)
         # arrives in the per-job ledgers merged by map_accounted; only the
         # parent-side scatter (its cache *puts*) is snapshotted here, so
         # serial execution does not double-count the workers' windows.
         with ledger.stage("fused:simulate"):
-            results = executor.map_accounted(_simulate_rows_job, payloads,
-                                             ledger=ledger)
+            plan.simulate(executor, ledger, max_bytes=max_bytes)
         with ledger.caches():
-            for (group, chunk), (delay, slew) in zip(payload_slots, results):
-                for index, slot in enumerate(range(chunk.start, chunk.stop)):
-                    group.delays[slot] = np.asarray(delay[index], dtype=float)
-                    group.slews[slot] = np.asarray(slew[index], dtype=float)
-            for group in groups.values():
-                for job, cond, key, slot in group.rows:
-                    delay_row = group.delays[slot]
-                    slew_row = group.slews[slot]
-                    job_delays[job][cond] = delay_row
-                    job_slews[job][cond] = slew_row
-                    sim_cache.put(key, delay_row, slew_row)
+            plan.finalize()
 
     # ------------------------------------------------------------------
     # Account: each arc requires k * n_seeds runs whether its rows were

@@ -25,27 +25,44 @@ Two fusion methods are provided:
     new leaf: the global belief widened by the drift covariance.  On this
     star topology BP is exact, and the same machinery supports richer
     structure (chains ordered by production year, flavor sub-groups).
+
+Both halves of the phase run fleet-scale batched:
+
+* :func:`characterize_historical_library` (default ``engine="fused"``)
+  pushes every (cell, arc, condition) row of a historical node through the
+  shared :class:`~repro.core.simulation_plan.SimulationPlan` -- one
+  signature-grouped mega-batched RK4 pass per equivalent-inverter footprint
+  with cross-arc dedup -- and fits all arcs in one stacked least-squares
+  solve (:func:`repro.core.batch_map.fit_least_squares_stacked`);
+* :func:`learn_priors` and :func:`learn_class_priors` stack every
+  (response x arc-class) star graph into one
+  :class:`~repro.bayes.factor_graph.BatchedFactorGraph` run, so a fleet of
+  priors costs one batched BP call instead of one Python message loop per
+  prior.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.bayes.factor_graph import GaussianFactorGraph
+from repro.bayes.factor_graph import BatchedFactorGraph, GaussianFactorGraph
 from repro.bayes.gaussian import GaussianDensity
 from repro.bayes.precision import PrecisionModel
 from repro.cells.equivalent_inverter import reduce_cell_cached
 from repro.cells.library import Cell, Transition
 from repro.characterization.input_space import InputSpace
+from repro.core.simulation_plan import SimulationPlan
 from repro.core.timing_model import (
     CompactTimingModel,
     FitResult,
     N_PARAMETERS,
     fit_least_squares,
 )
+from repro.runtime.accounting import RunLedger
+from repro.runtime.executor import get_executor
 from repro.spice.sweep import sweep_conditions
 from repro.spice.testbench import SimulationCounter
 from repro.technology.node import TechnologyNode
@@ -59,6 +76,14 @@ RESPONSES = ("delay", "slew")
 #: historical library (the paper uses the full LUT grid; a moderate
 #: space-filling set gives the same parameter estimates far cheaper).
 DEFAULT_REFERENCE_CONDITIONS = 24
+
+#: Engines of :func:`characterize_historical_library`.
+HISTORICAL_ENGINES = ("fused", "batched", "serial")
+
+#: Belief-propagation engines of :func:`learn_priors` /
+#: :func:`learn_class_priors` (forwarded to
+#: :meth:`repro.bayes.factor_graph.BatchedFactorGraph.run_belief_propagation`).
+PRIOR_ENGINES = ("batched", "loop")
 
 
 @dataclass(frozen=True)
@@ -173,13 +198,88 @@ def shared_reference_conditions(n_conditions: int = DEFAULT_REFERENCE_CONDITIONS
     return latin_hypercube(n_conditions, 3, ensure_rng(rng))
 
 
+def _characterize_fused_historical(
+    technology: TechnologyNode,
+    arcs: Sequence[Tuple[Cell, object]],
+    physical: np.ndarray,
+    conditions: Sequence[tuple],
+    counter: SimulationCounter,
+    ledger: RunLedger,
+    max_bytes: Optional[int],
+) -> Tuple[List[ArcFit], List[np.ndarray], List[np.ndarray]]:
+    """Fused engine: one global simulation plan + one stacked model fit.
+
+    Every (cell, arc, condition) row of the historical node flows through
+    the shared :class:`SimulationPlan` (signature grouping dedups rows of
+    footprint-twin arcs, the simulation cache fills repeat visits), then all
+    (arc x response) compact models are fitted in one stacked
+    Levenberg-Marquardt solve.
+    """
+    # Deferred: batch_map imports TimingPrior from this module.
+    from repro.core.batch_map import (
+        BatchMapObservations,
+        fit_least_squares_stacked,
+    )
+
+    plan = SimulationPlan(technology, variation=None,
+                          integrate_stage="priors:integrate")
+    with ledger.stage("priors:plan"), ledger.caches():
+        for cell, arc in arcs:
+            plan.add_job(cell, arc, conditions)
+        plan.record_metrics(ledger, prefix="priors")
+    if plan.needs_simulation:
+        executor = get_executor("serial")
+        with ledger.stage("priors:simulate"):
+            plan.simulate(executor, ledger, max_bytes=max_bytes)
+        with ledger.caches():
+            plan.finalize()
+
+    for cell, _arc in arcs:
+        counter.add(len(conditions),
+                    label=f"historical:{technology.name}:{cell.name}")
+
+    sin = physical[:, 0]
+    cload = physical[:, 1]
+    vdd = physical[:, 2]
+    with ledger.stage("priors:fit"):
+        blocks: List[BatchMapObservations] = []
+        for job in range(len(arcs)):
+            ieff = np.asarray(plan.inverters[job].effective_current(vdd),
+                              dtype=float).reshape(-1)
+            delays = np.array([row.reshape(-1)[0]
+                               for row in plan.job_delays[job]])
+            slews = np.array([row.reshape(-1)[0]
+                              for row in plan.job_slews[job]])
+            blocks.append(BatchMapObservations(
+                sin=sin, cload=cload, vdd=vdd, ieff=ieff,
+                response=delays[np.newaxis, :]))
+            blocks.append(BatchMapObservations(
+                sin=sin, cload=cload, vdd=vdd, ieff=ieff,
+                response=slews[np.newaxis, :]))
+        results = fit_least_squares_stacked(blocks, max_bytes=max_bytes)
+
+    arc_fits: List[ArcFit] = []
+    delay_residual_rows: List[np.ndarray] = []
+    slew_residual_rows: List[np.ndarray] = []
+    for job, (cell, arc) in enumerate(arcs):
+        delay_fit = results[2 * job].fit_result(0)
+        slew_fit = results[2 * job + 1].fit_result(0)
+        arc_fits.append(ArcFit(cell_name=cell.name, arc_name=arc.name,
+                               delay_fit=delay_fit, slew_fit=slew_fit))
+        delay_residual_rows.append(delay_fit.residuals)
+        slew_residual_rows.append(slew_fit.residuals)
+    return arc_fits, delay_residual_rows, slew_residual_rows
+
+
 def characterize_historical_library(
     technology: TechnologyNode,
     cells: Sequence[Cell],
     unit_conditions: Optional[np.ndarray] = None,
     transitions: Sequence[Transition] = (Transition.FALL, Transition.RISE),
     counter: Optional[SimulationCounter] = None,
-    engine: str = "batched",
+    engine: str = "fused",
+    ledger: Optional[RunLedger] = None,
+    max_bytes: Optional[int] = None,
 ) -> HistoricalLibraryData:
     """Characterize one historical library and fit the compact model per arc.
 
@@ -202,12 +302,22 @@ def characterize_historical_library(
     counter:
         Optional simulation-run accounting.
     engine:
-        Transient engine for the per-arc reference sweeps: ``"batched"``
-        (default) integrates each arc's whole reference-condition set in one
-        2-D RK4 pass of :mod:`repro.spice.batch`, so prior learning rides
-        the batched engine's speedup; ``"serial"`` keeps the per-condition
-        reference integrator for equivalence runs.
+        ``"fused"`` (default) flattens every (cell, arc, condition) row into
+        one :class:`SimulationPlan` -- signature-grouped mega-batched RK4
+        with cross-arc dedup and cache reuse -- and fits all arcs in one
+        stacked least-squares solve; ``"batched"`` integrates each arc's
+        reference-condition set in its own 2-D RK4 pass; ``"serial"`` keeps
+        the per-condition reference integrator for equivalence runs.
+    ledger:
+        Optional :class:`RunLedger`; stages ``priors:plan``,
+        ``priors:simulate``/``priors:integrate`` and ``priors:fit`` plus
+        per-node simulation counts are recorded on it.
+    max_bytes:
+        Memory budget forwarded to the fused planner and stacked fit.
     """
+    if engine not in HISTORICAL_ENGINES:
+        raise ValueError(
+            f"engine must be one of {HISTORICAL_ENGINES}, got {engine!r}")
     if unit_conditions is None:
         unit_conditions = shared_reference_conditions()
     unit_conditions = np.atleast_2d(np.asarray(unit_conditions, dtype=float))
@@ -218,32 +328,41 @@ def characterize_historical_library(
     conditions = [tuple(row) for row in physical]
 
     local_counter = counter if counter is not None else SimulationCounter()
+    run_ledger = ledger if ledger is not None else RunLedger()
     runs_before = local_counter.total
 
-    arc_fits: List[ArcFit] = []
-    delay_residual_rows: List[np.ndarray] = []
-    slew_residual_rows: List[np.ndarray] = []
+    arcs = [(cell, cell.arc(cell.input_pins[0], Transition(transition)))
+            for cell in cells for transition in transitions]
 
-    for cell in cells:
-        for transition in transitions:
-            arc = cell.arc(cell.input_pins[0], Transition(transition))
-            measurements = sweep_conditions(
-                cell, technology, conditions, arc=arc,
-                counter=local_counter,
-                counter_label=f"historical:{technology.name}:{cell.name}",
-                engine=engine,
-            )
-            sin = physical[:, 0]
-            cload = physical[:, 1]
-            vdd = physical[:, 2]
-            inverter = reduce_cell_cached(cell, technology, arc=arc)
-            ieff = np.asarray(inverter.effective_current(vdd),
-                              dtype=float).reshape(-1)
-            delays = np.array([m.nominal_delay() for m in measurements])
-            slews = np.array([m.nominal_slew() for m in measurements])
+    if engine == "fused":
+        arc_fits, delay_residual_rows, slew_residual_rows = (
+            _characterize_fused_historical(technology, arcs, physical,
+                                           conditions, local_counter,
+                                           run_ledger, max_bytes))
+    else:
+        arc_fits = []
+        delay_residual_rows = []
+        slew_residual_rows = []
+        sin = physical[:, 0]
+        cload = physical[:, 1]
+        vdd = physical[:, 2]
+        for cell, arc in arcs:
+            with run_ledger.stage("priors:simulate"):
+                measurements = sweep_conditions(
+                    cell, technology, conditions, arc=arc,
+                    counter=local_counter,
+                    counter_label=f"historical:{technology.name}:{cell.name}",
+                    engine=engine,
+                )
+            with run_ledger.stage("priors:fit"):
+                inverter = reduce_cell_cached(cell, technology, arc=arc)
+                ieff = np.asarray(inverter.effective_current(vdd),
+                                  dtype=float).reshape(-1)
+                delays = np.array([m.nominal_delay() for m in measurements])
+                slews = np.array([m.nominal_slew() for m in measurements])
 
-            delay_fit = fit_least_squares(sin, cload, vdd, ieff, delays)
-            slew_fit = fit_least_squares(sin, cload, vdd, ieff, slews)
+                delay_fit = fit_least_squares(sin, cload, vdd, ieff, delays)
+                slew_fit = fit_least_squares(sin, cload, vdd, ieff, slews)
             arc_fits.append(ArcFit(cell_name=cell.name, arc_name=arc.name,
                                    delay_fit=delay_fit, slew_fit=slew_fit))
             delay_residual_rows.append(delay_fit.residuals)
@@ -252,6 +371,7 @@ def characterize_historical_library(
     delay_residuals = np.mean(np.array(delay_residual_rows), axis=0)
     slew_residuals = np.mean(np.array(slew_residual_rows), axis=0)
     runs = local_counter.total - runs_before
+    run_ledger.add_simulations(runs, label=f"priors:{technology.name}")
 
     return HistoricalLibraryData(
         technology_name=technology.name,
@@ -260,6 +380,87 @@ def characterize_historical_library(
         delay_residuals=delay_residuals,
         slew_residuals=slew_residuals,
         simulation_runs=runs,
+    )
+
+
+def characterize_historical_libraries(
+    technologies: Sequence[TechnologyNode],
+    cells: Sequence[Cell],
+    unit_conditions: Optional[np.ndarray] = None,
+    transitions: Sequence[Transition] = (Transition.FALL, Transition.RISE),
+    counter: Optional[SimulationCounter] = None,
+    engine: str = "fused",
+    ledger: Optional[RunLedger] = None,
+    max_bytes: Optional[int] = None,
+) -> List[HistoricalLibraryData]:
+    """Characterize several historical nodes with shared reference conditions.
+
+    The same normalized conditions, simulation counter and ledger are
+    threaded through every node, so fleet-level accounting (per-node
+    ``priors:<technology>`` simulation counts, dedup/cache metrics) lands in
+    one place.
+    """
+    if unit_conditions is None:
+        unit_conditions = shared_reference_conditions()
+    return [characterize_historical_library(
+                technology, cells, unit_conditions=unit_conditions,
+                transitions=transitions, counter=counter, engine=engine,
+                ledger=ledger, max_bytes=max_bytes)
+            for technology in technologies]
+
+
+def _star_inputs(
+    named_matrices: Sequence[Tuple[str, np.ndarray]],
+    shrinkage: float,
+) -> Tuple[Dict[str, GaussianDensity], np.ndarray]:
+    """Leaf evidence and drift covariance of one technology-star graph.
+
+    ``named_matrices`` pairs each technology name with its ``(n_arcs, 4)``
+    parameter matrix; the order is the evidence-registration order, exactly
+    as :func:`learn_prior` builds its scalar star.
+    """
+    per_tech_means = np.array([matrix.mean(axis=0)
+                               for _name, matrix in named_matrices])
+    # Technology-drift covariance: spread of per-technology means, with
+    # shrinkage and a floor so the star links never collapse.
+    drift = np.cov(per_tech_means, rowvar=False, ddof=1)
+    drift = np.atleast_2d(drift)
+    drift = (1.0 - shrinkage) * drift + shrinkage * np.diag(np.diag(drift))
+    drift = drift + 1e-8 * np.eye(N_PARAMETERS)
+
+    leaves: Dict[str, GaussianDensity] = {}
+    for name, matrix in named_matrices:
+        within = GaussianDensity.from_samples(matrix, shrinkage=shrinkage,
+                                              jitter=1e-8)
+        # Evidence of the technology mean: sample mean with standard
+        # error of the mean as covariance.
+        sem_cov = within.covariance / max(matrix.shape[0], 1)
+        leaves[name] = GaussianDensity(within.mean,
+                                       sem_cov + 1e-10 * np.eye(N_PARAMETERS))
+    return leaves, drift
+
+
+def _finish_prior(
+    historical: Sequence[HistoricalLibraryData],
+    response: str,
+    density: GaussianDensity,
+    method: str,
+    prior_widening: float,
+) -> TimingPrior:
+    """Widen, attach the Eq. 9 precision model and wrap as a prior."""
+    if prior_widening != 1.0:
+        density = density.scaled_covariance(prior_widening)
+    residual_key = "delay_residuals" if response == "delay" else "slew_residuals"
+    residual_matrix = np.array([getattr(data, residual_key)
+                                for data in historical])
+    precision_model = PrecisionModel.from_residuals(
+        historical[0].unit_conditions, residual_matrix)
+    return TimingPrior(
+        response=response,
+        density=density,
+        precision_model=precision_model,
+        technology_names=tuple(data.technology_name for data in historical),
+        method=method,
     )
 
 
@@ -301,33 +502,16 @@ def learn_prior(
     if prior_widening <= 0.0:
         raise ValueError("prior_widening must be positive")
 
-    technology_names = tuple(data.technology_name for data in historical)
-    pooled = np.vstack([data.parameter_matrix(response) for data in historical])
-
     if method == "empirical" or len(historical) == 1:
+        pooled = np.vstack([data.parameter_matrix(response)
+                            for data in historical])
         density = GaussianDensity.from_samples(pooled, shrinkage=shrinkage,
                                                jitter=1e-8)
         effective_method = "empirical"
     else:
-        per_tech_means = np.array([data.mean_parameters(response)
-                                   for data in historical])
-        # Technology-drift covariance: spread of per-technology means, with
-        # shrinkage and a floor so the star links never collapse.
-        drift = np.cov(per_tech_means, rowvar=False, ddof=1)
-        drift = np.atleast_2d(drift)
-        drift = (1.0 - shrinkage) * drift + shrinkage * np.diag(np.diag(drift))
-        drift = drift + 1e-8 * np.eye(N_PARAMETERS)
-
-        leaves: Dict[str, GaussianDensity] = {}
-        for data in historical:
-            matrix = data.parameter_matrix(response)
-            within = GaussianDensity.from_samples(matrix, shrinkage=shrinkage,
-                                                  jitter=1e-8)
-            # Evidence of the technology mean: sample mean with standard
-            # error of the mean as covariance.
-            sem_cov = within.covariance / max(matrix.shape[0], 1)
-            leaves[data.technology_name] = GaussianDensity(within.mean,
-                                                           sem_cov + 1e-10 * np.eye(N_PARAMETERS))
+        leaves, drift = _star_inputs(
+            [(data.technology_name, data.parameter_matrix(response))
+             for data in historical], shrinkage)
         graph = GaussianFactorGraph.star("global", leaves, drift)
         beliefs = graph.run_belief_propagation()
         global_belief = beliefs["global"]
@@ -337,25 +521,138 @@ def learn_prior(
                                   global_belief.covariance + drift)
         effective_method = "bp"
 
-    if prior_widening != 1.0:
-        density = density.scaled_covariance(prior_widening)
-
-    residual_key = "delay_residuals" if response == "delay" else "slew_residuals"
-    residual_matrix = np.array([getattr(data, residual_key) for data in historical])
-    precision_model = PrecisionModel.from_residuals(historical[0].unit_conditions,
-                                                    residual_matrix)
-    return TimingPrior(
-        response=response,
-        density=density,
-        precision_model=precision_model,
-        technology_names=technology_names,
-        method=effective_method,
-    )
+    return _finish_prior(historical, response, density, effective_method,
+                         prior_widening)
 
 
 def learn_priors(historical: Sequence[HistoricalLibraryData], method: str = "bp",
-                 shrinkage: float = 0.1) -> Dict[str, TimingPrior]:
-    """Learn both the delay and the slew prior from the same historical data."""
-    return {response: learn_prior(historical, response=response, method=method,
-                                  shrinkage=shrinkage)
-            for response in RESPONSES}
+                 shrinkage: float = 0.1, engine: str = "batched",
+                 ledger: Optional[RunLedger] = None) -> Dict[str, TimingPrior]:
+    """Learn both the delay and the slew prior from the same historical data.
+
+    With the default ``engine="batched"`` (and BP applicable), the delay and
+    slew star graphs are stacked into one
+    :class:`~repro.bayes.factor_graph.BatchedFactorGraph` and solved in a
+    single batched belief-propagation call; ``engine="loop"`` runs the
+    scalar graph per response (the equivalence reference).  The BP wall time
+    lands on ``ledger`` under the ``priors:bp`` stage.
+    """
+    if engine not in PRIOR_ENGINES:
+        raise ValueError(
+            f"engine must be one of {PRIOR_ENGINES}, got {engine!r}")
+    run_ledger = ledger if ledger is not None else RunLedger()
+    if engine == "loop" or method != "bp" or len(historical) <= 1:
+        with run_ledger.stage("priors:bp"):
+            return {response: learn_prior(historical, response=response,
+                                          method=method, shrinkage=shrinkage)
+                    for response in RESPONSES}
+
+    stars = [_star_inputs([(data.technology_name,
+                            data.parameter_matrix(response))
+                           for data in historical], shrinkage)
+             for response in RESPONSES]
+    leaf_names = list(stars[0][0])
+    leaves = {name: [star_leaves[name] for star_leaves, _drift in stars]
+              for name in leaf_names}
+    drift_stack = np.stack([drift for _leaves, drift in stars])
+    graph = BatchedFactorGraph.star("global", leaves, drift_stack)
+    with run_ledger.stage("priors:bp"):
+        beliefs = graph.run_belief_propagation()
+    global_batch = beliefs["global"]
+    priors: Dict[str, TimingPrior] = {}
+    for index, response in enumerate(RESPONSES):
+        drift = stars[index][1]
+        density = GaussianDensity(global_batch.mean[index],
+                                  global_batch.covariance[index] + drift)
+        priors[response] = _finish_prior(historical, response, density,
+                                         "bp", 1.0)
+    return priors
+
+
+def learn_class_priors(
+    historical: Sequence[HistoricalLibraryData],
+    method: str = "bp",
+    shrinkage: float = 0.1,
+    prior_widening: float = 1.0,
+    engine: str = "batched",
+    class_of: Optional[Callable[[ArcFit], str]] = None,
+    ledger: Optional[RunLedger] = None,
+) -> Dict[Tuple[str, str], TimingPrior]:
+    """Learn one prior per (response, arc class) in one batched BP call.
+
+    Arc classes default to the cell name (``class_of`` maps an
+    :class:`ArcFit` to a class label, e.g. for grouping footprint families).
+    Only classes present in *every* historical library are learned; each
+    (response, class) pair gets its own technology-star graph built from the
+    class's per-library parameter matrices, and all stars are solved
+    together in one :class:`BatchedFactorGraph` run (``engine="loop"``
+    keeps the per-graph scalar reference path).
+
+    Returns a dict keyed by ``(response, class_name)``.
+    """
+    if not historical:
+        raise ValueError("at least one historical library is required")
+    if method not in ("bp", "empirical"):
+        raise ValueError(f"method must be 'bp' or 'empirical', got {method!r}")
+    if prior_widening <= 0.0:
+        raise ValueError("prior_widening must be positive")
+    if engine not in PRIOR_ENGINES:
+        raise ValueError(
+            f"engine must be one of {PRIOR_ENGINES}, got {engine!r}")
+
+    key_of = class_of if class_of is not None else (lambda fit: fit.cell_name)
+    per_library: List[Dict[str, List[ArcFit]]] = []
+    for data in historical:
+        classes: Dict[str, List[ArcFit]] = {}
+        for fit in data.arc_fits:
+            classes.setdefault(key_of(fit), []).append(fit)
+        per_library.append(classes)
+    shared = set(per_library[0])
+    for classes in per_library[1:]:
+        shared &= set(classes)
+    class_names = sorted(shared)
+    if not class_names:
+        raise ValueError("historical libraries share no arc classes")
+
+    def class_matrix(classes: Dict[str, List[ArcFit]], name: str,
+                     response: str) -> np.ndarray:
+        return np.array([
+            (fit.delay_fit if response == "delay" else fit.slew_fit)
+            .params.as_array()
+            for fit in classes[name]])
+
+    pairs = [(response, name) for response in RESPONSES
+             for name in class_names]
+    run_ledger = ledger if ledger is not None else RunLedger()
+    priors: Dict[Tuple[str, str], TimingPrior] = {}
+
+    if method == "empirical" or len(historical) == 1:
+        for response, name in pairs:
+            pooled = np.vstack([class_matrix(classes, name, response)
+                                for classes in per_library])
+            density = GaussianDensity.from_samples(pooled, shrinkage=shrinkage,
+                                                   jitter=1e-8)
+            priors[(response, name)] = _finish_prior(
+                historical, response, density, "empirical", prior_widening)
+        return priors
+
+    stars = [_star_inputs(
+                 [(data.technology_name, class_matrix(classes, name, response))
+                  for data, classes in zip(historical, per_library)],
+                 shrinkage)
+             for response, name in pairs]
+    leaf_names = list(stars[0][0])
+    leaves = {leaf: [star_leaves[leaf] for star_leaves, _drift in stars]
+              for leaf in leaf_names}
+    drift_stack = np.stack([drift for _leaves, drift in stars])
+    graph = BatchedFactorGraph.star("global", leaves, drift_stack)
+    with run_ledger.stage("priors:bp"):
+        beliefs = graph.run_belief_propagation(engine=engine)
+    global_batch = beliefs["global"]
+    for index, (response, name) in enumerate(pairs):
+        density = GaussianDensity(global_batch.mean[index],
+                                  global_batch.covariance[index]
+                                  + stars[index][1])
+        priors[(response, name)] = _finish_prior(historical, response, density,
+                                                 "bp", prior_widening)
+    return priors

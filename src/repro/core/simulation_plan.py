@@ -1,0 +1,247 @@
+"""Signature-grouped global simulation planning (the fused pipelines' front half).
+
+PR 5 introduced a library-wide fused characterization pipeline: flatten every
+``(cell, arc, condition)`` of a workload into one global plan, consult the
+simulation cache per row, group the remaining rows by *equivalent-inverter
+simulation signature* (footprint-equivalent cells reduce to bit-identical
+inverters), dedup physically identical rows, and integrate each group in a
+handful of mega-batched RK4 passes.  That planning logic is useful beyond
+library characterization -- historical-library characterization for prior
+learning (:mod:`repro.core.prior_learning`) runs the same row shape -- so it
+lives here, importable by both flows without creating an import cycle
+(:mod:`repro.core.library_flow` imports :mod:`repro.core.prior_learning`
+for :class:`~repro.core.prior_learning.TimingPrior`).
+
+The :class:`SimulationPlan` protocol is three phases, with the caller owning
+the :class:`~repro.runtime.accounting.RunLedger` stage windows (stage names
+differ per flow -- ``fused:*`` for the library pipeline, ``priors:*`` for
+historical characterization):
+
+1. :meth:`SimulationPlan.add_job` per (cell, arc) with its operating points
+   (consults the reduction and simulation caches row by row), then
+   :meth:`SimulationPlan.record_metrics`;
+2. :meth:`SimulationPlan.simulate` -- each signature group split on the flat
+   row axis by the memory budget and the executor's shard hint, one
+   :func:`simulate_rows_job` per chunk through
+   ``executor.map_accounted`` (process-safe);
+3. :meth:`SimulationPlan.finalize` -- scatter group results to every
+   ``(job, condition)`` row and fill the simulation cache.
+
+After ``finalize``, ``plan.job_delays[job][cond]`` / ``job_slews`` hold one
+``(n_seeds,)`` array per row (cached rows are filled during planning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cells.equivalent_inverter import reduce_cell_cached
+from repro.cells.library import Cell, TimingArc
+from repro.runtime import resolve_max_bytes
+from repro.runtime.accounting import RunLedger
+from repro.runtime.chunking import plan_chunks
+from repro.spice.batch import simulate_arc_transitions, transient_item_bytes
+from repro.spice.testbench import SimulationCache, get_simulation_cache
+from repro.spice.transient import DEFAULT_STEPS
+from repro.technology.node import TechnologyNode
+from repro.technology.variation import VariationSample
+
+
+def simulate_rows_job(payload: tuple):
+    """Integrate one chunk of flat simulation rows; module-level for pickling.
+
+    The payload carries a *representative* (cell, arc) of the chunk's
+    signature group -- every row in the chunk reduces to a bit-identical
+    equivalent inverter, so one reduction serves all rows whatever cell
+    they came from.  Returns the per-row delay/slew matrices plus the
+    chunk's :class:`RunLedger` (integration wall time under the flow's own
+    stage label, merged back in payload order by the executor).
+    """
+    technology, cell, arc, variation, triples, n_steps, stage = payload
+    ledger = RunLedger()
+    with ledger.caches():
+        inverter = reduce_cell_cached(cell, technology, arc=arc,
+                                      variation=variation)
+        with ledger.stage(stage):
+            result = simulate_arc_transitions(
+                inverter, triples[:, 0], triples[:, 1], triples[:, 2],
+                n_steps=n_steps)
+            delay = np.asarray(result.delay(), dtype=float)
+            slew = np.asarray(result.output_slew(), dtype=float)
+    return (delay, slew), ledger
+
+
+@dataclass
+class SignatureGroup:
+    """Simulation rows sharing one equivalent-inverter signature.
+
+    ``cell``/``arc`` are the representative reduction (first job that hit
+    the signature); ``rows`` are ``(job, cond, key, slot)`` tuples in
+    deterministic (job, condition) order, where ``slot`` indexes into
+    ``triples`` -- the group's *unique* operating points.  Rows of
+    footprint-twin arcs at the same operating point are physically the same
+    simulation, so they share a slot and are integrated exactly once (a
+    dedup the per-arc pipeline cannot see: its cache keys carry the cell
+    identity).
+    """
+
+    cell: Cell
+    arc: TimingArc
+    rows: List[tuple] = field(default_factory=list)
+    triples: List[tuple] = field(default_factory=list)
+    slot_index: Dict[tuple, int] = field(default_factory=dict)
+    delays: List[Optional[np.ndarray]] = field(default_factory=list)
+    slews: List[Optional[np.ndarray]] = field(default_factory=list)
+
+    def add_row(self, job: int, cond: int, key: tuple,
+                triple: tuple) -> None:
+        slot = self.slot_index.get(triple)
+        if slot is None:
+            slot = len(self.triples)
+            self.slot_index[triple] = slot
+            self.triples.append(triple)
+            self.delays.append(None)
+            self.slews.append(None)
+        self.rows.append((job, cond, key, slot))
+
+
+class SimulationPlan:
+    """One cache-aware, signature-grouped plan over flat (job, condition) rows."""
+
+    def __init__(self, technology: TechnologyNode,
+                 variation: Optional[VariationSample] = None,
+                 n_steps: int = DEFAULT_STEPS,
+                 integrate_stage: str = "fused:integrate") -> None:
+        self.technology = technology
+        self.variation = variation
+        self.n_steps = int(n_steps)
+        self.n_seeds = variation.n_seeds if variation is not None else 1
+        self.integrate_stage = integrate_stage
+        self._cache = get_simulation_cache()
+        self._variation_fp = (variation.fingerprint() if variation is not None
+                              else "nominal")
+        #: Equivalent-inverter reduction per job, in job order.
+        self.inverters: List = []
+        #: Per-job, per-condition ``(n_seeds,)`` delay/slew rows.
+        self.job_delays: List[List[Optional[np.ndarray]]] = []
+        self.job_slews: List[List[Optional[np.ndarray]]] = []
+        self.groups: Dict[tuple, SignatureGroup] = {}
+        self._n_rows_total = 0
+        self._payload_slots: List[Tuple[SignatureGroup, slice]] = []
+        self._results: Optional[list] = None
+
+    # ------------------------------------------------------------------
+    # Phase 1: planning
+    # ------------------------------------------------------------------
+    def add_job(self, cell: Cell, arc: TimingArc,
+                triples: Sequence[Sequence[float]]) -> int:
+        """Register one (cell, arc) with its operating points.
+
+        Resolves the equivalent-inverter reduction, consults the simulation
+        cache per condition, and files the remaining rows into signature
+        groups.  Returns the job index.
+        """
+        job = len(self.inverters)
+        inverter = reduce_cell_cached(cell, self.technology, arc=arc,
+                                      variation=self.variation)
+        self.inverters.append(inverter)
+        prefix = SimulationCache.arc_prefix(cell, self.technology, arc,
+                                            self._variation_fp)
+        signature = inverter.simulation_signature()
+        triples = [tuple(float(value) for value in triple)
+                   for triple in triples]
+        delays: List[Optional[np.ndarray]] = [None] * len(triples)
+        slews: List[Optional[np.ndarray]] = [None] * len(triples)
+        for cond, triple in enumerate(triples):
+            key = SimulationCache.condition_key(prefix, *triple, self.n_steps)
+            cached = self._cache.get(key)
+            if cached is not None:
+                delays[cond], slews[cond] = cached
+                continue
+            group = self.groups.get(signature)
+            if group is None:
+                group = SignatureGroup(cell=cell, arc=arc)
+                self.groups[signature] = group
+            group.add_row(job, cond, key, triple)
+        self.job_delays.append(delays)
+        self.job_slews.append(slews)
+        self._n_rows_total += len(triples)
+        return job
+
+    def record_metrics(self, ledger: RunLedger,
+                       prefix: str = "fused") -> None:
+        """Dedup/cache accounting under the flow's metric prefix."""
+        planned_rows = sum(len(group.rows) for group in self.groups.values())
+        unique_rows = sum(len(group.triples) for group in self.groups.values())
+        ledger.add_metric(f"{prefix}_rows_total", self._n_rows_total)
+        ledger.add_metric(f"{prefix}_rows_simulated", unique_rows)
+        ledger.add_metric(f"{prefix}_rows_deduplicated",
+                          planned_rows - unique_rows)
+        ledger.add_metric(f"{prefix}_rows_cached",
+                          self._n_rows_total - planned_rows)
+        ledger.add_metric(f"{prefix}_signature_groups", len(self.groups))
+        if self.groups:
+            ledger.add_group_sizes(
+                f"{prefix}:signature_rows",
+                [len(group.triples) for group in self.groups.values()])
+
+    @property
+    def needs_simulation(self) -> bool:
+        """Whether any row missed the cache (phases 2/3 have work to do)."""
+        return bool(self.groups)
+
+    # ------------------------------------------------------------------
+    # Phase 2: mega-batched integration
+    # ------------------------------------------------------------------
+    def simulate(self, executor, ledger: RunLedger,
+                 max_bytes: Optional[int] = None) -> None:
+        """Integrate every signature group, split on the flat row axis.
+
+        Chunks honor the ``runtime`` memory budget and the executor's shard
+        hint (rows are independent, so any split reproduces the one-pass
+        results).  Worker-side cache activity arrives in the per-job ledgers
+        merged by ``map_accounted``.
+        """
+        budget = resolve_max_bytes(max_bytes)
+        item_bytes = transient_item_bytes(self.n_seeds, self.n_steps)
+        payloads = []
+        self._payload_slots = []
+        for group in self.groups.values():
+            n_unique = len(group.triples)
+            for chunk in plan_chunks(n_unique, item_bytes, budget,
+                                     min_chunks=executor.shard_hint(n_unique)):
+                triples = np.array(group.triples[chunk], dtype=float)
+                payloads.append((self.technology, group.cell, group.arc,
+                                 self.variation, triples, self.n_steps,
+                                 self.integrate_stage))
+                self._payload_slots.append((group, chunk))
+        self._results = executor.map_accounted(simulate_rows_job, payloads,
+                                               ledger=ledger)
+
+    # ------------------------------------------------------------------
+    # Phase 3: scatter + cache fill
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Scatter group results to every row and fill the simulation cache.
+
+        Call inside ``ledger.caches()`` so the cache *puts* are attributed
+        to the parent (worker windows are merged separately and must not be
+        double-counted).
+        """
+        if self._results is None:
+            raise RuntimeError("finalize() requires a prior simulate() call")
+        for (group, chunk), (delay, slew) in zip(self._payload_slots,
+                                                 self._results):
+            for index, slot in enumerate(range(chunk.start, chunk.stop)):
+                group.delays[slot] = np.asarray(delay[index], dtype=float)
+                group.slews[slot] = np.asarray(slew[index], dtype=float)
+        for group in self.groups.values():
+            for job, cond, key, slot in group.rows:
+                delay_row = group.delays[slot]
+                slew_row = group.slews[slot]
+                self.job_delays[job][cond] = delay_row
+                self.job_slews[job][cond] = slew_row
+                self._cache.put(key, delay_row, slew_row)

@@ -7,6 +7,9 @@ import pytest
 
 from repro.core.prior_learning import (
     TimingPrior,
+    characterize_historical_libraries,
+    characterize_historical_library,
+    learn_class_priors,
     learn_prior,
     learn_priors,
     shared_reference_conditions,
@@ -112,3 +115,208 @@ class TestLearnPrior:
         text = delay_prior.describe()
         assert "delay prior" in text
         assert "bp" in text
+
+
+class TestBatchedLearnPriors:
+    def test_batched_matches_loop(self, historical_data):
+        batched = learn_priors(historical_data, engine="batched")
+        loop = learn_priors(historical_data, engine="loop")
+        for response in ("delay", "slew"):
+            np.testing.assert_allclose(batched[response].density.mean,
+                                       loop[response].density.mean,
+                                       rtol=1e-12)
+            np.testing.assert_allclose(batched[response].density.covariance,
+                                       loop[response].density.covariance,
+                                       rtol=1e-12)
+            assert batched[response].method == loop[response].method == "bp"
+
+    def test_ledger_records_bp_stage(self, historical_data):
+        from repro.runtime.accounting import RunLedger
+
+        ledger = RunLedger()
+        learn_priors(historical_data, ledger=ledger)
+        assert "priors:bp" in ledger.stages()
+
+    def test_empirical_method_falls_back(self, historical_data):
+        priors = learn_priors(historical_data, method="empirical")
+        assert priors["delay"].method == "empirical"
+
+    def test_single_library_falls_back(self, historical_data):
+        priors = learn_priors(historical_data[:1])
+        assert priors["delay"].method == "empirical"
+
+    def test_invalid_engine(self, historical_data):
+        with pytest.raises(ValueError, match="engine"):
+            learn_priors(historical_data, engine="warp")
+
+
+class TestLearnClassPriors:
+    def test_keys_and_structure(self, historical_data):
+        priors = learn_class_priors(historical_data)
+        cell_names = {fit.cell_name for fit in historical_data[0].arc_fits}
+        assert set(priors) == {(response, name)
+                               for response in ("delay", "slew")
+                               for name in cell_names}
+        for prior in priors.values():
+            assert prior.method == "bp"
+            assert prior.density.dim == 4
+
+    def test_batched_matches_loop(self, historical_data):
+        batched = learn_class_priors(historical_data, engine="batched")
+        loop = learn_class_priors(historical_data, engine="loop")
+        for key in batched:
+            np.testing.assert_allclose(batched[key].density.mean,
+                                       loop[key].density.mean, rtol=1e-12)
+            np.testing.assert_allclose(batched[key].density.covariance,
+                                       loop[key].density.covariance,
+                                       rtol=1e-12)
+
+    def test_class_priors_differ_between_classes(self, historical_data):
+        priors = learn_class_priors(historical_data)
+        names = sorted({name for _response, name in priors})
+        assert not np.allclose(priors[("delay", names[0])].density.mean,
+                               priors[("delay", names[1])].density.mean)
+
+    def test_custom_class_function_pools_everything(self, historical_data):
+        priors = learn_class_priors(historical_data, class_of=lambda fit: "all")
+        assert set(priors) == {("delay", "all"), ("slew", "all")}
+        # One class over all arcs reproduces the per-response prior.
+        pooled = learn_priors(historical_data)
+        np.testing.assert_allclose(priors[("delay", "all")].density.mean,
+                                   pooled["delay"].density.mean, rtol=1e-12)
+
+    def test_empirical_fallback(self, historical_data):
+        priors = learn_class_priors(historical_data[:1])
+        assert all(prior.method == "empirical" for prior in priors.values())
+
+    def test_no_shared_classes_raises(self, historical_data):
+        with pytest.raises(ValueError, match="share no arc classes"):
+            learn_class_priors(
+                historical_data,
+                class_of=lambda fit: f"{fit.cell_name}-{id(fit)}")
+
+    def test_invalid_arguments(self, historical_data):
+        with pytest.raises(ValueError):
+            learn_class_priors([])
+        with pytest.raises(ValueError):
+            learn_class_priors(historical_data, method="magic")
+        with pytest.raises(ValueError):
+            learn_class_priors(historical_data, prior_widening=0.0)
+        with pytest.raises(ValueError):
+            learn_class_priors(historical_data, engine="warp")
+
+
+class TestFusedHistoricalCharacterization:
+    @pytest.fixture(scope="class")
+    def fused_and_legacy(self, reference_conditions, inv_cell, nor2_cell):
+        import repro.spice.testbench as testbench
+        from repro.cells.library import Transition
+        from repro.runtime.accounting import RunLedger
+        from repro.spice.testbench import SimulationCounter
+
+        tech = __import__("repro").get_technology("n28_bulk")
+        results = {}
+        for engine in ("batched", "fused"):
+            testbench.get_simulation_cache().clear()
+            counter = SimulationCounter()
+            ledger = RunLedger()
+            results[engine] = (
+                characterize_historical_library(
+                    tech, [inv_cell, nor2_cell],
+                    unit_conditions=reference_conditions,
+                    transitions=(Transition.FALL,),
+                    counter=counter, engine=engine, ledger=ledger),
+                counter, ledger)
+        testbench.get_simulation_cache().clear()
+        return results
+
+    def test_fused_matches_legacy_fits(self, fused_and_legacy):
+        legacy, _c, _l = fused_and_legacy["batched"]
+        fused, _c2, _l2 = fused_and_legacy["fused"]
+        for a, b in zip(legacy.arc_fits, fused.arc_fits):
+            assert a.cell_name == b.cell_name and a.arc_name == b.arc_name
+            np.testing.assert_allclose(b.delay_fit.params.as_array(),
+                                       a.delay_fit.params.as_array(),
+                                       rtol=1e-4, atol=1e-9)
+            np.testing.assert_allclose(b.slew_fit.params.as_array(),
+                                       a.slew_fit.params.as_array(),
+                                       rtol=1e-4, atol=1e-9)
+        np.testing.assert_allclose(fused.delay_residuals,
+                                   legacy.delay_residuals, atol=1e-6)
+
+    def test_counter_accounting_identical(self, fused_and_legacy):
+        _legacy, c_legacy, _l = fused_and_legacy["batched"]
+        _fused, c_fused, _l2 = fused_and_legacy["fused"]
+        assert c_fused.total == c_legacy.total
+        assert c_fused.by_label() == c_legacy.by_label()
+
+    def test_ledger_stages_and_metrics(self, fused_and_legacy):
+        data, _counter, ledger = fused_and_legacy["fused"]
+        stages = ledger.stages()
+        for stage in ("priors:plan", "priors:simulate", "priors:integrate",
+                      "priors:fit"):
+            assert stage in stages
+        metrics = ledger.metrics()
+        assert metrics["priors_rows_total"] == 16
+        assert metrics["priors_rows_simulated"] == 16
+        assert metrics["priors_signature_groups"] == 2
+        assert ledger.simulations_by_label() == {
+            "priors:n28_bulk": data.simulation_runs}
+
+    def test_footprint_twins_dedup(self, reference_conditions):
+        import dataclasses
+
+        import repro.spice.testbench as testbench
+        from repro.cells.library import Transition
+        from repro.runtime.accounting import RunLedger
+        from repro import get_technology, make_cell
+
+        base = make_cell("INV_X1")
+        twins = [dataclasses.replace(base, name=f"INV_X1_C{i}")
+                 for i in range(3)]
+        testbench.get_simulation_cache().clear()
+        ledger = RunLedger()
+        data = characterize_historical_library(
+            get_technology("n28_bulk"), twins,
+            unit_conditions=reference_conditions,
+            transitions=(Transition.FALL,), ledger=ledger)
+        testbench.get_simulation_cache().clear()
+        metrics = ledger.metrics()
+        n = reference_conditions.shape[0]
+        # Three twin cells share one signature: one cell's rows simulate,
+        # the other two dedup against the same slots.
+        assert metrics["priors_signature_groups"] == 1
+        assert metrics["priors_rows_simulated"] == n
+        assert metrics["priors_rows_deduplicated"] == 2 * n
+        assert data.simulation_runs == 3 * n
+
+    def test_plural_helper_shares_accounting(self, reference_conditions,
+                                             inv_cell):
+        import repro.spice.testbench as testbench
+        from repro.cells.library import Transition
+        from repro.runtime.accounting import RunLedger
+        from repro import get_technology
+        from repro.spice.testbench import SimulationCounter
+
+        testbench.get_simulation_cache().clear()
+        counter = SimulationCounter()
+        ledger = RunLedger()
+        libraries = characterize_historical_libraries(
+            [get_technology("n28_bulk"), get_technology("n45_bulk")],
+            [inv_cell], unit_conditions=reference_conditions,
+            transitions=(Transition.FALL,), counter=counter, ledger=ledger)
+        testbench.get_simulation_cache().clear()
+        assert [data.technology_name for data in libraries] == \
+            ["n28_bulk", "n45_bulk"]
+        n = reference_conditions.shape[0]
+        assert ledger.simulations_by_label() == {
+            "priors:n28_bulk": n, "priors:n45_bulk": n}
+        assert counter.total == 2 * n
+
+    def test_invalid_engine(self, reference_conditions, inv_cell):
+        from repro import get_technology
+
+        with pytest.raises(ValueError, match="engine"):
+            characterize_historical_library(
+                get_technology("n28_bulk"), [inv_cell],
+                unit_conditions=reference_conditions, engine="quantum")
