@@ -39,6 +39,9 @@ RESULTS_DIR = Path(__file__).parent / "benchmark_results"
 #: ``REPRO_BENCH_RUNTIME_SSTA_SEEDS``  seeds in the budgeted SSTA run (1000)
 #: ``REPRO_BENCH_RUNTIME_LIB_SEEDS``   seeds in the budgeted library run (200)
 #: ``REPRO_BENCH_RUNTIME_BUDGET_MB``   explicit max_bytes chunk budget (8.0)
+#: ``REPRO_BENCH_FAULT_CELLS``       cells in the fault-acceptance library (4)
+#: ``REPRO_BENCH_FAULT_SEEDS``       seeds in the fault-acceptance run (8)
+#: ``REPRO_BENCH_FAULT_CONDITIONS``  fitting conditions per arc (3)
 #: ``REPRO_BENCH_PRIORS_NODES``      historical nodes per technology star (8)
 #: ``REPRO_BENCH_PRIORS_CLASSES``    arc classes in the prior-learning fleet (50)
 #: ``REPRO_BENCH_PRIORS_MIN_SPEEDUP`` assertion floor for batched/loop BP (3.0)

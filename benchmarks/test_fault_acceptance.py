@@ -1,0 +1,172 @@
+"""Fault-injection acceptance run: a small library characterization survives
+an injected worker-pool crash plus a NaN simulation row.
+
+This is the resilience counterpart of the throughput benchmarks: instead of
+timing a clean run, it drives :func:`repro.core.library_flow.characterize_library`
+through the deterministic fault harness (:mod:`repro.runtime.faultinject`)
+and asserts the graceful-degradation contract end to end:
+
+* an injected ``BrokenProcessPool`` on the first process-pool map falls back
+  to serial execution -- every simulation chunk still completes, counted in
+  the ``executor_fallbacks`` metric;
+* an injected NaN simulation row is quarantined instead of aborting the
+  batch, surfacing as a structured ``QuarantinedRows``
+  :class:`~repro.runtime.resilience.FailureReport`;
+* the non-strict run completes with partial results whose *non-faulted*
+  arcs match a clean run within ``rtol <= 1e-12`` (in practice bit-identical:
+  quarantine only removes rows, and the stacked MAP solve is row-independent);
+* ``strict=True`` preserves the fail-fast behaviour under the same faults.
+
+The record lands in ``BENCH_fault_acceptance.json``.  CI runs this as its
+fault-injection acceptance step; the knobs below shrink or grow the workload:
+
+``REPRO_BENCH_FAULT_CELLS``       cells in the synthetic library (4)
+``REPRO_BENCH_FAULT_SEEDS``       Monte Carlo seeds (8)
+``REPRO_BENCH_FAULT_CONDITIONS``  fitting conditions per arc (3)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_utils import env_int, write_json_result  # noqa: E402
+
+import repro.runtime as runtime
+from repro import RunLedger, get_technology, make_cell
+from repro.analysis import format_ledger
+from repro.cells.library import StandardCellLibrary
+from repro.core.library_flow import characterize_library
+from repro.core.prior_learning import characterize_historical_library, learn_prior
+from repro.runtime.faultinject import FaultSpec, inject
+
+_TEMPLATES = ("INV_X1", "NAND2_X1", "NOR2_X1", "INV_X2")
+
+
+def synthetic_library(n_cells: int) -> StandardCellLibrary:
+    """``n_cells`` renamed template copies (footprint twins at library scale)."""
+    cells = []
+    for index in range(n_cells):
+        base = make_cell(_TEMPLATES[index % len(_TEMPLATES)])
+        cells.append(dataclasses.replace(base, name=f"{base.name}_C{index:03d}"))
+    return StandardCellLibrary(f"fault_{n_cells}cells", cells)
+
+
+def test_fault_injection_acceptance(results_dir):
+    n_cells = env_int("REPRO_BENCH_FAULT_CELLS", 4)
+    n_seeds = env_int("REPRO_BENCH_FAULT_SEEDS", 8)
+    conditions = env_int("REPRO_BENCH_FAULT_CONDITIONS", 3)
+
+    technology = get_technology("n28_bulk")
+    library = synthetic_library(n_cells)
+    historical = [characterize_historical_library(
+        get_technology("n45_bulk"),
+        [make_cell(name) for name in ("INV_X1", "NAND2_X1", "NOR2_X1")])]
+    delay_prior = learn_prior(historical, response="delay")
+    slew_prior = learn_prior(historical, response="slew")
+
+    def run(faults, strict):
+        # A cold start for every run: cached simulations would bypass the
+        # transient fault site and mask the injection.
+        runtime.clear_all_caches()
+        ledger = RunLedger()
+        start = time.perf_counter()
+        with inject(faults, seed=13):
+            result = characterize_library(
+                technology, library, delay_prior, slew_prior,
+                conditions=conditions, n_seeds=n_seeds, rng=17,
+                concurrency="process", max_workers=2, ledger=ledger,
+                strict=strict)
+        return result, ledger, time.perf_counter() - start
+
+    # The fault plan: the first process-pool map dies (as a crashed worker
+    # would), forcing the serial fallback -- which also brings the simulation
+    # in-process, where the second integration call then produces one NaN
+    # row.  Both faults are deterministic: same seed, same schedule.
+    faults = [
+        FaultSpec(site="executor.process.map", kind="crash", at_calls=(0,)),
+        FaultSpec(site="transient.state", kind="nan", at_calls=(1,),
+                  rows=(0,)),
+    ]
+
+    clean, _, clean_seconds = run([], strict=True)
+    faulted, ledger, faulted_seconds = run(faults, strict=False)
+
+    # ------------------------------------------------------------------
+    # Graceful degradation: partial results plus structured reports.
+    # ------------------------------------------------------------------
+    assert faulted.failures, "the injected NaN row must surface as a report"
+    for report in faulted.failures:
+        assert report.error_type == "QuarantinedRows"
+        assert report.stage == "simulate"
+    assert ledger.failures() == list(faulted.failures)
+
+    metrics = ledger.metrics()
+    assert metrics.get("executor_fallbacks", 0) > 0, \
+        "the injected pool crash must be recovered serially"
+
+    # ------------------------------------------------------------------
+    # Non-faulted arcs match the clean run within rtol 1e-12.
+    # ------------------------------------------------------------------
+    degraded = set(faulted.failed_units())
+    assert degraded, "at least one arc must be degraded by the NaN row"
+    clean_by_unit = {f"{e.cell_name}:{e.arc.name}": e for e in clean.entries}
+    unaffected = 0
+    for entry in faulted.entries:
+        unit = f"{entry.cell_name}:{entry.arc.name}"
+        if unit in degraded:
+            continue
+        reference = clean_by_unit[unit]
+        np.testing.assert_allclose(entry.statistical.delay_parameters,
+                                   reference.statistical.delay_parameters,
+                                   rtol=1e-12)
+        np.testing.assert_allclose(entry.statistical.slew_parameters,
+                                   reference.statistical.slew_parameters,
+                                   rtol=1e-12)
+        unaffected += 1
+    assert unaffected > 0
+
+    # ------------------------------------------------------------------
+    # strict=True keeps the fail-fast contract under the same faults.
+    # ------------------------------------------------------------------
+    try:
+        run(faults, strict=True)
+    except RuntimeError:
+        strict_failed_fast = True
+    else:
+        strict_failed_fast = False
+    assert strict_failed_fast, "strict mode must abort on the injected fault"
+
+    n_arcs_clean = len(clean.entries)
+    print(f"\nFault acceptance: {n_cells} cells / {n_arcs_clean} arcs x "
+          f"{n_seeds} seeds x {conditions} conditions")
+    print(f"clean run  : {clean_seconds:.3f} s, {n_arcs_clean} arcs")
+    print(f"faulted run: {faulted_seconds:.3f} s, {len(faulted.entries)} "
+          f"arcs kept, {len(faulted.failures)} failure report(s), "
+          f"{len(degraded)} degraded unit(s)")
+    print("\n" + format_ledger(ledger, title="Faulted run ledger"))
+
+    payload = {
+        "benchmark": "fault_injection_acceptance",
+        "host": platform.node(),
+        "n_cells": n_cells,
+        "n_seeds": n_seeds,
+        "n_conditions": conditions,
+        "clean_seconds": round(clean_seconds, 4),
+        "faulted_seconds": round(faulted_seconds, 4),
+        "arcs_clean": n_arcs_clean,
+        "arcs_kept": len(faulted.entries),
+        "arcs_unaffected": unaffected,
+        "degraded_units": sorted(degraded),
+        "failure_reports": [report.as_dict() for report in faulted.failures],
+        "executor_fallbacks": int(metrics.get("executor_fallbacks", 0)),
+        "strict_failed_fast": strict_failed_fast,
+    }
+    write_json_result(results_dir / "BENCH_fault_acceptance.json", payload)

@@ -84,11 +84,12 @@ def format_speedups(speedups: Sequence[SpeedupSummary], title: str = "") -> str:
 def format_ledger(ledger: RunLedger, title: str = "Run ledger") -> str:
     """Render a :class:`~repro.runtime.accounting.RunLedger` as text.
 
-    Five sections (each omitted when empty): wall time per stage,
+    Six sections (each omitted when empty): wall time per stage,
     simulation runs per label, free-form metrics (solver iterations, gate
     evaluations, ...), work-group size summaries (e.g. the fused library
-    pipeline's rows per equivalent-inverter signature group) and cache
-    hit/miss/eviction activity.
+    pipeline's rows per equivalent-inverter signature group), cache
+    hit/miss/eviction activity, and the failures recorded by non-strict
+    (gracefully degrading) runs.
     """
     blocks: List[str] = []
     stages = ledger.stages()
@@ -132,6 +133,16 @@ def format_ledger(ledger: RunLedger, title: str = "Run ledger") -> str:
             ["cache", "hits", "misses", "evictions"],
             [[name, activity["hits"], activity["misses"], activity["evictions"]]
              for name, activity in sorted(caches.items())],
+            title=title))
+        title = ""
+    failures = ledger.failures()
+    if failures:
+        blocks.append(format_table(
+            ["failure", "stage", "error", "attempts"],
+            [[report.unit, report.stage,
+              f"{report.error_type}: {report.error}" if report.error_type
+              else report.error, report.attempts]
+             for report in failures],
             title=title))
     if not blocks:
         return title + "\n(empty ledger)" if title else "(empty ledger)"

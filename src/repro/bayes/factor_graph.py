@@ -357,11 +357,22 @@ class BeliefPropagationInfo:
         ``(B,)``.  Graphs retire independently, so easy graphs stop paying
         for slow loopy ones.
     converged:
-        Per-graph convergence flags (all ``True`` on a successful run).
+        Per-graph convergence flags (all ``True`` on a successful run;
+        ``False`` entries survive only under ``on_divergence="retire"``).
     """
 
     iterations: np.ndarray
     converged: np.ndarray
+
+    @property
+    def diverged(self) -> np.ndarray:
+        """Per-graph divergence flags (the complement of ``converged``)."""
+        return ~self.converged
+
+    @property
+    def n_diverged(self) -> int:
+        """Number of graphs that failed to converge."""
+        return int(np.count_nonzero(~self.converged))
 
 
 #: Engines of :meth:`BatchedFactorGraph.run_belief_propagation`.
@@ -418,14 +429,31 @@ class BatchedFactorGraph:
         return self._dims[name]
 
     def add_evidence(self, variable: str, densities: _Densities) -> None:
-        """Attach evidence: one shared density, or one density per graph."""
+        """Attach evidence: one shared density, or one density per graph.
+
+        Non-finite evidence is rejected here, naming the variable and the
+        offending graph index -- a NaN mean or covariance would otherwise
+        poison every message sweep and surface only as an opaque
+        divergence.
+        """
         dim = self._require_variable(variable)
+
+        def check_finite(precision: np.ndarray, shift: np.ndarray,
+                         index: Optional[int]) -> None:
+            if np.all(np.isfinite(precision)) and np.all(np.isfinite(shift)):
+                return
+            where = "" if index is None else f" at graph index {index}"
+            raise ValueError(
+                f"evidence for {variable!r}{where} is non-finite (NaN/Inf "
+                "mean or covariance)")
+
         if isinstance(densities, GaussianDensity):
             if densities.dim != dim:
                 raise ValueError(
                     f"evidence for {variable!r} has dimension {densities.dim}, "
                     f"expected {dim}")
             precision, shift = densities.to_information()
+            check_finite(precision, shift, None)
             self._evidence.append((
                 variable,
                 np.broadcast_to(precision, (self._batch, dim, dim)),
@@ -445,6 +473,7 @@ class BatchedFactorGraph:
                     f"evidence for {variable!r} has dimension {density.dim}, "
                     f"expected {dim}")
             precision[index], shift[index] = density.to_information()
+            check_finite(precision[index], shift[index], index)
         self._evidence.append((variable, precision, shift))
 
     def add_smoothness(self, variable_a: str, variable_b: str,
@@ -497,6 +526,7 @@ class BatchedFactorGraph:
         damping: Union[float, np.ndarray] = 0.0,
         engine: str = "batched",
         return_info: bool = False,
+        on_divergence: str = "raise",
     ) -> Union[Dict[str, GaussianBatch],
                Tuple[Dict[str, GaussianBatch], BeliefPropagationInfo]]:
         """Run sum-product message passing on all stacked graphs at once.
@@ -517,6 +547,14 @@ class BatchedFactorGraph:
         return_info:
             When true (batched engine only), also return a
             :class:`BeliefPropagationInfo` with per-graph sweep counts.
+        on_divergence:
+            ``"raise"`` (default) aborts when any graph exhausts
+            ``max_iterations`` -- the historical fail-fast semantics.
+            ``"retire"`` (batched engine only) instead returns beliefs
+            built from every graph's last message iterate, flagging the
+            diverged graphs ``False`` in ``BeliefPropagationInfo.converged``
+            (pass ``return_info=True`` to see them); converged graphs are
+            bit-identical to a fail-fast run.
 
         Returns
         -------
@@ -526,11 +564,18 @@ class BatchedFactorGraph:
         Raises
         ------
         RuntimeError
-            If any graph fails to converge, or a variable has no
-            information.
+            If any graph fails to converge (unless retiring), or a
+            variable has no information.
         """
         if engine not in BP_ENGINES:
             raise ValueError(f"engine must be one of {BP_ENGINES}, got {engine!r}")
+        if on_divergence not in ("raise", "retire"):
+            raise ValueError(f"on_divergence must be 'raise' or 'retire', "
+                             f"got {on_divergence!r}")
+        if on_divergence == "retire" and engine == "loop":
+            raise ValueError("on_divergence='retire' requires engine='batched' "
+                             "(the loop engine is the fail-fast parity "
+                             "reference)")
         damping = np.asarray(damping, dtype=float)
         if damping.ndim == 0:
             damping = np.full(self._batch, float(damping))
@@ -545,7 +590,7 @@ class BatchedFactorGraph:
                 raise ValueError("return_info requires engine='batched'")
             return self._run_loop(max_iterations, tolerance, damping)
         return self._run_batched(max_iterations, tolerance, damping,
-                                 return_info)
+                                 return_info, on_divergence)
 
     def _run_loop(self, max_iterations: int, tolerance: float,
                   damping: np.ndarray) -> Dict[str, GaussianBatch]:
@@ -572,7 +617,8 @@ class BatchedFactorGraph:
         }
 
     def _run_batched(self, max_iterations: int, tolerance: float,
-                     damping: np.ndarray, return_info: bool):
+                     damping: np.ndarray, return_info: bool,
+                     on_divergence: str = "raise"):
         batch = self._batch
         unary: Dict[str, Tuple[np.ndarray, np.ndarray]] = {
             name: (np.zeros((batch, dim, dim)), np.zeros((batch, dim)))
@@ -651,10 +697,13 @@ class BatchedFactorGraph:
             settled = max_change < tolerance
             converged[active[settled]] = True
             active = active[~settled]
-        if active.size:
+        if active.size and on_divergence == "raise":
             raise RuntimeError(
                 f"belief propagation did not converge for {active.size} of "
                 f"{batch} stacked graphs; increase max_iterations or damping")
+        # on_divergence="retire": diverged graphs keep their last message
+        # iterate (their beliefs below are best-effort) and stay flagged
+        # False in the info's converged mask.
 
         everything = np.arange(batch)
         beliefs: Dict[str, GaussianBatch] = {}

@@ -51,7 +51,7 @@ extraction half of the fused library pipeline
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
@@ -65,8 +65,12 @@ from repro.core.timing_model import (
     N_PARAMETERS,
     TimingModelParameters,
 )
-from repro.runtime import resolve_max_bytes
+from repro.runtime import faultinject, resolve_max_bytes
 from repro.runtime.chunking import plan_chunks
+
+SITE_RESULT = faultinject.register_fault_site(
+    "batch_map.result",
+    "solved parameter matrix of one batched MAP/LSQ call (NaN row faults)")
 
 #: Default iteration cap; well above what quadratic LM convergence needs.
 DEFAULT_MAX_ITERATIONS = 60
@@ -122,6 +126,12 @@ class BatchMapObservations:
         k = response.shape[1]
         if k == 0:
             raise ValueError("at least one observation is required")
+        bad_rows, bad_cols = np.nonzero(~np.isfinite(response))
+        if bad_rows.size:
+            raise ValueError(
+                f"response contains a non-finite value at seed "
+                f"{int(bad_rows[0])}, observation {int(bad_cols[0])} "
+                f"({bad_rows.size} non-finite in total)")
         if np.any(response <= 0.0):
             raise ValueError("responses must be strictly positive")
 
@@ -631,7 +641,7 @@ def _chunked_solve(
                               model, max_iterations, gtol, xtol)
             for rows in chunks
         ]
-        return BatchMapResult(
+        result = BatchMapResult(
             parameters=np.concatenate([p.parameters for p in parts], axis=0),
             converged=np.concatenate([p.converged for p in parts]),
             n_iterations=np.concatenate([p.n_iterations for p in parts]),
@@ -639,8 +649,16 @@ def _chunked_solve(
             residuals=np.concatenate([p.residuals for p in parts], axis=0),
             n_observations=k,
         )
-    return _solve_seed_block(term, observations, model, max_iterations,
-                             gtol, xtol)
+    else:
+        result = _solve_seed_block(term, observations, model, max_iterations,
+                                   gtol, xtol)
+    # Identity (same object, no copy) without an active fault injector;
+    # under injection, poisoned rows model a silently corrupted solve and
+    # are caught downstream by repair_batch_result / the library flows.
+    poisoned = faultinject.corrupt_rows(SITE_RESULT, result.parameters)
+    if poisoned is not result.parameters:
+        result = replace(result, parameters=poisoned)
+    return result
 
 
 def _slice_observations(observations: BatchMapObservations,
@@ -794,3 +812,124 @@ def _solve_seed_block(
         residuals=residuals,
         n_observations=k,
     )
+
+
+def repair_batch_result(
+    result: BatchMapResult,
+    observations: BatchMapObservations,
+    prior: "TimingPrior | GaussianDensity",
+    model: Optional[CompactTimingModel] = None,
+    prior_weight: float = 1.0,
+    include_unconverged: bool = False,
+    ledger=None,
+) -> BatchMapResult:
+    """Per-seed fallback chain ``batched -> scipy -> prior mean``.
+
+    Seeds whose solved parameter row is non-finite (a diverged or corrupted
+    batched solve) are re-solved one at a time through the scalar scipy
+    path (:func:`repro.core.map_estimation.map_estimate`); a seed the scipy
+    solver cannot rescue either falls back to the prior mean, clipped into
+    the model's parameter box and flagged unconverged.  Healthy rows are
+    returned untouched (same values, bit-identical), so a clean result
+    passes through unchanged -- the chain only ever *adds* information to
+    broken rows.
+
+    Parameters
+    ----------
+    result, observations:
+        One block's solve outcome and the observations that produced it.
+    prior:
+        The block's prior (supplies the scipy re-solve and the last-resort
+        mean).
+    model, prior_weight:
+        As in :func:`map_estimate_batch`.
+    include_unconverged:
+        Also re-solve finite-but-unconverged seeds.  Off by default: clean
+        runs legitimately carry a few unconverged seeds, and re-solving
+        them would break the bit-identity of non-faulted results between
+        strict and non-strict runs.
+    ledger:
+        Optional :class:`~repro.runtime.accounting.RunLedger`; repairs are
+        counted under ``map_repaired_scipy`` / ``map_repaired_prior``
+        (recorded only when nonzero).
+
+    Returns
+    -------
+    BatchMapResult
+        The result with broken rows repaired; the same object when nothing
+        needed repair.
+    """
+    from repro.core.map_estimation import MapObservations, map_estimate
+
+    bad = ~np.all(np.isfinite(result.parameters), axis=1)
+    if include_unconverged:
+        bad = bad | ~result.converged
+    if not np.any(bad):
+        return result
+
+    model = model or CompactTimingModel()
+    lower, upper = model.bounds
+    density = prior.density if isinstance(prior, TimingPrior) else prior
+    whitener = density.scaled_covariance(
+        1.0 / prior_weight).whitening_matrix(jitter=1e-12)
+    mu0 = np.asarray(density.mean, dtype=float)
+
+    def row_of(value: Optional[np.ndarray], row: int) -> Optional[np.ndarray]:
+        if value is None or value.ndim == 1:
+            return value
+        return value[row]
+
+    parameters = result.parameters.copy()
+    converged = result.converged.copy()
+    residuals = result.residuals.copy()
+    cost = result.cost.copy()
+    via_scipy = 0
+    via_prior = 0
+    for row in np.nonzero(bad)[0]:
+        response_row = observations.response[row]
+        theta = None
+        try:
+            fit = map_estimate(
+                prior,
+                MapObservations(
+                    sin=row_of(observations.sin, row),
+                    cload=row_of(observations.cload, row),
+                    vdd=row_of(observations.vdd, row),
+                    ieff=row_of(observations.ieff, row),
+                    response=response_row,
+                    beta=row_of(observations.beta, row),
+                ),
+                model=model,
+                prior_weight=prior_weight,
+            )
+            candidate = fit.params.as_array()
+            if np.all(np.isfinite(candidate)):
+                theta = candidate
+                converged[row] = bool(fit.converged)
+                via_scipy += 1
+        except Exception:
+            theta = None
+        if theta is None:
+            theta = np.clip(mu0, lower, upper)
+            converged[row] = False
+            via_prior += 1
+        parameters[row] = theta
+        prediction = CompactTimingModel.evaluate_array(
+            theta[np.newaxis, np.newaxis, :],
+            row_of(observations.sin, row), row_of(observations.cload, row),
+            row_of(observations.vdd, row), row_of(observations.ieff, row))[0]
+        residuals[row] = (prediction - response_row) / response_row
+        beta_row = row_of(observations.beta, row)
+        weight = (np.sqrt(beta_row) if beta_row is not None
+                  else 1.0) / response_row
+        data = (prediction - response_row) * weight
+        prior_res = whitener @ (theta - mu0)
+        cost[row] = float(data @ data + prior_res @ prior_res)
+
+    if ledger is not None:
+        if via_scipy:
+            ledger.add_metric("map_repaired_scipy", via_scipy)
+        if via_prior:
+            ledger.add_metric("map_repaired_prior", via_prior)
+    return replace(result, parameters=parameters, converged=converged,
+                   residuals=residuals, cost=cost)

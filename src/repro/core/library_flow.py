@@ -60,7 +60,11 @@ import numpy as np
 from repro.cells.equivalent_inverter import reduce_cell_cached
 from repro.cells.library import Cell, StandardCellLibrary, TimingArc, Transition
 from repro.characterization.input_space import InputCondition, InputSpace
-from repro.core.batch_map import map_estimate_stacked
+from repro.core.batch_map import (
+    map_estimate_batch,
+    map_estimate_stacked,
+    repair_batch_result,
+)
 from repro.core.prior_learning import TimingPrior
 from repro.core.simulation_plan import SimulationPlan
 from repro.core.statistical_flow import (
@@ -71,13 +75,24 @@ from repro.core.statistical_flow import (
 )
 from repro.liberty.tables import NldmTable
 from repro.liberty.writer import CellTimingData, LibertyWriter, TimingTableSet
+from repro.runtime import faultinject
 from repro.runtime.accounting import RunLedger
 from repro.runtime.executor import EXECUTOR_MODES, get_executor
+from repro.runtime.resilience import (
+    FailureReport,
+    RetryPolicy,
+    resolve_strict,
+    run_with_retry,
+)
 from repro.spice.testbench import SimulationCounter
 from repro.technology.node import TechnologyNode
 from repro.technology.variation import VariationSample
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.units import NANO, PICO
+
+SITE_ARC_JOB = faultinject.register_fault_site(
+    "library.arc_job",
+    "one per-arc characterization job of the library orchestrator")
 
 #: Execution modes of :func:`characterize_library` (the runtime executor's).
 CONCURRENCY_MODES = EXECUTOR_MODES
@@ -142,6 +157,11 @@ class LibraryCharacterization:
         Unified :class:`~repro.runtime.accounting.RunLedger` of the run:
         per-arc ledgers merged in job order plus the orchestrator's own
         stage timings (identical accounting across execution modes).
+    failures:
+        Structured :class:`~repro.runtime.resilience.FailureReport` records
+        of arcs that degraded (quarantined rows, repaired solves) or failed
+        outright under ``strict=False``; empty on a clean or strict run.
+        Arcs named here but absent from :attr:`entries` failed completely.
     """
 
     library_name: str
@@ -156,10 +176,18 @@ class LibraryCharacterization:
     entries: Tuple[LibraryArcCharacterization, ...]
     pipeline: str = "fused"
     ledger: Optional[RunLedger] = field(default=None, compare=False)
+    failures: Tuple[FailureReport, ...] = ()
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
+    def failed_units(self) -> List[str]:
+        """``cell:arc`` labels that degraded or failed, in report order."""
+        seen: List[str] = []
+        for report in self.failures:
+            if report.unit not in seen:
+                seen.append(report.unit)
+        return seen
     def cell_names(self) -> List[str]:
         """Characterized cell names in deterministic order."""
         names: List[str] = []
@@ -298,16 +326,35 @@ def _characterize_arc_job(payload: tuple):
     characterization together with the job's own :class:`RunLedger`
     (filled in whatever process ran the job; the executor merges ledgers
     back in payload order).
+
+    Resilience lives inside the job (rather than at the executor) so one
+    retry layer covers the whole attempt: the optional
+    :class:`~repro.runtime.resilience.RetryPolicy` re-runs a failing arc,
+    and under ``strict=False`` an arc that still fails returns a
+    :class:`~repro.runtime.resilience.FailureReport` in place of its
+    characterization instead of aborting the library run.
     """
     (technology, cell, arc, delay_prior, slew_prior, variation, conditions,
-     solver, max_bytes) = payload
+     solver, max_bytes, strict, retry_policy) = payload
     ledger = RunLedger()
-    characterizer = StatisticalCharacterizer(
-        technology, cell, delay_prior, slew_prior, arc=arc,
-        n_seeds=variation.n_seeds, solver=solver, ledger=ledger,
-        max_bytes=max_bytes)
-    characterizer.use_variation(variation)
-    return characterizer.characterize(list(conditions)), ledger
+
+    def attempt():
+        faultinject.fire(SITE_ARC_JOB)
+        characterizer = StatisticalCharacterizer(
+            technology, cell, delay_prior, slew_prior, arc=arc,
+            n_seeds=variation.n_seeds, solver=solver, ledger=ledger,
+            max_bytes=max_bytes)
+        characterizer.use_variation(variation)
+        return characterizer.characterize(list(conditions))
+
+    unit = f"{cell.name}:{arc.name}"
+    try:
+        return run_with_retry(attempt, retry_policy, site=f"arc:{unit}",
+                              ledger=ledger), ledger
+    except Exception as error:
+        if strict:
+            raise
+        return FailureReport.from_exception(unit, "characterize", error), ledger
 
 
 def _characterize_fused(
@@ -321,7 +368,8 @@ def _characterize_fused(
     executor,
     ledger: RunLedger,
     max_bytes: Optional[int],
-) -> List[StatisticalCharacterization]:
+    strict: bool = True,
+) -> "Tuple[List[Optional[StatisticalCharacterization]], List[FailureReport]]":
     """The fused library pipeline: plan -> mega-batch -> stacked solve.
 
     Produces exactly the per-arc pipeline's characterizations (same values,
@@ -329,8 +377,17 @@ def _characterize_fused(
     shared :class:`~repro.core.simulation_plan.SimulationPlan` (also driving
     historical characterization for prior learning); see the module
     docstring for the design.
+
+    With ``strict=False`` the pipeline degrades per row instead of aborting:
+    broken simulation rows are quarantined by the transient engine, arcs
+    with surviving conditions are extracted from the reduced set (their
+    stacked-solve peers keep their full blocks, bit-identical to a clean
+    run), arcs with no surviving conditions come back as ``None``, and every
+    degradation is described by a :class:`FailureReport` in the second
+    return value.
     """
     n_seeds = variation.n_seeds
+    failures: List[FailureReport] = []
 
     # ------------------------------------------------------------------
     # Plan: resolve reductions, consult the simulation cache per row, and
@@ -340,7 +397,8 @@ def _characterize_fused(
     # as the per-arc pipeline's (which wraps its sweeps in ledger.caches()).
     # ------------------------------------------------------------------
     plan = SimulationPlan(technology, variation=variation,
-                          integrate_stage="fused:integrate")
+                          integrate_stage="fused:integrate",
+                          on_failure="raise" if strict else "quarantine")
     with ledger.stage("fused:plan"), ledger.caches():
         for job, (cell, arc) in enumerate(jobs):
             plan.add_job(cell, arc, [condition.as_tuple()
@@ -374,36 +432,108 @@ def _characterize_fused(
                                label=f"proposed_statistical:{cell.name}")
 
     # ------------------------------------------------------------------
+    # Quarantine bookkeeping: each job keeps the conditions whose rows
+    # simulated cleanly (all of them on a clean or strict run).  A degraded
+    # arc fits on its surviving conditions; an arc with none is dropped.
+    # ------------------------------------------------------------------
+    job_kept: List[Optional[List[int]]] = []
+    for job, (cell, arc) in enumerate(jobs):
+        bad = plan.quarantined_rows.get(job)
+        if not bad:
+            job_kept.append(list(range(len(job_conditions[job]))))
+            continue
+        kept = [cond for cond in range(len(job_conditions[job]))
+                if cond not in set(bad)]
+        detail = (f"{len(bad)} of {len(job_conditions[job])} fitting "
+                  f"conditions quarantined (indices {bad})")
+        if not kept:
+            detail += "; no conditions survived, arc dropped"
+        failures.append(FailureReport(unit=f"{cell.name}:{arc.name}",
+                                      stage="simulate", error=detail,
+                                      error_type="QuarantinedRows"))
+        job_kept.append(kept if kept else None)
+
+    # ------------------------------------------------------------------
     # Extract: stack every arc's seed batch into one block-diagonal MAP
     # solve per response (batched solver); the scipy parity solver keeps
     # its per-arc trust-region loops on the injected measurements.
     # ------------------------------------------------------------------
-    characterizations: List[StatisticalCharacterization] = []
+    characterizations: List[Optional[StatisticalCharacterization]] = []
     if solver == "batched":
         space = InputSpace(technology)
+        delay_obs_of: Dict[int, object] = {}
+        slew_obs_of: Dict[int, object] = {}
+        stacked_jobs: List[int] = []
+        degraded_jobs: List[int] = []
         with ledger.stage("fused:extract"):
-            delay_blocks = []
-            slew_blocks = []
             for job, (cell, arc) in enumerate(jobs):
+                kept = job_kept[job]
+                if kept is None:
+                    continue
                 delay_obs, slew_obs = arc_observation_pair(
-                    technology, inverters[job], job_conditions[job],
+                    technology, inverters[job],
+                    [job_conditions[job][cond] for cond in kept],
                     delay_prior, slew_prior,
-                    np.stack(job_delays[job], axis=0),
-                    np.stack(job_slews[job], axis=0), space=space)
-                delay_blocks.append(delay_obs)
-                slew_blocks.append(slew_obs)
+                    np.stack([job_delays[job][cond] for cond in kept], axis=0),
+                    np.stack([job_slews[job][cond] for cond in kept], axis=0),
+                    space=space)
+                delay_obs_of[job] = delay_obs
+                slew_obs_of[job] = slew_obs
+                if len(kept) == len(job_conditions[job]):
+                    stacked_jobs.append(job)
+                else:
+                    degraded_jobs.append(job)
+        delay_results: Dict[int, object] = {}
+        slew_results: Dict[int, object] = {}
         with ledger.stage("fused:solve"):
-            delay_results = map_estimate_stacked(
-                delay_prior, delay_blocks, max_bytes=max_bytes)
-            slew_results = map_estimate_stacked(
-                slew_prior, slew_blocks, max_bytes=max_bytes)
+            if stacked_jobs:
+                delay_results.update(zip(stacked_jobs, map_estimate_stacked(
+                    delay_prior, [delay_obs_of[job] for job in stacked_jobs],
+                    max_bytes=max_bytes)))
+                slew_results.update(zip(stacked_jobs, map_estimate_stacked(
+                    slew_prior, [slew_obs_of[job] for job in stacked_jobs],
+                    max_bytes=max_bytes)))
+            # Degraded arcs carry fewer conditions than the stacked blocks
+            # (which need a uniform k), so each gets its own solve; blocks
+            # are independent rows either way, so their stacked peers stay
+            # bit-identical to a clean run.
+            for job in degraded_jobs:
+                delay_results[job] = map_estimate_batch(
+                    delay_prior, delay_obs_of[job], max_bytes=max_bytes)
+                slew_results[job] = map_estimate_batch(
+                    slew_prior, slew_obs_of[job], max_bytes=max_bytes)
             ledger.add_metric(
                 "solver_iterations",
                 int(sum(int(result.n_iterations.sum())
-                        for result in delay_results)
+                        for result in delay_results.values())
                     + sum(int(result.n_iterations.sum())
-                          for result in slew_results)))
+                          for result in slew_results.values())))
+        if not strict:
+            # Corrupted-solve fallback chain (batched -> scipy -> prior
+            # mean, per seed row).  A clean result passes through as the
+            # same object, so nothing here perturbs the fault-free path.
+            for job in sorted(delay_results):
+                cell, arc = jobs[job]
+                for response, results_map, obs_of, prior in (
+                        ("delay", delay_results, delay_obs_of, delay_prior),
+                        ("slew", slew_results, slew_obs_of, slew_prior)):
+                    result = results_map[job]
+                    repaired = repair_batch_result(
+                        result, obs_of[job], prior, ledger=ledger)
+                    if repaired is not result:
+                        results_map[job] = repaired
+                        broken = int(np.count_nonzero(
+                            ~np.all(np.isfinite(result.parameters), axis=1)))
+                        failures.append(FailureReport(
+                            unit=f"{cell.name}:{arc.name}", stage="extract",
+                            error=(f"{response} solve produced {broken} "
+                                   f"non-finite seed rows; repaired via the "
+                                   f"scipy/prior fallback chain"),
+                            error_type="RepairedSolve"))
         for job, (cell, arc) in enumerate(jobs):
+            if job not in delay_results:
+                characterizations.append(None)
+                continue
             runs = len(job_conditions[job]) * n_seeds
             characterizations.append(StatisticalCharacterization(
                 cell_name=cell.name,
@@ -411,7 +541,8 @@ def _characterize_fused(
                 delay_parameters=delay_results[job].parameters,
                 slew_parameters=slew_results[job].parameters,
                 inverter=inverters[job],
-                fitting_conditions=tuple(job_conditions[job]),
+                fitting_conditions=tuple(job_conditions[job][cond]
+                                         for cond in job_kept[job]),
                 simulation_runs=runs,
                 solver=solver,
                 delay_converged=delay_results[job].converged,
@@ -420,17 +551,31 @@ def _characterize_fused(
     else:
         with ledger.stage("fused:extract"):
             for job, (cell, arc) in enumerate(jobs):
+                kept = job_kept[job]
+                if kept is None:
+                    characterizations.append(None)
+                    continue
                 characterizer = StatisticalCharacterizer(
                     technology, cell, delay_prior, slew_prior, arc=arc,
                     n_seeds=n_seeds, solver=solver, ledger=ledger,
                     max_bytes=max_bytes)
                 characterizer.use_variation(variation)
-                characterizations.append(
-                    characterizer.characterize_from_measurements(
-                        job_conditions[job],
-                        np.stack(job_delays[job], axis=0),
-                        np.stack(job_slews[job], axis=0)))
-    return characterizations
+                try:
+                    characterizations.append(
+                        characterizer.characterize_from_measurements(
+                            [job_conditions[job][cond] for cond in kept],
+                            np.stack([job_delays[job][cond] for cond in kept],
+                                     axis=0),
+                            np.stack([job_slews[job][cond] for cond in kept],
+                                     axis=0),
+                            simulation_runs=len(job_conditions[job]) * n_seeds))
+                except Exception as error:
+                    if strict:
+                        raise
+                    characterizations.append(None)
+                    failures.append(FailureReport.from_exception(
+                        f"{cell.name}:{arc.name}", "extract", error))
+    return characterizations, failures
 
 
 def characterize_library(
@@ -451,6 +596,8 @@ def characterize_library(
     max_workers: Optional[int] = None,
     ledger: Optional[RunLedger] = None,
     max_bytes: Optional[int] = None,
+    strict: Optional[bool] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> LibraryCharacterization:
     """Statistically characterize every requested arc of a cell library.
 
@@ -511,6 +658,21 @@ def characterize_library(
         Memory budget threaded to every arc's batched engines (explicitly,
         so process workers honor it too); ``None`` defers each process to
         its own ``repro.runtime.configure(max_bytes=...)``.
+    strict:
+        ``True`` (the default, also via ``REPRO_STRICT``) fails fast on the
+        first broken arc, exactly the pre-resilience behavior.  ``False``
+        degrades gracefully: broken simulation rows are quarantined, arcs
+        re-fit on their surviving conditions, corrupted solves run the
+        scipy/prior repair chain, and arcs that still fail are dropped --
+        every degradation lands as a
+        :class:`~repro.runtime.resilience.FailureReport` on the result's
+        ``failures`` and the ledger.  Non-faulted arcs are bit-identical
+        between the two modes.
+    retry_policy:
+        Optional :class:`~repro.runtime.resilience.RetryPolicy` re-running
+        failed work before it counts as broken (per simulation chunk in the
+        fused pipeline, per arc job in the per-arc pipeline); ``None``
+        disables retries.
 
     Raises
     ------
@@ -551,17 +713,26 @@ def characterize_library(
             raise ValueError("at least one fitting condition is required")
         job_conditions = [shared for _ in jobs]
 
+    strict_mode = resolve_strict(strict)
     run_ledger = ledger if ledger is not None else RunLedger()
-    executor = get_executor(concurrency, max_workers=max_workers)
+    failures: List[FailureReport] = []
+    # The per-arc pipeline retries inside the job (one layer around the
+    # whole attempt); the fused pipeline retries at the executor, around
+    # each simulation chunk.
+    executor = get_executor(
+        concurrency, max_workers=max_workers,
+        retry_policy=retry_policy if pipeline == "fused" else None)
     with run_ledger.stage("characterize_library"):
         if pipeline == "fused":
-            results = _characterize_fused(
+            results, failures = _characterize_fused(
                 technology, jobs, job_conditions, delay_prior, slew_prior,
-                variation, solver, executor, run_ledger, max_bytes)
+                variation, solver, executor, run_ledger, max_bytes,
+                strict=strict_mode)
         else:
             payloads = [
                 (technology, cell, arc, delay_prior, slew_prior, variation,
-                 job_conditions[index], solver, max_bytes)
+                 job_conditions[index], solver, max_bytes, strict_mode,
+                 retry_policy)
                 for index, (cell, arc) in enumerate(jobs)
             ]
             results = executor.map_accounted(_characterize_arc_job, payloads,
@@ -570,6 +741,11 @@ def characterize_library(
     entries: List[LibraryArcCharacterization] = []
     total_runs = 0
     for (cell, arc), result in zip(jobs, results):
+        if isinstance(result, FailureReport):
+            failures.append(result)
+            continue
+        if result is None:
+            continue
         if counter is not None:
             counter.add(result.simulation_runs,
                         label=f"library:{cell.name}:{arc.name}")
@@ -583,6 +759,17 @@ def characterize_library(
             function=cell.function,
             area=cell.total_device_width_um(),
         ))
+    for report in failures:
+        run_ledger.add_failure(report)
+    if strict_mode and failures:
+        # _characterize_fused and the arc jobs fail fast under strict mode;
+        # this is a defensive backstop, not a reachable path.
+        raise RuntimeError(f"strict run recorded failures: "
+                           f"{[f.describe() for f in failures]}")
+    if not entries:
+        raise RuntimeError(
+            "no arcs survived characterization; failures: "
+            + "; ".join(report.describe() for report in failures))
 
     return LibraryCharacterization(
         library_name=library_name,
@@ -597,4 +784,5 @@ def characterize_library(
         entries=tuple(entries),
         pipeline=pipeline,
         ledger=run_ledger,
+        failures=tuple(failures),
     )

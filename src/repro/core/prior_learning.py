@@ -63,6 +63,12 @@ from repro.core.timing_model import (
 )
 from repro.runtime.accounting import RunLedger
 from repro.runtime.executor import get_executor
+from repro.runtime.resilience import (
+    FailureReport,
+    RetryPolicy,
+    resolve_strict,
+    run_with_retry,
+)
 from repro.spice.sweep import sweep_conditions
 from repro.spice.testbench import SimulationCounter
 from repro.technology.node import TechnologyNode
@@ -114,6 +120,10 @@ class HistoricalLibraryData:
         condition (inputs to the Eq. 9 precision estimate).
     simulation_runs:
         Number of simulator invocations spent on this library.
+    failures:
+        Structured :class:`~repro.runtime.resilience.FailureReport` records
+        of arcs that degraded (quarantined reference conditions) or were
+        dropped under ``strict=False``; empty on a clean or strict run.
     """
 
     technology_name: str
@@ -122,6 +132,7 @@ class HistoricalLibraryData:
     delay_residuals: np.ndarray
     slew_residuals: np.ndarray
     simulation_runs: int
+    failures: Tuple[FailureReport, ...] = ()
 
     def parameter_matrix(self, response: str) -> np.ndarray:
         """Stack of fitted parameter vectors, shape ``(n_arcs, 4)``."""
@@ -206,7 +217,10 @@ def _characterize_fused_historical(
     counter: SimulationCounter,
     ledger: RunLedger,
     max_bytes: Optional[int],
-) -> Tuple[List[ArcFit], List[np.ndarray], List[np.ndarray]]:
+    strict: bool = True,
+    retry_policy: Optional[RetryPolicy] = None,
+) -> Tuple[List[Optional[ArcFit]], List[Optional[np.ndarray]],
+           List[Optional[np.ndarray]], List[FailureReport]]:
     """Fused engine: one global simulation plan + one stacked model fit.
 
     Every (cell, arc, condition) row of the historical node flows through
@@ -214,6 +228,13 @@ def _characterize_fused_historical(
     footprint-twin arcs, the simulation cache fills repeat visits), then all
     (arc x response) compact models are fitted in one stacked
     Levenberg-Marquardt solve.
+
+    With ``strict=False`` broken rows are quarantined instead of aborting:
+    degraded arcs are fitted on their surviving reference conditions (with
+    NaN placeholders padding their residual rows back to full length), arcs
+    with no surviving conditions come back as ``None``, and every
+    degradation lands as a :class:`FailureReport` in the fourth return
+    value.  Clean arcs keep their full stacked blocks either way.
     """
     # Deferred: batch_map imports TimingPrior from this module.
     from repro.core.batch_map import (
@@ -222,13 +243,14 @@ def _characterize_fused_historical(
     )
 
     plan = SimulationPlan(technology, variation=None,
-                          integrate_stage="priors:integrate")
+                          integrate_stage="priors:integrate",
+                          on_failure="raise" if strict else "quarantine")
     with ledger.stage("priors:plan"), ledger.caches():
         for cell, arc in arcs:
             plan.add_job(cell, arc, conditions)
         plan.record_metrics(ledger, prefix="priors")
     if plan.needs_simulation:
-        executor = get_executor("serial")
+        executor = get_executor("serial", retry_policy=retry_policy)
         with ledger.stage("priors:simulate"):
             plan.simulate(executor, ledger, max_bytes=max_bytes)
         with ledger.caches():
@@ -238,37 +260,103 @@ def _characterize_fused_historical(
         counter.add(len(conditions),
                     label=f"historical:{technology.name}:{cell.name}")
 
+    n_cond = len(conditions)
+    failures: List[FailureReport] = []
+    job_kept: List[Optional[List[int]]] = []
+    for job, (cell, arc) in enumerate(arcs):
+        bad = plan.quarantined_rows.get(job)
+        if not bad:
+            job_kept.append(list(range(n_cond)))
+            continue
+        kept = [cond for cond in range(n_cond) if cond not in set(bad)]
+        detail = (f"{len(bad)} of {n_cond} reference conditions quarantined "
+                  f"(indices {bad})")
+        if not kept:
+            detail += "; no conditions survived, arc dropped"
+        failures.append(FailureReport(
+            unit=f"{technology.name}:{cell.name}:{arc.name}",
+            stage="simulate", error=detail, error_type="QuarantinedRows"))
+        job_kept.append(kept if kept else None)
+
     sin = physical[:, 0]
     cload = physical[:, 1]
     vdd = physical[:, 2]
     with ledger.stage("priors:fit"):
         blocks: List[BatchMapObservations] = []
+        block_jobs: List[int] = []
+        degraded_blocks: Dict[int, tuple] = {}
         for job in range(len(arcs)):
+            kept = job_kept[job]
+            if kept is None:
+                continue
             ieff = np.asarray(plan.inverters[job].effective_current(vdd),
                               dtype=float).reshape(-1)
-            delays = np.array([row.reshape(-1)[0]
-                               for row in plan.job_delays[job]])
-            slews = np.array([row.reshape(-1)[0]
-                              for row in plan.job_slews[job]])
-            blocks.append(BatchMapObservations(
-                sin=sin, cload=cload, vdd=vdd, ieff=ieff,
-                response=delays[np.newaxis, :]))
-            blocks.append(BatchMapObservations(
-                sin=sin, cload=cload, vdd=vdd, ieff=ieff,
-                response=slews[np.newaxis, :]))
-        results = fit_least_squares_stacked(blocks, max_bytes=max_bytes)
+            full = len(kept) == n_cond
+            rows = None if full else np.array(kept)
+            delays = np.array([plan.job_delays[job][cond].reshape(-1)[0]
+                               for cond in kept])
+            slews = np.array([plan.job_slews[job][cond].reshape(-1)[0]
+                              for cond in kept])
+            pair = (BatchMapObservations(
+                        sin=sin if full else sin[rows],
+                        cload=cload if full else cload[rows],
+                        vdd=vdd if full else vdd[rows],
+                        ieff=ieff if full else ieff[rows],
+                        response=delays[np.newaxis, :]),
+                    BatchMapObservations(
+                        sin=sin if full else sin[rows],
+                        cload=cload if full else cload[rows],
+                        vdd=vdd if full else vdd[rows],
+                        ieff=ieff if full else ieff[rows],
+                        response=slews[np.newaxis, :]))
+            if full:
+                block_jobs.append(job)
+                blocks.extend(pair)
+            else:
+                # Fewer conditions than the stacked blocks (which need a
+                # uniform k): the degraded arc gets its own solve.  Blocks
+                # are independent rows, so the stacked peers are unaffected.
+                degraded_blocks[job] = pair
+        delay_fits: Dict[int, object] = {}
+        slew_fits: Dict[int, object] = {}
+        if blocks:
+            results = fit_least_squares_stacked(blocks, max_bytes=max_bytes)
+            for index, job in enumerate(block_jobs):
+                delay_fits[job] = results[2 * index].fit_result(0)
+                slew_fits[job] = results[2 * index + 1].fit_result(0)
+        for job, (delay_obs, slew_obs) in degraded_blocks.items():
+            delay_fits[job] = fit_least_squares_stacked(
+                [delay_obs], max_bytes=max_bytes)[0].fit_result(0)
+            slew_fits[job] = fit_least_squares_stacked(
+                [slew_obs], max_bytes=max_bytes)[0].fit_result(0)
 
-    arc_fits: List[ArcFit] = []
-    delay_residual_rows: List[np.ndarray] = []
-    slew_residual_rows: List[np.ndarray] = []
+    arc_fits: List[Optional[ArcFit]] = []
+    delay_residual_rows: List[Optional[np.ndarray]] = []
+    slew_residual_rows: List[Optional[np.ndarray]] = []
     for job, (cell, arc) in enumerate(arcs):
-        delay_fit = results[2 * job].fit_result(0)
-        slew_fit = results[2 * job + 1].fit_result(0)
+        if job not in delay_fits:
+            arc_fits.append(None)
+            delay_residual_rows.append(None)
+            slew_residual_rows.append(None)
+            continue
+        delay_fit = delay_fits[job]
+        slew_fit = slew_fits[job]
         arc_fits.append(ArcFit(cell_name=cell.name, arc_name=arc.name,
                                delay_fit=delay_fit, slew_fit=slew_fit))
-        delay_residual_rows.append(delay_fit.residuals)
-        slew_residual_rows.append(slew_fit.residuals)
-    return arc_fits, delay_residual_rows, slew_residual_rows
+        kept = job_kept[job]
+        if len(kept) == n_cond:
+            delay_residual_rows.append(delay_fit.residuals)
+            slew_residual_rows.append(slew_fit.residuals)
+        else:
+            # Pad back to full length with NaN at the quarantined
+            # conditions; the caller's cross-arc average skips them there.
+            delay_row = np.full(n_cond, np.nan)
+            delay_row[kept] = delay_fit.residuals
+            slew_row = np.full(n_cond, np.nan)
+            slew_row[kept] = slew_fit.residuals
+            delay_residual_rows.append(delay_row)
+            slew_residual_rows.append(slew_row)
+    return arc_fits, delay_residual_rows, slew_residual_rows, failures
 
 
 def characterize_historical_library(
@@ -280,6 +368,8 @@ def characterize_historical_library(
     engine: str = "fused",
     ledger: Optional[RunLedger] = None,
     max_bytes: Optional[int] = None,
+    strict: Optional[bool] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> HistoricalLibraryData:
     """Characterize one historical library and fit the compact model per arc.
 
@@ -314,6 +404,18 @@ def characterize_historical_library(
         per-node simulation counts are recorded on it.
     max_bytes:
         Memory budget forwarded to the fused planner and stacked fit.
+    strict:
+        ``True`` (the default, also via ``REPRO_STRICT``) fails fast on the
+        first broken arc.  ``False`` degrades gracefully: quarantined rows
+        are excluded from the affected arc's fit (NaN-padded out of the
+        Eq. 9 residual average), arcs that fail completely are dropped, and
+        every degradation lands as a
+        :class:`~repro.runtime.resilience.FailureReport` on the result's
+        ``failures`` and the ledger.
+    retry_policy:
+        Optional :class:`~repro.runtime.resilience.RetryPolicy` re-running
+        failed work (per simulation chunk under the fused engine, per arc
+        otherwise) before it counts as broken.
     """
     if engine not in HISTORICAL_ENGINES:
         raise ValueError(
@@ -327,18 +429,27 @@ def characterize_historical_library(
     physical = lows + unit_conditions * (highs - lows)
     conditions = [tuple(row) for row in physical]
 
+    strict_mode = resolve_strict(strict)
     local_counter = counter if counter is not None else SimulationCounter()
     run_ledger = ledger if ledger is not None else RunLedger()
     runs_before = local_counter.total
+    failures: List[FailureReport] = []
 
     arcs = [(cell, cell.arc(cell.input_pins[0], Transition(transition)))
             for cell in cells for transition in transitions]
 
     if engine == "fused":
-        arc_fits, delay_residual_rows, slew_residual_rows = (
+        arc_fits, delay_residual_rows, slew_residual_rows, failures = (
             _characterize_fused_historical(technology, arcs, physical,
                                            conditions, local_counter,
-                                           run_ledger, max_bytes))
+                                           run_ledger, max_bytes,
+                                           strict=strict_mode,
+                                           retry_policy=retry_policy))
+        arc_fits = [fit for fit in arc_fits if fit is not None]
+        delay_residual_rows = [row for row in delay_residual_rows
+                               if row is not None]
+        slew_residual_rows = [row for row in slew_residual_rows
+                              if row is not None]
     else:
         arc_fits = []
         delay_residual_rows = []
@@ -347,29 +458,69 @@ def characterize_historical_library(
         cload = physical[:, 1]
         vdd = physical[:, 2]
         for cell, arc in arcs:
-            with run_ledger.stage("priors:simulate"):
-                measurements = sweep_conditions(
-                    cell, technology, conditions, arc=arc,
-                    counter=local_counter,
-                    counter_label=f"historical:{technology.name}:{cell.name}",
-                    engine=engine,
-                )
-            with run_ledger.stage("priors:fit"):
-                inverter = reduce_cell_cached(cell, technology, arc=arc)
-                ieff = np.asarray(inverter.effective_current(vdd),
-                                  dtype=float).reshape(-1)
-                delays = np.array([m.nominal_delay() for m in measurements])
-                slews = np.array([m.nominal_slew() for m in measurements])
 
-                delay_fit = fit_least_squares(sin, cload, vdd, ieff, delays)
-                slew_fit = fit_least_squares(sin, cload, vdd, ieff, slews)
+            def attempt(cell=cell, arc=arc):
+                with run_ledger.stage("priors:simulate"):
+                    measurements = sweep_conditions(
+                        cell, technology, conditions, arc=arc,
+                        counter=local_counter,
+                        counter_label=(
+                            f"historical:{technology.name}:{cell.name}"),
+                        engine=engine,
+                    )
+                with run_ledger.stage("priors:fit"):
+                    inverter = reduce_cell_cached(cell, technology, arc=arc)
+                    ieff = np.asarray(inverter.effective_current(vdd),
+                                      dtype=float).reshape(-1)
+                    delays = np.array([m.nominal_delay()
+                                       for m in measurements])
+                    slews = np.array([m.nominal_slew() for m in measurements])
+
+                    delay_fit = fit_least_squares(sin, cload, vdd, ieff,
+                                                  delays)
+                    slew_fit = fit_least_squares(sin, cload, vdd, ieff, slews)
+                return delay_fit, slew_fit
+
+            unit = f"{technology.name}:{cell.name}:{arc.name}"
+            try:
+                delay_fit, slew_fit = run_with_retry(
+                    attempt, retry_policy, site=f"historical:{unit}",
+                    ledger=run_ledger)
+            except Exception as error:
+                if strict_mode:
+                    raise
+                failures.append(FailureReport.from_exception(
+                    unit, "characterize", error))
+                continue
             arc_fits.append(ArcFit(cell_name=cell.name, arc_name=arc.name,
                                    delay_fit=delay_fit, slew_fit=slew_fit))
             delay_residual_rows.append(delay_fit.residuals)
             slew_residual_rows.append(slew_fit.residuals)
 
-    delay_residuals = np.mean(np.array(delay_residual_rows), axis=0)
-    slew_residuals = np.mean(np.array(slew_residual_rows), axis=0)
+    for report in failures:
+        run_ledger.add_failure(report)
+    if not arc_fits:
+        raise RuntimeError(
+            "no arcs survived historical characterization; failures: "
+            + "; ".join(report.describe() for report in failures))
+
+    delay_matrix = np.array(delay_residual_rows)
+    slew_matrix = np.array(slew_residual_rows)
+    if np.isnan(delay_matrix).any() or np.isnan(slew_matrix).any():
+        # Degraded arcs contribute no residual at their quarantined
+        # conditions; the cross-arc average skips them there.  A condition
+        # that no arc survived at leaves the Eq. 9 precision estimate
+        # undefined -- no graceful fallback exists for that.
+        if (np.isnan(delay_matrix).all(axis=0).any()
+                or np.isnan(slew_matrix).all(axis=0).any()):
+            raise RuntimeError(
+                "every surviving arc was quarantined at some reference "
+                "condition; the Eq. 9 residual estimate is undefined")
+        delay_residuals = np.nanmean(delay_matrix, axis=0)
+        slew_residuals = np.nanmean(slew_matrix, axis=0)
+    else:
+        delay_residuals = np.mean(delay_matrix, axis=0)
+        slew_residuals = np.mean(slew_matrix, axis=0)
     runs = local_counter.total - runs_before
     run_ledger.add_simulations(runs, label=f"priors:{technology.name}")
 
@@ -380,6 +531,7 @@ def characterize_historical_library(
         delay_residuals=delay_residuals,
         slew_residuals=slew_residuals,
         simulation_runs=runs,
+        failures=tuple(failures),
     )
 
 
@@ -392,6 +544,8 @@ def characterize_historical_libraries(
     engine: str = "fused",
     ledger: Optional[RunLedger] = None,
     max_bytes: Optional[int] = None,
+    strict: Optional[bool] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> List[HistoricalLibraryData]:
     """Characterize several historical nodes with shared reference conditions.
 
@@ -405,7 +559,8 @@ def characterize_historical_libraries(
     return [characterize_historical_library(
                 technology, cells, unit_conditions=unit_conditions,
                 transitions=transitions, counter=counter, engine=engine,
-                ledger=ledger, max_bytes=max_bytes)
+                ledger=ledger, max_bytes=max_bytes, strict=strict,
+                retry_policy=retry_policy)
             for technology in technologies]
 
 

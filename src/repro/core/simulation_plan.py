@@ -60,7 +60,8 @@ def simulate_rows_job(payload: tuple):
     chunk's :class:`RunLedger` (integration wall time under the flow's own
     stage label, merged back in payload order by the executor).
     """
-    technology, cell, arc, variation, triples, n_steps, stage = payload
+    (technology, cell, arc, variation, triples, n_steps, stage,
+     on_failure) = payload
     ledger = RunLedger()
     with ledger.caches():
         inverter = reduce_cell_cached(cell, technology, arc=arc,
@@ -68,10 +69,10 @@ def simulate_rows_job(payload: tuple):
         with ledger.stage(stage):
             result = simulate_arc_transitions(
                 inverter, triples[:, 0], triples[:, 1], triples[:, 2],
-                n_steps=n_steps)
+                n_steps=n_steps, on_failure=on_failure)
             delay = np.asarray(result.delay(), dtype=float)
             slew = np.asarray(result.output_slew(), dtype=float)
-    return (delay, slew), ledger
+    return (delay, slew, result.quarantined), ledger
 
 
 @dataclass
@@ -95,6 +96,7 @@ class SignatureGroup:
     slot_index: Dict[tuple, int] = field(default_factory=dict)
     delays: List[Optional[np.ndarray]] = field(default_factory=list)
     slews: List[Optional[np.ndarray]] = field(default_factory=list)
+    quarantined: List[bool] = field(default_factory=list)
 
     def add_row(self, job: int, cond: int, key: tuple,
                 triple: tuple) -> None:
@@ -105,6 +107,7 @@ class SignatureGroup:
             self.triples.append(triple)
             self.delays.append(None)
             self.slews.append(None)
+            self.quarantined.append(False)
         self.rows.append((job, cond, key, slot))
 
 
@@ -114,12 +117,23 @@ class SimulationPlan:
     def __init__(self, technology: TechnologyNode,
                  variation: Optional[VariationSample] = None,
                  n_steps: int = DEFAULT_STEPS,
-                 integrate_stage: str = "fused:integrate") -> None:
+                 integrate_stage: str = "fused:integrate",
+                 on_failure: str = "raise") -> None:
+        if on_failure not in ("raise", "quarantine"):
+            raise ValueError(f"on_failure must be 'raise' or 'quarantine', "
+                             f"got {on_failure!r}")
         self.technology = technology
         self.variation = variation
         self.n_steps = int(n_steps)
         self.n_seeds = variation.n_seeds if variation is not None else 1
         self.integrate_stage = integrate_stage
+        #: Fault handling forwarded to every batched transient call; with
+        #: ``"quarantine"``, broken rows land in :attr:`quarantined_rows`
+        #: instead of aborting the plan.
+        self.on_failure = on_failure
+        #: After ``finalize``: job index -> sorted condition indices whose
+        #: simulation was quarantined (NaN delay/slew, not cached).
+        self.quarantined_rows: Dict[int, List[int]] = {}
         self._cache = get_simulation_cache()
         self._variation_fp = (variation.fingerprint() if variation is not None
                               else "nominal")
@@ -216,7 +230,7 @@ class SimulationPlan:
                 triples = np.array(group.triples[chunk], dtype=float)
                 payloads.append((self.technology, group.cell, group.arc,
                                  self.variation, triples, self.n_steps,
-                                 self.integrate_stage))
+                                 self.integrate_stage, self.on_failure))
                 self._payload_slots.append((group, chunk))
         self._results = executor.map_accounted(simulate_rows_job, payloads,
                                                ledger=ledger)
@@ -233,15 +247,26 @@ class SimulationPlan:
         """
         if self._results is None:
             raise RuntimeError("finalize() requires a prior simulate() call")
-        for (group, chunk), (delay, slew) in zip(self._payload_slots,
-                                                 self._results):
+        for (group, chunk), (delay, slew, quarantined) in zip(
+                self._payload_slots, self._results):
             for index, slot in enumerate(range(chunk.start, chunk.stop)):
                 group.delays[slot] = np.asarray(delay[index], dtype=float)
                 group.slews[slot] = np.asarray(slew[index], dtype=float)
+                if quarantined is not None and quarantined[index]:
+                    group.quarantined[slot] = True
         for group in self.groups.values():
             for job, cond, key, slot in group.rows:
                 delay_row = group.delays[slot]
                 slew_row = group.slews[slot]
                 self.job_delays[job][cond] = delay_row
                 self.job_slews[job][cond] = slew_row
+                if group.quarantined[slot]:
+                    # A quarantined row is a failed measurement: record it
+                    # against every job that shares the slot and keep it out
+                    # of the simulation cache (a retry must re-simulate, not
+                    # replay the failure).
+                    self.quarantined_rows.setdefault(job, []).append(cond)
+                    continue
                 self._cache.put(key, delay_row, slew_row)
+        for conds in self.quarantined_rows.values():
+            conds.sort()

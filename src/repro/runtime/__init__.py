@@ -10,7 +10,11 @@ extraction, timing graph):
 * :mod:`repro.runtime.executor` -- pluggable ``serial`` / ``chunked`` /
   ``process`` job execution with order-preserving results and merged
   accounting;
-* :mod:`repro.runtime.accounting` -- the unified :class:`RunLedger`.
+* :mod:`repro.runtime.accounting` -- the unified :class:`RunLedger`;
+* :mod:`repro.runtime.resilience` -- retry policies, structured failure
+  reports, and the ``strict=`` resolution of the library flows;
+* :mod:`repro.runtime.faultinject` -- deterministic seeded fault injection
+  at named sites (worker crashes, NaN payloads, exceptions, timeouts).
 
 Process-wide knobs live in :func:`configure`::
 
@@ -48,6 +52,22 @@ from repro.runtime.executor import (
     ProcessExecutor,
     SerialExecutor,
     get_executor,
+)
+from repro.runtime.faultinject import (
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    InjectedTimeout,
+    fault_sites,
+    inject,
+    register_fault_site,
+)
+from repro.runtime.resilience import (
+    FailureReport,
+    RetryError,
+    RetryPolicy,
+    resolve_strict,
+    run_with_retry,
 )
 
 #: Sentinel distinguishing "keep current" from an explicit ``None``.
@@ -139,8 +159,15 @@ __all__ = [
     "CacheStats",
     "ChunkedExecutor",
     "EXECUTOR_MODES",
+    "FailureReport",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedTimeout",
     "LruCache",
     "ProcessExecutor",
+    "RetryError",
+    "RetryPolicy",
     "RunLedger",
     "RuntimeConfig",
     "SerialExecutor",
@@ -149,12 +176,17 @@ __all__ = [
     "clear_all_caches",
     "configure",
     "default_sizeof",
+    "fault_sites",
     "get_executor",
     "get_registered_cache",
+    "inject",
     "plan_chunks",
     "register_cache",
+    "register_fault_site",
     "register_runtime_cache",
     "registered_caches",
     "resolve_max_bytes",
+    "resolve_strict",
+    "run_with_retry",
     "runtime_config",
 ]

@@ -16,7 +16,11 @@ The :class:`RunLedger` merges all of it into one picklable record:
   simulation rows each equivalent-inverter signature group of the fused
   library pipeline carried), so batching effectiveness is observable;
 * **cache activity** -- hit/miss/eviction deltas of the registered runtime
-  caches (``with ledger.caches(): ...`` snapshots around a block).
+  caches (``with ledger.caches(): ...`` snapshots around a block);
+* **failures** -- structured
+  :class:`~repro.runtime.resilience.FailureReport` records of work that was
+  quarantined or degraded rather than aborted (non-strict library flows),
+  concatenated on merge like group sizes.
 
 Ledgers merge associatively (``parent.merge(child)``), so per-arc ledgers
 produced inside process-pool workers combine into one library-level record
@@ -46,6 +50,7 @@ class RunLedger:
         self._metrics: Dict[str, int] = {}
         self._groups: Dict[str, List[int]] = {}
         self._cache_activity: Dict[str, Dict[str, int]] = {}
+        self._failures: List[dict] = []
 
     # ------------------------------------------------------------------
     # Recording
@@ -86,6 +91,15 @@ class RunLedger:
         entry["hits"] += int(hits)
         entry["misses"] += int(misses)
         entry["evictions"] += int(evictions)
+
+    def add_failure(self, report) -> None:
+        """Record a :class:`~repro.runtime.resilience.FailureReport`.
+
+        Stored in dict form so the ledger stays plain picklable state;
+        failures concatenate on merge in recording order.
+        """
+        record = report.as_dict() if hasattr(report, "as_dict") else dict(report)
+        self._failures.append(record)
 
     @contextmanager
     def stage(self, name: str):
@@ -141,6 +155,8 @@ class RunLedger:
             self.add_group_sizes(name, sizes)
         for cache_name, activity in other._cache_activity.items():
             self.add_cache_activity(cache_name, **activity)
+        for record in other._failures:
+            self._failures.append(dict(record))
         return self
 
     # ------------------------------------------------------------------
@@ -178,6 +194,11 @@ class RunLedger:
         return {name: dict(activity)
                 for name, activity in self._cache_activity.items()}
 
+    def failures(self) -> List:
+        """Recorded failures as :class:`FailureReport` objects, in order."""
+        from repro.runtime.resilience import FailureReport
+        return [FailureReport.from_dict(record) for record in self._failures]
+
     def as_dict(self) -> Dict[str, object]:
         """JSON-serializable form of the whole ledger."""
         return {
@@ -187,4 +208,5 @@ class RunLedger:
             "metrics": self.metrics(),
             "groups": self.group_sizes(),
             "caches": self.cache_activity(),
+            "failures": [dict(record) for record in self._failures],
         }

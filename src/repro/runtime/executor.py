@@ -21,19 +21,59 @@ Whatever the mode, ``map`` preserves payload order and
 records into the caller's ledger **in payload order**, so accounting is
 bit-identical across execution modes (the property the library-flow test
 suite pins).
+
+Fault tolerance (opt-in, default behavior unchanged): every executor can
+carry a :class:`~repro.runtime.resilience.RetryPolicy` that re-attempts
+failed jobs, and :class:`ProcessExecutor` survives worker crashes -- a
+``BrokenProcessPool`` no longer loses the batch; payloads without results
+are re-run through a serial fallback in the parent process.  Retries and
+fallbacks are counted on the executor (``last_retries``/``last_fallbacks``)
+and recorded as ``executor_retries``/``executor_fallbacks`` ledger metrics
+by ``map_accounted`` -- only when nonzero, so clean-run accounting stays
+bit-identical across modes.  Fault sites ``executor.job`` (per-payload) and
+``executor.process.map`` (pool construction) let the fault-injection
+harness exercise both paths deterministically.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.runtime import faultinject
 from repro.runtime.accounting import RunLedger
 from repro.runtime.chunking import plan_chunks
+from repro.runtime.resilience import RetryPolicy, run_with_retry
 
 #: Execution modes selectable in :func:`get_executor`.
 EXECUTOR_MODES = ("serial", "chunked", "process")
+
+SITE_PROCESS_MAP = faultinject.register_fault_site(
+    "executor.process.map",
+    "ProcessExecutor.map pool dispatch (crash -> BrokenProcessPool path)")
+SITE_JOB = faultinject.register_fault_site(
+    "executor.job",
+    "one executor payload about to run (any executor mode)")
+
+#: Sentinel distinguishing "no result yet" from a legitimate ``None`` result.
+_MISSING = object()
+
+
+def _annotate_payload_index(error: BaseException, index: int) -> None:
+    """Stamp the failing payload index into ``error``'s message in place.
+
+    Mutating ``args`` (rather than wrapping) preserves the exception type,
+    so callers' ``except SomeError`` clauses keep working.
+    """
+    note = f"(payload index {index})"
+    if note in "".join(str(a) for a in error.args):
+        return
+    if error.args and isinstance(error.args[0], str):
+        error.args = (f"{error.args[0]} {note}",) + error.args[1:]
+    else:
+        error.args = error.args + (note,)
 
 
 class SerialExecutor:
@@ -41,9 +81,44 @@ class SerialExecutor:
 
     mode = "serial"
 
+    def __init__(self, retry_policy: Optional[RetryPolicy] = None):
+        self._retry_policy = retry_policy
+        #: Job re-attempts during the most recent ``map`` call.
+        self.last_retries = 0
+        #: Payloads recovered through a serial fallback in the most recent
+        #: ``map`` call (only the process executor can fall back).
+        self.last_fallbacks = 0
+
+    @property
+    def retry_policy(self) -> Optional[RetryPolicy]:
+        """Retry policy applied to each job (``None`` = fail fast)."""
+        return self._retry_policy
+
+    def _reset_counters(self) -> None:
+        self.last_retries = 0
+        self.last_fallbacks = 0
+
+    def _count_retry(self, attempt: int, error: BaseException) -> None:
+        self.last_retries += 1
+
+    def _run_one(self, fn: Callable, payload, index: int):
+        """Run one payload through the ``executor.job`` fault site and,
+        when a retry policy is set, under :func:`run_with_retry`."""
+        def attempt():
+            faultinject.fire(SITE_JOB)
+            return fn(payload)
+
+        policy = self._retry_policy
+        if policy is None or policy.is_noop:
+            return attempt()
+        return run_with_retry(attempt, policy, site=f"job[{index}]",
+                              on_retry=self._count_retry)
+
     def map(self, fn: Callable, payloads: Sequence) -> List:
         """Apply ``fn`` to every payload, returning results in order."""
-        return [fn(payload) for payload in payloads]
+        self._reset_counters()
+        return [self._run_one(fn, payload, index)
+                for index, payload in enumerate(payloads)]
 
     def shard_hint(self, n_items: int) -> int:
         """How many shards ``n_items`` work items should split into.
@@ -63,7 +138,10 @@ class SerialExecutor:
 
         Per-job ledgers merge into ``ledger`` in payload order (independent
         of which worker or chunk ran the job); the bare results are
-        returned, in order.
+        returned, in order.  Retries and serial fallbacks from this map are
+        recorded as ``executor_retries``/``executor_fallbacks`` metrics --
+        only when nonzero, keeping clean-run accounting identical across
+        execution modes.
         """
         outcomes: List[Tuple[object, RunLedger]] = self.map(fn, payloads)
         results = []
@@ -71,6 +149,11 @@ class SerialExecutor:
             if ledger is not None and job_ledger is not None:
                 ledger.merge(job_ledger)
             results.append(result)
+        if ledger is not None:
+            if self.last_retries:
+                ledger.add_metric("executor_retries", self.last_retries)
+            if self.last_fallbacks:
+                ledger.add_metric("executor_fallbacks", self.last_fallbacks)
         return results
 
 
@@ -85,7 +168,9 @@ class ChunkedExecutor(SerialExecutor):
 
     mode = "chunked"
 
-    def __init__(self, chunk_size: int = 8):
+    def __init__(self, chunk_size: int = 8,
+                 retry_policy: Optional[RetryPolicy] = None):
+        super().__init__(retry_policy=retry_policy)
         if chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
         self._chunk_size = int(chunk_size)
@@ -97,10 +182,12 @@ class ChunkedExecutor(SerialExecutor):
 
     def map(self, fn: Callable, payloads: Sequence) -> List:
         payloads = list(payloads)
+        self._reset_counters()
         n_chunks = -(-len(payloads) // self._chunk_size) if payloads else 0
         results: List = []
         for chunk in plan_chunks(len(payloads), n_chunks=n_chunks):
-            results.extend(fn(payload) for payload in payloads[chunk])
+            results.extend(self._run_one(fn, payloads[index], index)
+                           for index in range(chunk.start, chunk.stop))
         return results
 
 
@@ -110,11 +197,24 @@ class ProcessExecutor(SerialExecutor):
     Workers are separate processes: they build their own runtime caches and
     fill their own ledgers, which :meth:`map_accounted` merges back in
     payload order.  Payloads and results must be picklable.
+
+    Crash recovery: a worker dying (segfault, OOM kill, ``os._exit``)
+    breaks the whole pool -- ``BrokenProcessPool`` -- and loses every
+    not-yet-collected result.  Instead of propagating, the payloads without
+    results are re-run through the serial path in the parent process
+    (counted in ``last_fallbacks``).  Ordinary worker exceptions are
+    retried serially when a retry policy is set; a final failure propagates
+    with its original type, annotated with the failing payload index.
     """
 
     mode = "process"
 
-    def __init__(self, max_workers: Optional[int] = None):
+    def __init__(self, max_workers: Optional[int] = None,
+                 retry_policy: Optional[RetryPolicy] = None):
+        super().__init__(retry_policy=retry_policy)
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be at least 1, "
+                             f"got {max_workers}")
         self._max_workers = max_workers
 
     @property
@@ -129,16 +229,54 @@ class ProcessExecutor(SerialExecutor):
         workers = self._max_workers or os.cpu_count() or 1
         return max(1, min(int(n_items), int(workers)))
 
+    def _serial_fallback(self, fn: Callable, payload, index: int):
+        """Recover one payload in the parent after a pool failure."""
+        self.last_fallbacks += 1
+        try:
+            return self._run_one(fn, payload, index)
+        except Exception as error:
+            _annotate_payload_index(error, index)
+            raise
+
     def map(self, fn: Callable, payloads: Sequence) -> List:
         payloads = list(payloads)
+        self._reset_counters()
         if not payloads:
             return []
-        with ProcessPoolExecutor(max_workers=self._max_workers) as pool:
-            return list(pool.map(fn, payloads))
+        results: List = [_MISSING] * len(payloads)
+        try:
+            faultinject.fire(SITE_PROCESS_MAP)
+            with ProcessPoolExecutor(max_workers=self._max_workers) as pool:
+                futures = [pool.submit(fn, payload) for payload in payloads]
+                for index, future in enumerate(futures):
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool:
+                        raise
+                    except Exception as error:
+                        # An ordinary worker exception leaves the pool
+                        # healthy; retry serially under the policy, else
+                        # propagate with the payload index stamped in.
+                        policy = self._retry_policy
+                        if policy is not None and not policy.is_noop:
+                            results[index] = self._serial_fallback(
+                                fn, payloads[index], index)
+                        else:
+                            _annotate_payload_index(error, index)
+                            raise
+        except BrokenProcessPool:
+            # The pool is unusable; every payload without a collected
+            # result re-runs serially in the parent.
+            for index, result in enumerate(results):
+                if result is _MISSING:
+                    results[index] = self._serial_fallback(
+                        fn, payloads[index], index)
+        return results
 
 
 def get_executor(mode: str, max_workers: Optional[int] = None,
-                 chunk_size: int = 8) -> SerialExecutor:
+                 chunk_size: int = 8,
+                 retry_policy: Optional[RetryPolicy] = None) -> SerialExecutor:
     """Build an executor by mode name.
 
     Parameters
@@ -149,11 +287,16 @@ def get_executor(mode: str, max_workers: Optional[int] = None,
         Pool size for ``"process"`` (ignored otherwise).
     chunk_size:
         Jobs per chunk for ``"chunked"`` (ignored otherwise).
+    retry_policy:
+        Optional :class:`~repro.runtime.resilience.RetryPolicy` applied to
+        each job in any mode (``None`` = historical fail-fast behavior).
     """
     if mode == "serial":
-        return SerialExecutor()
+        return SerialExecutor(retry_policy=retry_policy)
     if mode == "chunked":
-        return ChunkedExecutor(chunk_size=chunk_size)
+        return ChunkedExecutor(chunk_size=chunk_size,
+                               retry_policy=retry_policy)
     if mode == "process":
-        return ProcessExecutor(max_workers=max_workers)
+        return ProcessExecutor(max_workers=max_workers,
+                               retry_policy=retry_policy)
     raise ValueError(f"mode must be one of {EXECUTOR_MODES}, got {mode!r}")

@@ -1,0 +1,304 @@
+"""Fault-tolerance primitives: retry policies and structured failure reports.
+
+The characterization-as-a-service north star means long-lived, heavy-traffic
+runs, but until this module every layer of the stack was fail-fast: one
+transient exception, crashed worker or non-finite row aborted a whole
+library characterization.  The resilience layer splits fault handling into
+three reusable pieces that the engines thread through their existing
+execution substrate:
+
+* :class:`RetryPolicy` / :func:`run_with_retry` -- bounded retries with
+  exponential backoff and *deterministic seeded jitter* (same policy, same
+  site, same delays -- reproducibility is a load-bearing property of this
+  codebase, so even the backoff schedule is replayable);
+* :class:`FailureReport` -- the structured record of one failed unit of
+  work (which arc, which stage, what raised, how many attempts), recorded
+  on the :class:`~repro.runtime.accounting.RunLedger` and rendered by
+  :func:`repro.analysis.reporting.format_ledger`;
+* :func:`resolve_strict` -- the ``strict=True|False`` switch of the library
+  flows: strict preserves the historical fail-fast behavior, non-strict
+  degrades per row/arc and returns partial results plus failure reports.
+
+Process-wide defaults come from environment knobs so operators can harden a
+deployment without touching call sites:
+
+* ``REPRO_MAX_RETRIES`` -- extra attempts after the first failure
+  (default 0, i.e. fail on the first error exactly as before);
+* ``REPRO_RETRY_BACKOFF`` -- base backoff delay in seconds (default 0.0);
+* ``REPRO_STRICT`` -- default strictness of the library flows
+  (default 1 / strict).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+__all__ = [
+    "FailureReport",
+    "RetryError",
+    "RetryPolicy",
+    "deterministic_uniform",
+    "resolve_strict",
+    "run_with_retry",
+]
+
+#: Environment knob names (documented in the README's resilient-runtime section).
+ENV_MAX_RETRIES = "REPRO_MAX_RETRIES"
+ENV_RETRY_BACKOFF = "REPRO_RETRY_BACKOFF"
+ENV_STRICT = "REPRO_STRICT"
+
+_FALSE_STRINGS = ("0", "false", "no", "off", "")
+
+
+def deterministic_uniform(seed: int, *parts) -> float:
+    """A reproducible uniform draw in ``[0, 1)`` keyed by ``(seed, *parts)``.
+
+    CRC32 of the rendered key -- platform-independent and stable across
+    runs, unlike ``hash()`` (randomized per process) or a shared RNG stream
+    (order-dependent).  Both the retry jitter and the fault-injection
+    schedule derive from this, which is what makes fault runs replayable.
+    """
+    key = ":".join([str(int(seed))] + [str(part) for part in parts])
+    return zlib.crc32(key.encode("utf-8")) / 2.0 ** 32
+
+
+def resolve_strict(strict: Optional[bool]) -> bool:
+    """Resolve a flow's ``strict`` switch (``None`` defers to ``REPRO_STRICT``)."""
+    if strict is not None:
+        return bool(strict)
+    return os.environ.get(ENV_STRICT, "1").strip().lower() not in _FALSE_STRINGS
+
+
+class RetryError(RuntimeError):
+    """Raised when a retried task exhausts its attempts (or its deadline).
+
+    Attributes
+    ----------
+    site:
+        The caller-supplied task label.
+    attempts:
+        Attempts actually made; the last failure is chained as ``__cause__``.
+    """
+
+    def __init__(self, site: str, attempts: int, error: BaseException):
+        super().__init__(
+            f"{site} failed after {attempts} attempt{'s' if attempts != 1 else ''}: "
+            f"{type(error).__name__}: {error}")
+        self.site = site
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often, and with what spacing, a failed task is re-attempted.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts including the first (1 = no retries, the default --
+        a ``RetryPolicy()`` is behaviorally a no-op).
+    backoff_s:
+        Delay before the first retry, in seconds.
+    backoff_factor:
+        Multiplier applied to the delay after every retry (exponential
+        backoff).
+    jitter:
+        Fractional jitter on each delay: delay ``i`` is scaled by
+        ``1 + jitter * u_i`` with ``u_i`` a deterministic uniform in
+        ``[0, 1)`` derived from ``seed`` -- spreading a fleet's retries
+        without sacrificing replayability.
+    seed:
+        Seed of the jitter schedule.
+    deadline_s:
+        Per-attempt deadline in seconds.  Python cannot preempt a running
+        attempt, so the deadline is cooperative: an attempt that *fails*
+        after running longer than the deadline is not retried (its retry
+        budget is considered spent).  ``None`` disables the check.
+    """
+
+    max_attempts: int = 1
+    backoff_s: float = 0.0
+    backoff_factor: float = 2.0
+    jitter: float = 0.0
+    seed: int = 0
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_s < 0.0:
+            raise ValueError("backoff_s must be non-negative")
+        if self.backoff_factor <= 0.0:
+            raise ValueError("backoff_factor must be positive")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError("jitter must be in [0, 1]")
+        if self.deadline_s is not None and self.deadline_s <= 0.0:
+            raise ValueError("deadline_s must be positive (or None)")
+
+    @classmethod
+    def from_env(cls, seed: int = 0) -> "RetryPolicy":
+        """Policy from ``REPRO_MAX_RETRIES`` / ``REPRO_RETRY_BACKOFF``.
+
+        With neither variable set this is the no-op single-attempt policy,
+        so default runs behave exactly as they did before the resilience
+        layer existed.
+        """
+        retries = int(os.environ.get(ENV_MAX_RETRIES, "0"))
+        if retries < 0:
+            raise ValueError(f"{ENV_MAX_RETRIES} must be non-negative")
+        backoff = float(os.environ.get(ENV_RETRY_BACKOFF, "0.0"))
+        if backoff < 0.0:
+            raise ValueError(f"{ENV_RETRY_BACKOFF} must be non-negative")
+        return cls(max_attempts=retries + 1, backoff_s=backoff, seed=seed)
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether the policy never retries (single attempt)."""
+        return self.max_attempts <= 1
+
+    def delays(self) -> List[float]:
+        """The deterministic backoff delay before each retry, in order.
+
+        ``max_attempts - 1`` entries; entry ``i`` spaces attempt ``i + 1``
+        from attempt ``i + 2``.  Identical for identical policies.
+        """
+        delays = []
+        for index in range(self.max_attempts - 1):
+            base = self.backoff_s * self.backoff_factor ** index
+            scale = 1.0 + self.jitter * deterministic_uniform(self.seed, index)
+            delays.append(base * scale)
+        return delays
+
+
+def run_with_retry(
+    fn: Callable[[], object],
+    policy: Optional[RetryPolicy] = None,
+    *,
+    site: str = "task",
+    retry_on: Tuple[type, ...] = (Exception,),
+    ledger=None,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+) -> object:
+    """Run ``fn`` under a retry policy; the core helper of the resilience layer.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable (bind payloads with a closure or
+        ``functools.partial``).
+    policy:
+        ``None`` or a no-op policy runs ``fn`` once with no wrapping at all
+        -- the first failure propagates unchanged, preserving pre-resilience
+        semantics exactly.
+    site:
+        Label used in error messages and ledger metrics.
+    retry_on:
+        Exception classes that are retried; anything else propagates
+        immediately.
+    ledger:
+        Optional :class:`~repro.runtime.accounting.RunLedger`; every retry
+        adds 1 to the ``retries`` metric (and ``retries:<site>``).
+    on_retry:
+        Optional callback ``(attempt_index, error)`` invoked before each
+        retry (the executors count their retries through it).
+    sleep, clock:
+        Injectable for tests (deterministic fake time).
+
+    Raises
+    ------
+    RetryError
+        When every attempt failed (or the per-attempt deadline was
+        exceeded); the last failure is chained as ``__cause__``.
+    """
+    if policy is None or policy.is_noop:
+        return fn()
+    delays = policy.delays()
+    last_error: Optional[BaseException] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        started = clock()
+        try:
+            return fn()
+        except retry_on as error:
+            last_error = error
+            elapsed = clock() - started
+            overdue = (policy.deadline_s is not None
+                       and elapsed > policy.deadline_s)
+            if attempt == policy.max_attempts or overdue:
+                raise RetryError(site, attempt, error) from error
+            if ledger is not None:
+                ledger.add_metric("retries", 1)
+                ledger.add_metric(f"retries:{site}", 1)
+            if on_retry is not None:
+                on_retry(attempt, error)
+            delay = delays[attempt - 1]
+            if delay > 0.0:
+                sleep(delay)
+    raise RetryError(site, policy.max_attempts, last_error)  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """One failed unit of work, in the shape the ledger and reports render.
+
+    Attributes
+    ----------
+    unit:
+        What failed -- the library flows use ``"<cell>:<arc name>"``.
+    stage:
+        Pipeline stage that failed (``"simulate"``, ``"extract"``, ...).
+    error:
+        Human-readable error message.
+    error_type:
+        Exception class name (or a symbolic tag such as
+        ``"QuarantinedRows"`` for per-row quarantine).
+    attempts:
+        Attempts made before giving up.
+    """
+
+    unit: str
+    stage: str
+    error: str
+    error_type: str = ""
+    attempts: int = 1
+
+    @classmethod
+    def from_exception(cls, unit: str, stage: str, error: BaseException,
+                       attempts: int = 1) -> "FailureReport":
+        """Build a report from a caught exception.
+
+        A :class:`RetryError` is unwrapped to its cause (the actual
+        failure) and contributes its attempt count.
+        """
+        if isinstance(error, RetryError):
+            attempts = max(attempts, error.attempts)
+            cause = error.__cause__
+            if cause is not None:
+                error = cause
+        return cls(unit=unit, stage=stage, error=str(error),
+                   error_type=type(error).__name__, attempts=int(attempts))
+
+    def as_dict(self) -> dict:
+        """Picklable/JSON form (the shape stored on the ledger)."""
+        return {"unit": self.unit, "stage": self.stage, "error": self.error,
+                "error_type": self.error_type, "attempts": int(self.attempts)}
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "FailureReport":
+        """Inverse of :meth:`as_dict`."""
+        return cls(unit=str(record["unit"]), stage=str(record["stage"]),
+                   error=str(record["error"]),
+                   error_type=str(record.get("error_type", "")),
+                   attempts=int(record.get("attempts", 1)))
+
+    def describe(self) -> str:
+        """One-line rendering used by reports."""
+        kind = f" [{self.error_type}]" if self.error_type else ""
+        tries = (f" after {self.attempts} attempts" if self.attempts != 1
+                 else "")
+        return f"{self.unit} failed at {self.stage}{kind}{tries}: {self.error}"

@@ -32,11 +32,13 @@ Design notes:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.cells.equivalent_inverter import EquivalentInverter
 from repro.cells.library import Transition
+from repro.runtime import faultinject
 from repro.spice import transient as _serial
 from repro.spice.transient import (
     DEFAULT_STEPS,
@@ -49,6 +51,13 @@ from repro.spice.waveform import (
     SLEW_LOW_THRESHOLD,
     WaveformBatch,
 )
+
+SITE_INTEGRATE = faultinject.register_fault_site(
+    "transient.integrate",
+    "one batched transient call about to integrate (exception faults)")
+SITE_STATE = faultinject.register_fault_site(
+    "transient.state",
+    "post-ramp RK4 state of a batched transient call (NaN row faults)")
 
 
 @dataclass(frozen=True)
@@ -69,6 +78,11 @@ class BatchTransientResult:
     sin: np.ndarray
     cload: np.ndarray
     vdd: np.ndarray
+    #: Boolean mask of shape ``(n_conditions,)`` marking rows retired by
+    #: per-row quarantine (``on_failure="quarantine"``): their integration
+    #: went non-finite or never completed, and their delay/slew values are
+    #: NaN.  ``None`` when the simulation ran fail-fast (the default).
+    quarantined: Optional[np.ndarray] = None
 
     @property
     def n_conditions(self) -> int:
@@ -79,6 +93,12 @@ class BatchTransientResult:
     def n_seeds(self) -> int:
         """Number of Monte Carlo seeds per condition."""
         return self.output_waveforms.n_seeds
+
+    def quarantined_indices(self) -> np.ndarray:
+        """Condition indices retired by quarantine (empty when none were)."""
+        if self.quarantined is None:
+            return np.empty(0, dtype=int)
+        return np.nonzero(self.quarantined)[0]
 
     def delay(self) -> np.ndarray:
         """Propagation delay, shape ``(n_conditions, n_seeds)``, in seconds."""
@@ -214,6 +234,7 @@ def simulate_arc_transitions(
     cload,
     vdd,
     n_steps: int = DEFAULT_STEPS,
+    on_failure: str = "raise",
 ) -> BatchTransientResult:
     """Simulate every requested condition of one arc in a single batch.
 
@@ -227,6 +248,16 @@ def simulate_arc_transitions(
         supply voltages (volts); arrays or sequences of equal length.
     n_steps:
         Number of RK4 steps in each condition's initial window.
+    on_failure:
+        ``"raise"`` (default) aborts the whole batch when a condition's
+        integration goes non-finite or exhausts its window extensions --
+        the historical fail-fast semantics.  ``"quarantine"`` instead
+        retires such conditions per row: after each tail chunk, rows with
+        non-finite RK4 state (and, at exhaustion, rows that never
+        completed) are marked in ``BatchTransientResult.quarantined`` and
+        dropped from further integration; their delay/slew evaluate to
+        NaN while every healthy row is computed bit-identically to a
+        fail-fast run.
 
     Returns
     -------
@@ -237,13 +268,16 @@ def simulate_arc_transitions(
     Raises
     ------
     ValueError
-        For empty or mismatched condition arrays, non-positive entries, or
-        ``n_steps < 16``.
+        For empty, mismatched, non-finite or non-positive condition
+        arrays, ``n_steps < 16``, or an unknown ``on_failure``.
     RuntimeError
-        If any condition's output fails to complete its transition after the
-        maximum number of window extensions (same semantics as the serial
-        engine).
+        Only with ``on_failure="raise"``: if any condition's output fails
+        to complete its transition after the maximum number of window
+        extensions (same semantics as the serial engine).
     """
+    if on_failure not in ("raise", "quarantine"):
+        raise ValueError(f"on_failure must be 'raise' or 'quarantine', "
+                         f"got {on_failure!r}")
     sin = np.atleast_1d(np.asarray(sin, dtype=float))
     cload = np.atleast_1d(np.asarray(cload, dtype=float))
     vdd = np.atleast_1d(np.asarray(vdd, dtype=float))
@@ -251,10 +285,17 @@ def simulate_arc_transitions(
         raise ValueError("sin, cload and vdd must be 1-D arrays of equal length")
     if sin.size == 0:
         raise ValueError("at least one condition is required")
+    for name, values in (("sin", sin), ("cload", cload), ("vdd", vdd)):
+        bad = np.nonzero(~np.isfinite(values))[0]
+        if bad.size:
+            raise ValueError(
+                f"{name} contains a non-finite value at condition index "
+                f"{int(bad[0])} ({bad.size} of {values.size} non-finite)")
     if np.any(sin <= 0.0) or np.any(cload <= 0.0) or np.any(vdd <= 0.0):
         raise ValueError("sin, cload and vdd must all be positive")
     if n_steps < 16:
         raise ValueError("n_steps must be at least 16")
+    faultinject.fire(SITE_INTEGRATE)
 
     n_cond = sin.size
     falling_output = inverter.arc.output_transition is Transition.FALL
@@ -370,6 +411,9 @@ def simulate_arc_transitions(
     vout = integrate_chunk(np.zeros(n_cond), sin, ramp_steps, vout, all_idx,
                            time_matrix[:, :ramp_steps + 1],
                            volt_matrix[:, :ramp_steps + 1])
+    # Identity without an active injector; under injection, NaN-poisoned
+    # rows flow into phase B and are caught by the quarantine check below.
+    vout = faultinject.corrupt_rows(SITE_STATE, vout)
 
     # Phase B: per-condition tail windows with geometric extension.  Finished
     # conditions retire from the active set; stragglers keep extending.
@@ -381,6 +425,7 @@ def simulate_arc_transitions(
     active = all_idx
     extension_records = []
     lengths = np.full(n_cond, base_len, dtype=int)
+    quarantined = np.zeros(n_cond, dtype=bool)
     max_extensions = _serial._MAX_EXTENSIONS
     for extension in range(max_extensions):
         if extension == 0:
@@ -404,6 +449,16 @@ def simulate_arc_transitions(
         else:
             done = np.all(state >= supply - 0.5 * (1.0 - SLEW_HIGH_THRESHOLD)
                           * supply, axis=1)
+        if on_failure == "quarantine":
+            # A non-finite state row can never satisfy the completion
+            # thresholds (NaN comparisons are False), so without quarantine
+            # it would extend to exhaustion and abort the batch.  Retire it
+            # now: its stored samples are already NaN, so its delay/slew
+            # evaluate to NaN downstream.
+            broken = ~np.all(np.isfinite(state), axis=1)
+            if np.any(broken):
+                quarantined[active[broken]] = True
+                done = done | broken
         t_start[active] = times[:, -1]
         still_active = active[~done]
         if still_active.size == 0:
@@ -412,14 +467,20 @@ def simulate_arc_transitions(
         window[still_active] *= 1.8
         active = still_active
     else:
-        first = int(active[0])
-        raise RuntimeError(
-            f"output of {inverter.cell_name} did not complete its transition "
-            f"(sin={sin[first]:.3g}s, cload={cload[first]:.3g}F, "
-            f"vdd={vdd[first]:.3g}V); the cell is likely non-functional at "
-            f"this operating point ({active.size} of {n_cond} conditions "
-            "incomplete)"
-        )
+        if on_failure == "quarantine":
+            # Window extensions exhausted: quarantine the stragglers
+            # instead of aborting every healthy condition with them (their
+            # samples are poisoned to NaN after the extension merge below).
+            quarantined[active] = True
+        else:
+            first = int(active[0])
+            raise RuntimeError(
+                f"output of {inverter.cell_name} did not complete its "
+                f"transition (sin={sin[first]:.3g}s, cload={cload[first]:.3g}F, "
+                f"vdd={vdd[first]:.3g}V); the cell is likely non-functional at "
+                f"this operating point ({active.size} of {n_cond} conditions "
+                "incomplete)"
+            )
 
     if extension_records:
         # Stragglers needed extra chunks: grow the matrices once, scatter the
@@ -442,6 +503,13 @@ def simulate_arc_transitions(
             time_matrix[index, length:] = time_matrix[index, length - 1]
             volt_matrix[index, length:] = volt_matrix[index, length - 1]
 
+    if np.any(quarantined):
+        # A quarantined row must read as "no measurement": non-finite rows
+        # are NaN already, but an exhausted (never-completing) row can still
+        # have crossed the 50% threshold and would otherwise yield a
+        # plausible-looking delay.  Poison them all uniformly.
+        volt_matrix[quarantined] = np.nan
+
     # The input ramps, sampled on the same per-condition time axes with the
     # exact expression of RampStimulus.voltage.
     fraction = np.clip(time_matrix / sin[:, np.newaxis], 0.0, 1.0)
@@ -458,4 +526,5 @@ def simulate_arc_transitions(
         sin=sin,
         cload=cload,
         vdd=vdd,
+        quarantined=quarantined if on_failure == "quarantine" else None,
     )
