@@ -42,13 +42,19 @@ RESULTS_DIR = Path(__file__).parent / "benchmark_results"
 #: ``REPRO_BENCH_FAULT_CELLS``       cells in the fault-acceptance library (4)
 #: ``REPRO_BENCH_FAULT_SEEDS``       seeds in the fault-acceptance run (8)
 #: ``REPRO_BENCH_FAULT_CONDITIONS``  fitting conditions per arc (3)
+#: ``REPRO_BENCH_PERSIST_CELLS``       cells in the durable-store library (6)
+#: ``REPRO_BENCH_PERSIST_SEEDS``       seeds in the durable-store run (16)
+#: ``REPRO_BENCH_PERSIST_CONDITIONS``  fitting conditions per arc (3)
+#: ``REPRO_BENCH_PERSIST_MIN_SPEEDUP`` assertion floor for cold/warm (3.0)
 #: ``REPRO_BENCH_PRIORS_NODES``      historical nodes per technology star (8)
 #: ``REPRO_BENCH_PRIORS_CLASSES``    arc classes in the prior-learning fleet (50)
 #: ``REPRO_BENCH_PRIORS_MIN_SPEEDUP`` assertion floor for batched/loop BP (3.0)
 #:
 #: Separately, ``REPRO_SIM_CACHE`` / ``REPRO_SIM_CACHE_SIZE`` /
 #: ``REPRO_SIM_CACHE_BYTES`` control the library's global simulation cache
-#: (see ``repro.spice.testbench``).
+#: (see ``repro.spice.testbench``), and ``REPRO_DISK_CACHE`` /
+#: ``REPRO_DISK_CACHE_BYTES`` enable its durable on-disk tier
+#: (see ``repro.runtime.persist``).
 
 
 def env_int(name: str, default: int) -> int:

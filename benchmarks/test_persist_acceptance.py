@@ -1,0 +1,182 @@
+"""Durable-store acceptance run: warm-starting from disk beats recomputing.
+
+The robustness counterpart of the cache microbenchmarks: a small library
+characterization runs once against an empty on-disk tier (cold -- every
+simulation is integrated and written through), then again in a fresh
+"process" (all memory caches cleared, disk kept).  The warm run must
+
+* reproduce the cold run's entries bit for bit (disk entries are pickled
+  float64 arrays -- the round trip is exact),
+* be at least ``REPRO_BENCH_PERSIST_MIN_SPEEDUP`` times faster (default
+  3x: it replays transient integrations as disk reads),
+* report its reuse through the ledger's ``simulation:disk`` activity row.
+
+Two more contracts ride along: corrupted store entries (one truncated, one
+bit-flipped) are quarantined and recomputed -- same results, never a crash
+-- and a checkpointed run resumes as a pure journal replay that matches the
+original entries exactly.
+
+The record lands in ``BENCH_persist.json``.  Knobs:
+
+``REPRO_BENCH_PERSIST_CELLS``        cells in the synthetic library (6)
+``REPRO_BENCH_PERSIST_SEEDS``        Monte Carlo seeds (16)
+``REPRO_BENCH_PERSIST_CONDITIONS``   fitting conditions per arc (3)
+``REPRO_BENCH_PERSIST_MIN_SPEEDUP`` assertion floor for cold/warm (3.0)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_utils import env_float, env_int, write_json_result  # noqa: E402
+
+import repro.runtime as runtime
+from repro import RunLedger, get_technology, make_cell
+from repro.analysis import format_cache_stats
+from repro.cells.library import StandardCellLibrary
+from repro.core.library_flow import characterize_library
+from repro.core.prior_learning import characterize_historical_library, learn_prior
+from repro.runtime.checkpoint import load_checkpoint
+
+_TEMPLATES = ("INV_X1", "NAND2_X1", "NOR2_X1", "INV_X2")
+
+
+def synthetic_library(n_cells: int) -> StandardCellLibrary:
+    """``n_cells`` renamed template copies (footprint twins at library scale)."""
+    cells = []
+    for index in range(n_cells):
+        base = make_cell(_TEMPLATES[index % len(_TEMPLATES)])
+        cells.append(dataclasses.replace(base, name=f"{base.name}_C{index:03d}"))
+    return StandardCellLibrary(f"persist_{n_cells}cells", cells)
+
+
+def _assert_entries_equal(lhs, rhs):
+    assert len(lhs.entries) == len(rhs.entries)
+    for left, right in zip(lhs.entries, rhs.entries):
+        assert (left.cell_name, left.arc.name) == (right.cell_name,
+                                                   right.arc.name)
+        np.testing.assert_array_equal(left.statistical.delay_parameters,
+                                      right.statistical.delay_parameters)
+        np.testing.assert_array_equal(left.statistical.slew_parameters,
+                                      right.statistical.slew_parameters)
+
+
+def test_persist_acceptance(results_dir):
+    n_cells = env_int("REPRO_BENCH_PERSIST_CELLS", 6)
+    n_seeds = env_int("REPRO_BENCH_PERSIST_SEEDS", 16)
+    conditions = env_int("REPRO_BENCH_PERSIST_CONDITIONS", 3)
+    min_speedup = env_float("REPRO_BENCH_PERSIST_MIN_SPEEDUP", 3.0)
+
+    technology = get_technology("n28_bulk")
+    library = synthetic_library(n_cells)
+    historical = [characterize_historical_library(
+        get_technology("n45_bulk"),
+        [make_cell(name) for name in ("INV_X1", "NAND2_X1", "NOR2_X1")])]
+    delay_prior = learn_prior(historical, response="delay")
+    slew_prior = learn_prior(historical, response="slew")
+
+    def run(**kwargs):
+        # clear_all_caches() empties every *memory* tier, so each run sees
+        # exactly what a fresh process would: nothing in RAM, whatever the
+        # durable tier holds on disk.
+        runtime.clear_all_caches()
+        ledger = RunLedger()
+        start = time.perf_counter()
+        result = characterize_library(
+            technology, library, delay_prior, slew_prior,
+            conditions=conditions, n_seeds=n_seeds, rng=17, ledger=ledger,
+            **kwargs)
+        return result, ledger, time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="repro_bench_persist_") as root:
+        runtime.configure(disk_cache_dir=str(root))
+        try:
+            cold, _, cold_seconds = run()
+            warm, warm_ledger, warm_seconds = run()
+
+            # --------------------------------------------------------------
+            # Warm start: bit-identical, disk-served, and >= the floor.
+            # --------------------------------------------------------------
+            _assert_entries_equal(warm, cold)
+            disk_activity = warm_ledger.cache_activity()["simulation:disk"]
+            assert disk_activity["hits"] > 0, \
+                "the warm run must be served from the durable tier"
+            speedup = cold_seconds / warm_seconds
+            assert speedup >= min_speedup, (
+                f"warm start {warm_seconds:.3f}s vs cold {cold_seconds:.3f}s "
+                f"= {speedup:.2f}x, below the {min_speedup:.1f}x floor")
+
+            sim_stats = runtime.cache_stats()["simulation"]
+            store_root = Path(root) / "simulation"
+
+            # --------------------------------------------------------------
+            # Corruption: truncate one entry, bit-flip another; the third
+            # run quarantines both, recomputes, and still matches exactly.
+            # --------------------------------------------------------------
+            entries = sorted(store_root.glob("entries/*/*.entry"))
+            assert len(entries) >= 2
+            entries[0].write_bytes(entries[0].read_bytes()[:20])
+            flipped = bytearray(entries[1].read_bytes())
+            flipped[-1] ^= 0x01
+            entries[1].write_bytes(bytes(flipped))
+
+            repaired, repaired_ledger, repaired_seconds = run()
+            _assert_entries_equal(repaired, cold)
+            quarantined = runtime.cache_stats()["simulation"].disk_quarantined
+            assert quarantined >= 2, \
+                "both damaged entries must be quarantined, not fatal"
+        finally:
+            runtime.configure(disk_cache_dir=None)
+
+        # ------------------------------------------------------------------
+        # Checkpoint/resume: a completed journal replays bit-identically.
+        # ------------------------------------------------------------------
+        checkpoint_dir = str(Path(root) / "checkpoint")
+        checkpointed, _, checkpoint_seconds = run(checkpoint_dir=checkpoint_dir)
+        _assert_entries_equal(checkpointed, cold)
+        resumed, _, replay_seconds = run(checkpoint_dir=checkpoint_dir,
+                                         resume=True)
+        _assert_entries_equal(resumed, cold)
+        assert load_checkpoint(checkpoint_dir).completed
+
+    n_arcs = len(cold.entries)
+    print(f"\nPersist acceptance: {n_cells} cells / {n_arcs} arcs x "
+          f"{n_seeds} seeds x {conditions} conditions")
+    print(f"cold run       : {cold_seconds:.3f} s")
+    print(f"warm run       : {warm_seconds:.3f} s ({speedup:.2f}x, "
+          f"floor {min_speedup:.1f}x)")
+    print(f"corrupted rerun: {repaired_seconds:.3f} s "
+          f"({quarantined} entr{'y' if quarantined == 1 else 'ies'} quarantined)")
+    print(f"journal replay : {replay_seconds:.3f} s")
+    print("\n" + format_cache_stats({"simulation": sim_stats},
+                                    title="Warm-run cache tiers"))
+
+    payload = {
+        "benchmark": "persist_acceptance",
+        "host": platform.node(),
+        "n_cells": n_cells,
+        "n_seeds": n_seeds,
+        "n_conditions": conditions,
+        "n_arcs": n_arcs,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": round(speedup, 2),
+        "min_speedup": min_speedup,
+        "warm_disk_hits": int(disk_activity["hits"]),
+        "disk_entries": int(sim_stats.disk_entries),
+        "disk_bytes": int(sim_stats.disk_bytes),
+        "corrupted_rerun_seconds": round(repaired_seconds, 4),
+        "quarantined_entries": int(quarantined),
+        "checkpoint_seconds": round(checkpoint_seconds, 4),
+        "replay_seconds": round(replay_seconds, 4),
+    }
+    write_json_result(results_dir / "BENCH_persist.json", payload)

@@ -42,7 +42,7 @@ from repro import (
     learn_prior,
     make_cell,
 )
-from repro.analysis import format_ledger, format_table
+from repro.analysis import format_cache_stats, format_ledger, format_table
 from repro.cells import StandardCellLibrary, Transition
 from repro.liberty import parse_liberty
 from repro.sta import MonteCarloSsta, StaticTimingAnalyzer, c17_benchmark, nand_nor_tree
@@ -120,6 +120,34 @@ def main() -> None:
         for a, b in zip(result.entries, parallel.entries))
     print(f"Process fan-out finished in {time.time() - t_par:.1f} s; "
           f"results identical to serial: {agree}")
+
+    # ------------------------------------------------------------------
+    # Durable tier: the same run warm-started from disk.  Attaching a
+    # DiskStore keeps simulated rows across processes and days; clearing
+    # the memory caches models a fresh process, which then refills from
+    # the on-disk store instead of re-simulating.
+    # ------------------------------------------------------------------
+    with tempfile.TemporaryDirectory(prefix="repro_disk_cache_") as disk_dir:
+        runtime.configure(disk_cache_dir=disk_dir)
+        runtime.clear_all_caches()  # force the seed run to write through
+        characterize_library(target, library, delay_prior, slew_prior,
+                             conditions=4, n_seeds=n_seeds, rng=17)
+        runtime.clear_all_caches()  # memory gone; the disk tier survives
+        t_warm = time.time()
+        warm = characterize_library(target, library, delay_prior, slew_prior,
+                                    conditions=4, n_seeds=n_seeds, rng=17)
+        warm_seconds = time.time() - t_warm
+        agree = all(
+            np.array_equal(a.statistical.delay_parameters,
+                           b.statistical.delay_parameters)
+            for a, b in zip(result.entries, warm.entries))
+        stats = runtime.cache_stats()
+        print(f"Disk-tier warm start finished in {warm_seconds:.1f} s; "
+              f"results identical: {agree} "
+              f"({stats['simulation'].disk_hits} disk hits, "
+              f"{stats['simulation'].disk_quarantined} quarantined)")
+        print("\n" + format_cache_stats(stats, title="Cache tiers after warm start"))
+        runtime.configure(disk_cache_dir=None)
 
     # ------------------------------------------------------------------
     # Liberty export (mean + sigma tables) and round trip.

@@ -20,6 +20,7 @@ from repro.analysis.comparison import (
     crossover_budget,
 )
 from repro.analysis.reporting import (
+    format_cache_stats,
     format_curve_table,
     format_ledger,
     format_speedups,
@@ -32,6 +33,7 @@ __all__ = [
     "compare_curves",
     "crossover_budget",
     "empirical_pdf",
+    "format_cache_stats",
     "format_curve_table",
     "format_ledger",
     "format_speedups",

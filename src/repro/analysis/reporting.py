@@ -90,6 +90,11 @@ def format_ledger(ledger: RunLedger, title: str = "Run ledger") -> str:
     pipeline's rows per equivalent-inverter signature group), cache
     hit/miss/eviction activity, and the failures recorded by non-strict
     (gracefully degrading) runs.
+
+    Caches with a durable tier attached contribute extra activity rows
+    named ``"<cache>:disk"`` (recorded by ``RunLedger.caches()``), so
+    warm-start traffic against the on-disk store is visible in the same
+    cache table.
     """
     blocks: List[str] = []
     stages = ledger.stages()
@@ -147,3 +152,30 @@ def format_ledger(ledger: RunLedger, title: str = "Run ledger") -> str:
     if not blocks:
         return title + "\n(empty ledger)" if title else "(empty ledger)"
     return "\n\n".join(blocks)
+
+
+def format_cache_stats(stats: Dict[str, object],
+                       title: str = "Cache tiers") -> str:
+    """Render ``repro.runtime.cache_stats()`` including the durable tier.
+
+    One row per registered cache: the memory-tier counters, then -- for
+    durable caches with a :class:`~repro.runtime.persist.DiskStore`
+    attached -- the disk-tier hit/miss/write traffic, resident entry bytes,
+    and the number of corrupt entries quarantined.  Memory-only caches show
+    ``-`` in the disk columns so warm-start coverage is obvious at a
+    glance.
+    """
+    headers = ["cache", "hits", "misses", "evictions", "entries", "bytes",
+               "disk hits", "disk misses", "disk writes", "disk bytes",
+               "quarantined"]
+    rows = []
+    for name, s in sorted(stats.items()):
+        row: List[object] = [name, s.hits, s.misses, s.evictions,
+                             s.entries, s.current_bytes]
+        if getattr(s, "disk_attached", False):
+            row.extend([s.disk_hits, s.disk_misses, s.disk_writes,
+                        s.disk_bytes, s.disk_quarantined])
+        else:
+            row.extend(["-", "-", "-", "-", "-"])
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -112,7 +112,7 @@ class EquivalentInverter:
         cached = self.__dict__.get("_simulation_signature")
         if cached is not None:
             return cached
-        digest = hashlib.sha1()
+        digest = hashlib.sha256()
 
         def feed(value) -> None:
             array = np.ascontiguousarray(np.asarray(value, dtype=float))

@@ -188,6 +188,28 @@ class TimingPrior:
                 f"({self.method}): mean={np.round(self.density.mean, 3)}, "
                 f"std={np.round(stds, 3)}")
 
+    def fingerprint(self) -> str:
+        """Stable SHA-256 digest of everything that shapes this prior.
+
+        Two priors with the same fingerprint produce bit-identical MAP
+        solves; the digest goes into durable cache keys and the
+        checkpoint run signature, so it must be identical across processes
+        (no ``hash()``/``repr`` anywhere -- see
+        :func:`repro.runtime.persist.stable_key_digest`).
+        """
+        from repro.runtime.persist import stable_key_digest
+
+        return stable_key_digest((
+            "timing_prior",
+            self.response,
+            self.method,
+            tuple(self.technology_names),
+            np.asarray(self.density.mean, dtype=float),
+            np.asarray(self.density.covariance, dtype=float),
+            np.asarray(self.precision_model.unit_conditions, dtype=float),
+            np.asarray(self.precision_model.precisions, dtype=float),
+        ))
+
 
 def _check_response(response: str) -> None:
     if response not in RESPONSES:

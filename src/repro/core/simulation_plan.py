@@ -211,13 +211,20 @@ class SimulationPlan:
     # Phase 2: mega-batched integration
     # ------------------------------------------------------------------
     def simulate(self, executor, ledger: RunLedger,
-                 max_bytes: Optional[int] = None) -> None:
+                 max_bytes: Optional[int] = None,
+                 on_chunk=None) -> None:
         """Integrate every signature group, split on the flat row axis.
 
         Chunks honor the ``runtime`` memory budget and the executor's shard
         hint (rows are independent, so any split reproduces the one-pass
         results).  Worker-side cache activity arrives in the per-job ledgers
         merged by ``map_accounted``.
+
+        ``on_chunk(payload_index, result)``, when given, fires as each
+        chunk's result becomes available -- pair it with
+        :meth:`commit_chunk` to persist completed rows mid-run (the
+        checkpoint layer's crash-safety window is one chunk, not the whole
+        simulate phase).
         """
         budget = resolve_max_bytes(max_bytes)
         item_bytes = transient_item_bytes(self.n_seeds, self.n_steps)
@@ -233,7 +240,34 @@ class SimulationPlan:
                                  self.integrate_stage, self.on_failure))
                 self._payload_slots.append((group, chunk))
         self._results = executor.map_accounted(simulate_rows_job, payloads,
-                                               ledger=ledger)
+                                               ledger=ledger,
+                                               on_result=on_chunk)
+
+    def commit_chunk(self, payload_index: int, result, sink) -> int:
+        """Write one completed chunk's clean rows through ``sink``.
+
+        ``result`` is the chunk's bare map result (``(delay, slew,
+        quarantined)``); ``sink(key, delay_row, slew_row)`` receives every
+        non-quarantined row under its simulation-cache condition key --
+        footprint twins sharing a slot each get their own key, exactly the
+        entries :meth:`finalize` would put in the cache at the end of the
+        phase.  Returns the number of rows written.  Quarantined rows are
+        deliberately skipped: a resumed run must re-simulate them, not
+        replay the failure.
+        """
+        group, chunk = self._payload_slots[payload_index]
+        delay, slew, quarantined = result
+        written = 0
+        for job, cond, key, slot in group.rows:
+            if not (chunk.start <= slot < chunk.stop):
+                continue
+            offset = slot - chunk.start
+            if quarantined is not None and quarantined[offset]:
+                continue
+            sink(key, np.asarray(delay[offset], dtype=float),
+                 np.asarray(slew[offset], dtype=float))
+            written += 1
+        return written
 
     # ------------------------------------------------------------------
     # Phase 3: scatter + cache fill

@@ -14,7 +14,12 @@ extraction, timing graph):
 * :mod:`repro.runtime.resilience` -- retry policies, structured failure
   reports, and the ``strict=`` resolution of the library flows;
 * :mod:`repro.runtime.faultinject` -- deterministic seeded fault injection
-  at named sites (worker crashes, NaN payloads, exceptions, timeouts).
+  at named sites (worker crashes, NaN payloads, exceptions, timeouts,
+  torn writes, bit flips, full disks, stale locks);
+* :mod:`repro.runtime.persist` -- the crash-safe on-disk
+  :class:`~repro.runtime.persist.DiskStore` behind the durable caches;
+* :mod:`repro.runtime.checkpoint` -- journaled checkpoint/resume of the
+  fused library characterization.
 
 Process-wide knobs live in :func:`configure`::
 
@@ -22,15 +27,20 @@ Process-wide knobs live in :func:`configure`::
 
     runtime.configure(max_bytes=256 * 2**20)   # chunk every batched engine
     runtime.configure(cache_bytes=64 * 2**20)  # re-bound every cache
+    runtime.configure(disk_cache_dir="~/.cache/repro")  # durable tier
     runtime.cache_stats()                      # {'simulation': CacheStats(...)}
 
 ``configure`` applies to the current process only; process-pool workers
 start from defaults, so flows that must honor a budget everywhere thread
-``max_bytes`` explicitly (the library orchestrator does).
+``max_bytes`` explicitly (the library orchestrator does).  The durable
+tier can also be enabled from the environment: ``REPRO_DISK_CACHE=<dir>``
+attaches a :class:`~repro.runtime.persist.DiskStore` under ``<dir>`` to
+every durable registered cache, and ``REPRO_DISK_CACHE_BYTES`` budgets it.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional
 
@@ -62,6 +72,12 @@ from repro.runtime.faultinject import (
     inject,
     register_fault_site,
 )
+from repro.runtime.persist import DiskStore, DiskStoreStats, stable_key_digest
+from repro.runtime.checkpoint import (
+    CheckpointMismatch,
+    Checkpointer,
+    load_checkpoint,
+)
 from repro.runtime.resilience import (
     FailureReport,
     RetryError,
@@ -87,10 +103,20 @@ class RuntimeConfig:
     cache_bytes:
         Byte bound applied to every registered runtime cache (current and
         future).  ``None`` keeps each cache's own default bound.
+    disk_cache_dir:
+        Root directory of the durable on-disk tier.  When set, every
+        *durable* registered cache (current and future) gets a
+        :class:`~repro.runtime.persist.DiskStore` attached under
+        ``<disk_cache_dir>/<cache name>``.  ``None`` disables the tier.
+    disk_cache_bytes:
+        Byte budget applied to each attached disk store (eviction is
+        oldest-first).  ``None`` leaves the stores unbounded.
     """
 
     max_bytes: Optional[int] = None
     cache_bytes: Optional[int] = None
+    disk_cache_dir: Optional[str] = None
+    disk_cache_bytes: Optional[int] = None
 
 
 _CONFIG = RuntimeConfig()
@@ -101,7 +127,8 @@ def runtime_config() -> RuntimeConfig:
     return _CONFIG
 
 
-def configure(max_bytes=_KEEP, cache_bytes=_KEEP) -> RuntimeConfig:
+def configure(max_bytes=_KEEP, cache_bytes=_KEEP,
+              disk_cache_dir=_KEEP, disk_cache_bytes=_KEEP) -> RuntimeConfig:
     """Update process-wide runtime settings; returns the live config.
 
     Parameters
@@ -113,6 +140,15 @@ def configure(max_bytes=_KEEP, cache_bytes=_KEEP) -> RuntimeConfig:
         Byte bound re-applied to **every** registered cache immediately (and
         to caches registered later); ``None`` restores each registered
         cache's original default bound.  Omit to keep the current value.
+    disk_cache_dir:
+        Root directory for the durable tier: attaches a
+        :class:`~repro.runtime.persist.DiskStore` under
+        ``<dir>/<cache name>`` to every durable registered cache, current
+        and future.  ``None`` detaches the tier (disk contents are kept).
+        Omit to keep the current value.
+    disk_cache_bytes:
+        Byte budget for each attached disk store; ``None`` removes the
+        budget.  Omit to keep the current value.
     """
     if max_bytes is not _KEEP:
         if max_bytes is not None and int(max_bytes) < 1:
@@ -126,7 +162,44 @@ def configure(max_bytes=_KEEP, cache_bytes=_KEEP) -> RuntimeConfig:
             bound = (_CONFIG.cache_bytes if _CONFIG.cache_bytes is not None
                      else _default_cache_bound(cache))
             cache.set_bounds(max_bytes=bound)
+    disk_changed = False
+    if disk_cache_bytes is not _KEEP:
+        if disk_cache_bytes is not None and int(disk_cache_bytes) < 1:
+            raise ValueError("disk_cache_bytes must be positive (or None)")
+        _CONFIG.disk_cache_bytes = (None if disk_cache_bytes is None
+                                    else int(disk_cache_bytes))
+        disk_changed = True
+    if disk_cache_dir is not _KEEP:
+        _CONFIG.disk_cache_dir = (None if disk_cache_dir is None
+                                  else os.path.expanduser(str(disk_cache_dir)))
+        disk_changed = True
+    if disk_changed:
+        for cache in registered_caches().values():
+            _apply_disk_tier(cache)
     return _CONFIG
+
+
+def _apply_disk_tier(cache: LruCache) -> None:
+    """(Re)attach or detach a cache's disk store per the live config.
+
+    Only durable caches participate; the rest (token reissuers, anything
+    keyed by process-local identity) are left memory-only.  Attachment is
+    idempotent: a store already rooted at the configured directory is kept,
+    with only its byte budget refreshed.
+    """
+    if not getattr(cache, "durable", False):
+        return
+    root = _CONFIG.disk_cache_dir
+    if root is None:
+        cache.detach_disk_store()
+        return
+    target = os.path.join(root, cache.name)
+    current = cache.disk_store
+    if current is not None and str(current.root) == str(target):
+        current.set_max_bytes(_CONFIG.disk_cache_bytes)
+        return
+    cache.attach_disk_store(DiskStore(target, name=cache.name,
+                                      max_bytes=_CONFIG.disk_cache_bytes))
 
 
 _DEFAULT_CACHE_BOUNDS: dict = {}
@@ -147,6 +220,7 @@ def register_runtime_cache(cache: LruCache) -> LruCache:
     register_cache(cache)
     if _CONFIG.cache_bytes is not None:
         cache.set_bounds(max_bytes=_CONFIG.cache_bytes)
+    _apply_disk_tier(cache)
     return cache
 
 
@@ -155,9 +229,36 @@ def resolve_max_bytes(max_bytes: Optional[int]) -> Optional[int]:
     return _CONFIG.max_bytes if max_bytes is None else int(max_bytes)
 
 
+def _bootstrap_from_env() -> None:
+    """Pick up ``REPRO_DISK_CACHE`` / ``REPRO_DISK_CACHE_BYTES`` at import.
+
+    Lets scripts and CI enable the durable tier without code changes.  A
+    malformed byte budget is ignored rather than failing the import of the
+    whole runtime package.
+    """
+    root = os.environ.get("REPRO_DISK_CACHE", "").strip()
+    if not root:
+        return
+    budget = None
+    raw = os.environ.get("REPRO_DISK_CACHE_BYTES", "").strip()
+    if raw:
+        try:
+            budget = max(int(raw), 1)
+        except ValueError:
+            budget = None
+    configure(disk_cache_dir=root, disk_cache_bytes=budget)
+
+
+_bootstrap_from_env()
+
+
 __all__ = [
     "CacheStats",
+    "CheckpointMismatch",
+    "Checkpointer",
     "ChunkedExecutor",
+    "DiskStore",
+    "DiskStoreStats",
     "EXECUTOR_MODES",
     "FailureReport",
     "FaultInjector",
@@ -180,6 +281,7 @@ __all__ = [
     "get_executor",
     "get_registered_cache",
     "inject",
+    "load_checkpoint",
     "plan_chunks",
     "register_cache",
     "register_fault_site",
@@ -189,4 +291,5 @@ __all__ = [
     "resolve_strict",
     "run_with_retry",
     "runtime_config",
+    "stable_key_digest",
 ]

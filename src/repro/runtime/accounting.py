@@ -116,7 +116,11 @@ class RunLedger:
 
         ``names`` restricts the snapshot to specific caches; the default
         covers every cache registered when the block opens (caches
-        registered *inside* the block are picked up on exit too).
+        registered *inside* the block are picked up on exit too).  A cache
+        with a durable tier attached contributes a second activity row
+        named ``"<name>:disk"`` carrying the disk store's hit/miss/eviction
+        deltas, so warm-start behavior shows up in the same ledger table
+        without disturbing the memory-tier counters.
         """
         from repro.runtime.cache import registered_caches
 
@@ -125,8 +129,14 @@ class RunLedger:
             if names is not None:
                 wanted = set(names)
                 caches = {n: c for n, c in caches.items() if n in wanted}
-            return {n: (c.hits, c.misses, c.evictions)
-                    for n, c in caches.items()}
+            out: Dict[str, tuple] = {}
+            for n, c in caches.items():
+                out[n] = (c.hits, c.misses, c.evictions)
+                disk = getattr(c, "disk_store", None)
+                if disk is not None:
+                    s = disk.stats()
+                    out[n + ":disk"] = (s.hits, s.misses, s.evictions)
+            return out
 
         before = snapshot()
         try:

@@ -17,6 +17,13 @@ capacity-bounded, stats-reporting LRU:
   so a flow can finally *see* whether its memoization is working.
 * **Registry.**  Global caches register by name; ``configure(cache_bytes=N)``
   in :mod:`repro.runtime` re-bounds every registered cache at once.
+* **Optional durable second tier.**  A cache constructed with
+  ``durable=True`` can carry a :class:`~repro.runtime.persist.DiskStore`
+  (attached by ``configure(disk_cache_dir=...)`` / ``REPRO_DISK_CACHE``):
+  puts write through to disk, a memory miss falls back to the store (and
+  promotes the hit), and :class:`CacheStats` grows disk-tier columns.  The
+  tier is strictly write-through -- in-memory semantics, counters and
+  eviction behavior are untouched when no store is attached.
 
 The cache is deliberately not thread-safe: the library's concurrency story
 is process fan-out (see :mod:`repro.runtime.executor`), where each worker
@@ -94,6 +101,15 @@ class CacheStats:
         Current occupancy.
     max_entries, max_bytes:
         Configured capacity bounds (``None`` = unbounded on that axis).
+    durable:
+        Whether the cache is eligible for a disk tier.
+    disk_hits, disk_misses, disk_writes:
+        Disk-tier lookup/write counters (all zero without an attached
+        store).
+    disk_entries, disk_bytes:
+        Disk-tier occupancy.
+    disk_quarantined:
+        Corrupt disk entries moved aside instead of served.
     """
 
     name: str
@@ -104,6 +120,14 @@ class CacheStats:
     current_bytes: int
     max_entries: Optional[int]
     max_bytes: Optional[int]
+    durable: bool = False
+    disk_attached: bool = False
+    disk_hits: int = 0
+    disk_misses: int = 0
+    disk_writes: int = 0
+    disk_entries: int = 0
+    disk_bytes: int = 0
+    disk_quarantined: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -127,11 +151,17 @@ class LruCache:
         as an eviction) rather than flushing everything else.
     sizeof:
         Size estimator for stored values; defaults to :func:`default_sizeof`.
+    durable:
+        Whether the cache's entries are meaningful beyond this process
+        (content-addressed keys, picklable values) and may therefore carry
+        a disk tier.  Caches keyed on process-local tokens must stay
+        ``False``.
     """
 
     def __init__(self, name: str, max_entries: Optional[int] = None,
                  max_bytes: Optional[int] = None,
-                 sizeof: Callable[[Any], int] = default_sizeof):
+                 sizeof: Callable[[Any], int] = default_sizeof,
+                 durable: bool = False):
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be at least 1 (or None)")
         if max_bytes is not None and max_bytes < 1:
@@ -140,6 +170,8 @@ class LruCache:
         self._max_entries = max_entries if max_entries is None else int(max_entries)
         self._max_bytes = max_bytes if max_bytes is None else int(max_bytes)
         self._sizeof = sizeof
+        self._durable = bool(durable)
+        self._disk = None
         self._entries: "OrderedDict[Any, Tuple[Any, int]]" = OrderedDict()
         self._current_bytes = 0
         self._hits = 0
@@ -190,6 +222,28 @@ class LruCache:
         """Byte bound (``None`` = unbounded)."""
         return self._max_bytes
 
+    @property
+    def durable(self) -> bool:
+        """Whether this cache may carry a disk tier."""
+        return self._durable
+
+    @property
+    def disk_store(self):
+        """The attached :class:`~repro.runtime.persist.DiskStore` (or ``None``)."""
+        return self._disk
+
+    def attach_disk_store(self, store) -> None:
+        """Attach a write-through disk tier (durable caches only)."""
+        if not self._durable:
+            raise ValueError(
+                f"cache {self._name!r} is not durable; its keys or values "
+                f"are process-local and must not be persisted")
+        self._disk = store
+
+    def detach_disk_store(self) -> None:
+        """Drop the disk tier (entries on disk are kept, just not consulted)."""
+        self._disk = None
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -205,7 +259,13 @@ class LruCache:
         self._enabled = False
 
     def clear(self) -> None:
-        """Drop all entries and reset the statistics."""
+        """Drop all in-memory entries and reset the in-memory statistics.
+
+        The disk tier is deliberately untouched: clearing memory caches is
+        how tests and benchmarks force a *cold process*, and the durable
+        tier's entire purpose is to survive exactly that.  Use
+        ``cache.disk_store.clear()`` to scrub the disk too.
+        """
         self._entries.clear()
         self._current_bytes = 0
         self._hits = 0
@@ -214,6 +274,7 @@ class LruCache:
 
     def stats(self) -> CacheStats:
         """Current counters and occupancy as a :class:`CacheStats`."""
+        disk = self._disk.stats() if self._disk is not None else None
         return CacheStats(
             name=self._name,
             hits=self._hits,
@@ -223,6 +284,14 @@ class LruCache:
             current_bytes=self._current_bytes,
             max_entries=self._max_entries,
             max_bytes=self._max_bytes,
+            durable=self._durable,
+            disk_attached=disk is not None,
+            disk_hits=disk.hits if disk else 0,
+            disk_misses=disk.misses if disk else 0,
+            disk_writes=disk.writes if disk else 0,
+            disk_entries=disk.entries if disk else 0,
+            disk_bytes=disk.current_bytes if disk else 0,
+            disk_quarantined=disk.quarantined if disk else 0,
         )
 
     def set_bounds(self, max_entries: Optional[int] = _MISSING,
@@ -249,13 +318,22 @@ class LruCache:
     def get(self, key: Any, default: Any = None) -> Any:
         """Return the cached value for ``key`` (marking it most recent).
 
-        Returns ``default`` -- and counts a miss -- when absent or disabled.
+        Returns ``default`` -- and counts a miss -- when absent or
+        disabled.  A memory miss with a disk tier attached falls back to
+        the store; a disk hit is promoted into memory and returned (the
+        memory miss stays counted -- memory and disk counters are
+        independent tiers).
         """
         if not self._enabled:
             return default
         value = self._entries.get(key, _MISSING)
         if value is _MISSING:
             self._misses += 1
+            if self._disk is not None:
+                payload = self._disk.get(key, _MISSING)
+                if payload is not _MISSING:
+                    self._store(key, payload, int(self._sizeof(payload)))
+                    return payload
             return default
         self._entries.move_to_end(key)
         self._hits += 1
@@ -264,11 +342,20 @@ class LruCache:
     def put(self, key: Any, value: Any, nbytes: Optional[int] = None) -> None:
         """Store ``value`` under ``key`` (no-op while disabled).
 
-        ``nbytes`` overrides the size estimator for this entry.
+        ``nbytes`` overrides the size estimator for this entry.  With a
+        disk tier attached the value is also written through to the store
+        (even when it is too large for the memory bound -- the disk budget
+        is independent).
         """
         if not self._enabled:
             return
         size = int(self._sizeof(value)) if nbytes is None else int(nbytes)
+        self._store(key, value, size)
+        if self._disk is not None:
+            self._disk.put(key, value)
+
+    def _store(self, key: Any, value: Any, size: int) -> None:
+        """Insert into the memory tier only (shared by put and promotion)."""
         if self._max_bytes is not None and size > self._max_bytes:
             # Storing would immediately flush the rest of the cache for one
             # oversized entry; refuse and record the rejection.

@@ -114,11 +114,24 @@ class SerialExecutor:
         return run_with_retry(attempt, policy, site=f"job[{index}]",
                               on_retry=self._count_retry)
 
-    def map(self, fn: Callable, payloads: Sequence) -> List:
-        """Apply ``fn`` to every payload, returning results in order."""
+    def map(self, fn: Callable, payloads: Sequence,
+            on_result: Optional[Callable] = None) -> List:
+        """Apply ``fn`` to every payload, returning results in order.
+
+        ``on_result(index, result)``, when given, is invoked as each
+        payload's result becomes available (in payload order for the
+        in-process executors; in collection order for the process pool) --
+        the hook the checkpoint layer uses to commit completed work units
+        *during* a long map instead of after it.
+        """
         self._reset_counters()
-        return [self._run_one(fn, payload, index)
-                for index, payload in enumerate(payloads)]
+        results: List = []
+        for index, payload in enumerate(payloads):
+            result = self._run_one(fn, payload, index)
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
 
     def shard_hint(self, n_items: int) -> int:
         """How many shards ``n_items`` work items should split into.
@@ -133,7 +146,8 @@ class SerialExecutor:
         return 1 if n_items > 0 else 0
 
     def map_accounted(self, fn: Callable, payloads: Sequence,
-                      ledger: Optional[RunLedger] = None) -> List:
+                      ledger: Optional[RunLedger] = None,
+                      on_result: Optional[Callable] = None) -> List:
         """Run jobs that return ``(result, RunLedger)`` pairs.
 
         Per-job ledgers merge into ``ledger`` in payload order (independent
@@ -142,8 +156,16 @@ class SerialExecutor:
         recorded as ``executor_retries``/``executor_fallbacks`` metrics --
         only when nonzero, keeping clean-run accounting identical across
         execution modes.
+
+        ``on_result(index, result)`` receives each *bare* result (ledger
+        already stripped) as it becomes available; see :meth:`map`.
         """
-        outcomes: List[Tuple[object, RunLedger]] = self.map(fn, payloads)
+        hook: Optional[Callable] = None
+        if on_result is not None:
+            def hook(index: int, outcome) -> None:
+                on_result(index, outcome[0])
+        outcomes: List[Tuple[object, RunLedger]] = self.map(
+            fn, payloads, on_result=hook)
         results = []
         for result, job_ledger in outcomes:
             if ledger is not None and job_ledger is not None:
@@ -180,14 +202,18 @@ class ChunkedExecutor(SerialExecutor):
         """Maximum jobs per chunk."""
         return self._chunk_size
 
-    def map(self, fn: Callable, payloads: Sequence) -> List:
+    def map(self, fn: Callable, payloads: Sequence,
+            on_result: Optional[Callable] = None) -> List:
         payloads = list(payloads)
         self._reset_counters()
         n_chunks = -(-len(payloads) // self._chunk_size) if payloads else 0
         results: List = []
         for chunk in plan_chunks(len(payloads), n_chunks=n_chunks):
-            results.extend(self._run_one(fn, payloads[index], index)
-                           for index in range(chunk.start, chunk.stop))
+            for index in range(chunk.start, chunk.stop):
+                result = self._run_one(fn, payloads[index], index)
+                if on_result is not None:
+                    on_result(index, result)
+                results.append(result)
         return results
 
 
@@ -238,12 +264,24 @@ class ProcessExecutor(SerialExecutor):
             _annotate_payload_index(error, index)
             raise
 
-    def map(self, fn: Callable, payloads: Sequence) -> List:
+    def map(self, fn: Callable, payloads: Sequence,
+            on_result: Optional[Callable] = None) -> List:
         payloads = list(payloads)
         self._reset_counters()
         if not payloads:
             return []
         results: List = [_MISSING] * len(payloads)
+        delivered = 0
+
+        def deliver() -> None:
+            # Results are handed to on_result in payload order, as soon as
+            # a contiguous prefix has been collected.
+            nonlocal delivered
+            while delivered < len(results) and results[delivered] is not _MISSING:
+                if on_result is not None:
+                    on_result(delivered, results[delivered])
+                delivered += 1
+
         try:
             faultinject.fire(SITE_PROCESS_MAP)
             with ProcessPoolExecutor(max_workers=self._max_workers) as pool:
@@ -264,6 +302,7 @@ class ProcessExecutor(SerialExecutor):
                         else:
                             _annotate_payload_index(error, index)
                             raise
+                    deliver()
         except BrokenProcessPool:
             # The pool is unusable; every payload without a collected
             # result re-runs serially in the parent.
@@ -271,6 +310,7 @@ class ProcessExecutor(SerialExecutor):
                 if result is _MISSING:
                     results[index] = self._serial_fallback(
                         fn, payloads[index], index)
+                deliver()
         return results
 
 

@@ -17,6 +17,17 @@ Two primitives cover every fault shape the engines need:
 * :func:`corrupt_rows` -- poison selected rows of a payload array with NaN
   and hand it back (the ``nan`` kind), modeling silent data corruption.
 
+PR 8 adds the filesystem fault shapes the durable store
+(:mod:`repro.runtime.persist`) recovers from:
+
+* the ``enospc`` kind makes :func:`fire` raise ``OSError(ENOSPC)`` -- a
+  full disk at a write site;
+* :func:`damage_file` -- truncate a just-committed file (``torn``, a torn
+  write the next reader sees) or flip one of its payload bits
+  (``bitflip``, silent on-disk corruption);
+* :func:`plant_stale_lock` -- drop an abandoned lock file (dead pid, old
+  timestamp) in front of a lock acquisition (``stale_lock``).
+
 Determinism: a :class:`FaultSpec` either pins explicit call indices
 (``at_calls``) or draws per call from :func:`deterministic_uniform` keyed by
 ``(seed, site, call_index)`` -- no global RNG, no wall clock, so the same
@@ -29,6 +40,8 @@ coverage injects ``BrokenProcessPool`` at the parent-side
 
 from __future__ import annotations
 
+import errno
+import os
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -45,13 +58,22 @@ __all__ = [
     "InjectedFault",
     "InjectedTimeout",
     "corrupt_rows",
+    "damage_file",
     "fault_sites",
     "fire",
     "inject",
+    "plant_stale_lock",
     "register_fault_site",
 ]
 
-FAULT_KINDS = ("exception", "timeout", "crash", "nan")
+FAULT_KINDS = ("exception", "timeout", "crash", "nan",
+               "torn", "bitflip", "enospc", "stale_lock")
+
+#: Kinds handled by the raising hook (:func:`fire` / ``check``).
+_RAISING_KINDS = ("exception", "timeout", "crash", "enospc")
+
+#: Kinds handled by the file-corruption hook (:func:`damage_file`).
+_FILE_KINDS = ("torn", "bitflip")
 
 
 class InjectedFault(RuntimeError):
@@ -191,9 +213,9 @@ class FaultInjector:
         return None
 
     def check(self, site: str) -> None:
-        """Raise if a raising fault (exception/timeout/crash) fires here."""
+        """Raise if a raising fault (exception/timeout/crash/enospc) fires here."""
         call = self._next_call(site)
-        spec = self._matches(site, call, ("exception", "timeout", "crash"))
+        spec = self._matches(site, call, _RAISING_KINDS)
         if spec is None:
             return
         with self._lock:
@@ -202,6 +224,10 @@ class FaultInjector:
             raise InjectedTimeout(f"injected timeout at {site} (call {call})")
         if spec.kind == "crash":
             raise _broken_pool_error()
+        if spec.kind == "enospc":
+            raise OSError(errno.ENOSPC,
+                          f"injected: no space left on device at {site} "
+                          f"(call {call})")
         raise InjectedFault(f"injected fault at {site} (call {call})")
 
     def corrupt(self, site: str, array: np.ndarray) -> np.ndarray:
@@ -221,6 +247,55 @@ class FaultInjector:
         if rows:
             poisoned[np.asarray(rows, dtype=int)] = np.nan
         return poisoned
+
+    def damage(self, site: str, path) -> bool:
+        """Corrupt the file at ``path`` if a ``torn``/``bitflip`` fault fires.
+
+        ``torn`` truncates the file to half its length (the committed-then-
+        torn sector shape); ``bitflip`` XORs one bit of the last payload
+        byte (silent bit-rot).  Returns whether the file was damaged; a
+        clean run's files are never touched.
+        """
+        call = self._next_call(site)
+        spec = self._matches(site, call, _FILE_KINDS)
+        if spec is None:
+            return False
+        with self._lock:
+            self.events.append(FaultEvent(site, call, spec.kind))
+        try:
+            size = os.path.getsize(path)
+            if spec.kind == "torn":
+                with open(path, "r+b") as handle:
+                    handle.truncate(size // 2)
+            else:
+                with open(path, "r+b") as handle:
+                    handle.seek(max(size - 1, 0))
+                    last = handle.read(1)
+                    handle.seek(max(size - 1, 0))
+                    handle.write(bytes([(last[0] if last else 0) ^ 0x01]))
+        except OSError:
+            return False
+        return True
+
+    def plant_lock(self, site: str, path) -> bool:
+        """Drop an abandoned lock file at ``path`` if ``stale_lock`` fires.
+
+        The planted lock names a pid that cannot be alive and a timestamp
+        far in the past, so a correct store breaks it instead of deadlocking
+        (or skipping its maintenance forever).
+        """
+        call = self._next_call(site)
+        spec = self._matches(site, call, ("stale_lock",))
+        if spec is None:
+            return False
+        with self._lock:
+            self.events.append(FaultEvent(site, call, "stale_lock"))
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write("999999999:0.0")
+        except OSError:
+            return False
+        return True
 
 
 # ---------------------------------------------------------------------------
@@ -254,6 +329,26 @@ def corrupt_rows(site: str, array: np.ndarray) -> np.ndarray:
     if injector is None:
         return array
     return injector.corrupt(site, array)
+
+
+def damage_file(site: str, path) -> bool:
+    """Fault-site hook for on-disk corruption; no-op without an injector."""
+    if site not in _SITES:
+        raise ValueError(f"unregistered fault site {site!r}")
+    injector = _ACTIVE
+    if injector is None:
+        return False
+    return injector.damage(site, path)
+
+
+def plant_stale_lock(site: str, path) -> bool:
+    """Fault-site hook planting a stale lock file; no-op without an injector."""
+    if site not in _SITES:
+        raise ValueError(f"unregistered fault site {site!r}")
+    injector = _ACTIVE
+    if injector is None:
+        return False
+    return injector.plant_lock(site, path)
 
 
 @contextmanager

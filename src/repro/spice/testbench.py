@@ -106,8 +106,10 @@ class SimulationCache(LruCache):
     def __init__(self, max_entries: int = 4096,
                  max_bytes: Optional[int] = DEFAULT_SIM_CACHE_BYTES,
                  name: str = "simulation"):
+        # durable: keys are stable digests/values are plain arrays, so
+        # entries are valid across processes and may live on disk.
         super().__init__(name=name, max_entries=max_entries,
-                         max_bytes=max_bytes)
+                         max_bytes=max_bytes, durable=True)
 
     # ------------------------------------------------------------------
     # Keying and access

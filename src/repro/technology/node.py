@@ -117,7 +117,7 @@ class TechnologyNode:
         cached = getattr(self, "_fingerprint", None)
         if cached is None:
             payload = repr(dataclasses.astuple(self)).encode()
-            cached = hashlib.sha1(payload).hexdigest()
+            cached = hashlib.sha256(payload).hexdigest()
             object.__setattr__(self, "_fingerprint", cached)
         return cached
 

@@ -118,7 +118,7 @@ class VariationSample:
         cached = getattr(self, "_fingerprint", None)
         if cached is not None:
             return cached
-        digest = hashlib.sha1()
+        digest = hashlib.sha256()
         for array in (self.delta_vth_nmos, self.delta_vth_pmos,
                       self.drive_mult_nmos, self.drive_mult_pmos,
                       self.leff_mult, self.cap_mult):
