@@ -23,6 +23,14 @@ RESULTS_DIR = Path(__file__).parent / "benchmark_results"
 #: ``REPRO_BENCH_PERF_CONDITIONS``  conditions in the transient perf sweep (50)
 #: ``REPRO_BENCH_PERF_SEEDS``       seeds in the transient perf sweep (200)
 #: ``REPRO_BENCH_PERF_MIN_SPEEDUP`` assertion floor for batched/serial (2.0)
+#: ``REPRO_BENCH_PERF_REPEATS``     best-of-N timing passes per engine (3)
+#: ``REPRO_BENCH_INTEG_CONDITIONS`` conditions in the integrator benchmark (50)
+#: ``REPRO_BENCH_INTEG_SEEDS``      seeds in the integrator benchmark (200)
+#: ``REPRO_BENCH_INTEG_REPEATS``    best-of-N timing passes per engine (3)
+#: ``REPRO_BENCH_INTEG_MIN_RHS_RATIO``  assertion floor for RK4/RK45 RHS evals (3.0)
+#: ``REPRO_BENCH_INTEG_MIN_SPEEDUP``    assertion floor for RK4/RK45 wall clock (2.0)
+#: ``REPRO_BENCH_INTEG_ACC_CONDITIONS`` conditions in the accuracy subset (8)
+#: ``REPRO_BENCH_INTEG_ACC_SEEDS``      seeds in the accuracy subset (25)
 #: ``REPRO_BENCH_MAP_SEEDS``        seeds in the MAP extraction benchmark (200)
 #: ``REPRO_BENCH_MAP_CONDITIONS``   fitting conditions per seed (4)
 #: ``REPRO_BENCH_MAP_MIN_SPEEDUP``  assertion floor for batched/scipy MAP (3.0)

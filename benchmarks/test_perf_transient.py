@@ -41,6 +41,12 @@ def test_batched_sweep_throughput(results_dir):
     # ratios are noisy on loaded/shared machines, so the default is set well
     # below the ~5x measured on dedicated hardware (see BENCH_transient.json).
     min_speedup = env_float("REPRO_BENCH_PERF_MIN_SPEEDUP", 2.0)
+    # Each engine is timed ``repeats`` times and the fastest pass is kept:
+    # a single-shot timing under full-suite load once recorded a 2.37x ratio
+    # for a sweep that reproduces at ~5x on an idle machine, purely because
+    # the serial pass landed on a busy scheduling window.  min-of-N measures
+    # the code, not the machine's background load.
+    repeats = env_int("REPRO_BENCH_PERF_REPEATS", 3)
 
     technology = get_technology("n28_bulk")
     cell = make_cell("NAND2_X1")
@@ -53,25 +59,32 @@ def test_batched_sweep_throughput(results_dir):
     cload = np.array([c.cload for c in conditions])
     vdd = np.array([c.vdd for c in conditions])
 
-    # Warm-up outside the timed regions (first-call numpy/python overheads).
+    # Warm-up outside the timed regions (first-call numpy/python overheads),
+    # for both engines.
     simulate_arc_transitions(inverter, sin[:2], cload[:2], vdd[:2])
+    simulate_arc_transition(inverter, sin=float(sin[0]), cload=float(cload[0]),
+                            vdd=float(vdd[0]))
 
-    start = time.perf_counter()
-    batch = simulate_arc_transitions(inverter, sin, cload, vdd)
-    batched_delay = batch.delay()
-    batched_slew = batch.output_slew()
-    batched_seconds = time.perf_counter() - start
+    batched_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        batch = simulate_arc_transitions(inverter, sin, cload, vdd)
+        batched_delay = batch.delay()
+        batched_slew = batch.output_slew()
+        batched_seconds = min(batched_seconds, time.perf_counter() - start)
 
-    start = time.perf_counter()
-    serial_delay = np.empty_like(batched_delay)
-    serial_slew = np.empty_like(batched_slew)
-    for index in range(n_conditions):
-        result = simulate_arc_transition(inverter, sin=float(sin[index]),
-                                         cload=float(cload[index]),
-                                         vdd=float(vdd[index]))
-        serial_delay[index] = result.delay()
-        serial_slew[index] = result.output_slew()
-    serial_seconds = time.perf_counter() - start
+    serial_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        serial_delay = np.empty_like(batched_delay)
+        serial_slew = np.empty_like(batched_slew)
+        for index in range(n_conditions):
+            result = simulate_arc_transition(inverter, sin=float(sin[index]),
+                                             cload=float(cload[index]),
+                                             vdd=float(vdd[index]))
+            serial_delay[index] = result.delay()
+            serial_slew[index] = result.output_slew()
+        serial_seconds = min(serial_seconds, time.perf_counter() - start)
 
     np.testing.assert_allclose(batched_delay, serial_delay, rtol=1e-9, atol=0.0)
     np.testing.assert_allclose(batched_slew, serial_slew, rtol=1e-9, atol=0.0)
@@ -82,6 +95,8 @@ def test_batched_sweep_throughput(results_dir):
         "n_conditions": n_conditions,
         "n_seeds": n_seeds,
         "n_steps_nominal": DEFAULT_STEPS,
+        "timing_repeats": repeats,
+        "timing_methodology": "best-of-N per engine",
         "serial_seconds": round(serial_seconds, 4),
         "batched_seconds": round(batched_seconds, 4),
         "speedup": round(speedup, 2),

@@ -31,8 +31,10 @@ def collect_bench_records(results_dir):
 
     Records are produced by independent benchmark modules that may or may
     not have run in this session; whatever is present is aggregated.  Any
-    numeric top-level key containing ``speedup`` or ``overhead`` is picked
-    up, so new benchmark records fold in without touching this module.
+    numeric top-level key containing ``speedup``, ``overhead`` or ``ratio``
+    is picked up, so new benchmark records (e.g. the integrator benchmark's
+    wall-clock speedup and RHS-evaluation ratio) fold in without touching
+    this module.
     """
     rows = []
     for path in sorted(results_dir.glob("BENCH_*.json")):
@@ -46,7 +48,7 @@ def collect_bench_records(results_dir):
                 continue
             if "speedup" in key and "min" not in key:
                 rows.append([name, key, float(value)])
-            elif "overhead" in key:
+            elif "overhead" in key or "ratio" in key:
                 rows.append([name, key, float(value)])
     return rows
 
@@ -86,8 +88,8 @@ def test_speedup_summary(benchmark, nominal_curves_14, statistical_curves_28,
         title="Section V summary: simulation-run reduction at matched accuracy")
 
     # Wall-clock records from whatever per-engine benchmarks ran before this
-    # one (BENCH_transient / BENCH_map / BENCH_ssta / BENCH_runtime /
-    # BENCH_library).
+    # one (BENCH_transient / BENCH_integrator / BENCH_map / BENCH_ssta /
+    # BENCH_runtime / BENCH_library).
     bench_rows = collect_bench_records(results_dir)
     if bench_rows:
         text += "\n\n" + format_table(

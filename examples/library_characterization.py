@@ -20,11 +20,17 @@ consumed directly:
 
 Run with::
 
-    python examples/library_characterization.py
+    python examples/library_characterization.py [--engine batched|serial|adaptive]
+
+``--engine`` selects the transient integration engine of the simulate
+phase (default: the runtime-configured engine, i.e. the fixed-step batched
+RK4 unless ``REPRO_TRANSIENT_ENGINE`` says otherwise); the run prints the
+engine's step/rejection/RHS-evaluation counts from the unified ledger.
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import tempfile
 import time
@@ -49,6 +55,13 @@ from repro.sta import MonteCarloSsta, StaticTimingAnalyzer, c17_benchmark, nand_
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--engine", choices=runtime.TRANSIENT_ENGINES, default=None,
+        help="transient integration engine for the simulate phase "
+             "(default: runtime-configured; batched fixed-step RK4)")
+    args = parser.parse_args()
+
     start = time.time()
     counter = SimulationCounter()
     target = get_technology("n28_bulk")
@@ -77,7 +90,7 @@ def main() -> None:
     result = characterize_library(
         target, library, delay_prior, slew_prior,
         conditions=4, n_seeds=n_seeds, rng=17, counter=counter,
-        ledger=ledger)
+        ledger=ledger, transient_engine=args.engine)
     fused_seconds = time.time() - t_char
     metrics = ledger.metrics()
     print(f"\nCharacterized {len(result.entries)} arcs of "
@@ -89,6 +102,11 @@ def main() -> None:
           f"in {metrics.get('fused_signature_groups', 0)} signature groups "
           f"({metrics.get('fused_rows_deduplicated', 0)} deduplicated, "
           f"{metrics.get('fused_rows_cached', 0)} cache hits)")
+    engine_label = args.engine or runtime.resolve_transient_engine(None)
+    print(f"  integration ({engine_label}): "
+          f"{metrics.get('transient_steps', 0)} steps taken, "
+          f"{metrics.get('transient_steps_rejected', 0)} rejected, "
+          f"{metrics.get('transient_rhs_evals', 0)} RHS evaluations")
     if result.unconverged_arcs():
         print(f"  WARNING: unconverged extractions on {result.unconverged_arcs()}")
 
@@ -98,7 +116,8 @@ def main() -> None:
     t_per_arc = time.time()
     per_arc = characterize_library(
         target, library, delay_prior, slew_prior,
-        conditions=4, n_seeds=n_seeds, rng=17, pipeline="per_arc")
+        conditions=4, n_seeds=n_seeds, rng=17, pipeline="per_arc",
+        transient_engine=args.engine)
     per_arc_seconds = time.time() - t_per_arc
     agree = all(
         np.allclose(a.statistical.delay_parameters,
@@ -113,7 +132,8 @@ def main() -> None:
     t_par = time.time()
     parallel = characterize_library(
         target, library, delay_prior, slew_prior,
-        conditions=4, n_seeds=n_seeds, rng=17, concurrency="process")
+        conditions=4, n_seeds=n_seeds, rng=17, concurrency="process",
+        transient_engine=args.engine)
     agree = all(
         np.array_equal(a.statistical.delay_parameters,
                        b.statistical.delay_parameters)
@@ -131,11 +151,13 @@ def main() -> None:
         runtime.configure(disk_cache_dir=disk_dir)
         runtime.clear_all_caches()  # force the seed run to write through
         characterize_library(target, library, delay_prior, slew_prior,
-                             conditions=4, n_seeds=n_seeds, rng=17)
+                             conditions=4, n_seeds=n_seeds, rng=17,
+                             transient_engine=args.engine)
         runtime.clear_all_caches()  # memory gone; the disk tier survives
         t_warm = time.time()
         warm = characterize_library(target, library, delay_prior, slew_prior,
-                                    conditions=4, n_seeds=n_seeds, rng=17)
+                                    conditions=4, n_seeds=n_seeds, rng=17,
+                                    transient_engine=args.engine)
         warm_seconds = time.time() - t_warm
         agree = all(
             np.array_equal(a.statistical.delay_parameters,

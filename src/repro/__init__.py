@@ -48,14 +48,18 @@ from repro.cells import (
 )
 from repro.spice import (
     BatchTransientResult,
+    IntegrationStats,
     SimulationCache,
     SimulationCounter,
+    StepperSpec,
     TimingMeasurement,
     WaveformBatch,
     characterize_arc,
     get_simulation_cache,
     simulate_arc_transition,
+    simulate_arc_transition_adaptive,
     simulate_arc_transitions,
+    simulate_arc_transitions_adaptive,
     sweep_conditions,
 )
 from repro.characterization import (
@@ -115,6 +119,7 @@ __all__ = [
     "GaussianFactorGraph",
     "InputCondition",
     "InputSpace",
+    "IntegrationStats",
     "LibraryCharacterization",
     "LruCache",
     "LseCharacterizer",
@@ -126,6 +131,7 @@ __all__ = [
     "SimulationCounter",
     "StandardCellLibrary",
     "StatisticalCharacterizer",
+    "StepperSpec",
     "StatisticalLutCharacterizer",
     "TechnologyNode",
     "TimingArc",
@@ -159,7 +165,9 @@ __all__ = [
     "reduce_cell",
     "reduce_cell_cached",
     "simulate_arc_transition",
+    "simulate_arc_transition_adaptive",
     "simulate_arc_transitions",
+    "simulate_arc_transitions_adaptive",
     "statistical_baseline",
     "statistical_errors",
     "sweep_conditions",

@@ -75,7 +75,7 @@ from repro.core.statistical_flow import (
 )
 from repro.liberty.tables import NldmTable
 from repro.liberty.writer import CellTimingData, LibertyWriter, TimingTableSet
-from repro.runtime import faultinject
+from repro.runtime import faultinject, resolve_transient_engine
 from repro.runtime.accounting import RunLedger
 from repro.runtime.checkpoint import Checkpointer
 from repro.runtime.executor import EXECUTOR_MODES, get_executor
@@ -86,6 +86,7 @@ from repro.runtime.resilience import (
     resolve_strict,
     run_with_retry,
 )
+from repro.spice.stepper import StepperSpec, resolve_stepper
 from repro.spice.testbench import SimulationCounter, get_simulation_cache
 from repro.technology.node import TechnologyNode
 from repro.technology.variation import VariationSample
@@ -337,7 +338,7 @@ def _characterize_arc_job(payload: tuple):
     characterization instead of aborting the library run.
     """
     (technology, cell, arc, delay_prior, slew_prior, variation, conditions,
-     solver, max_bytes, strict, retry_policy) = payload
+     solver, transient_engine, max_bytes, strict, retry_policy) = payload
     ledger = RunLedger()
 
     def attempt():
@@ -345,7 +346,7 @@ def _characterize_arc_job(payload: tuple):
         characterizer = StatisticalCharacterizer(
             technology, cell, delay_prior, slew_prior, arc=arc,
             n_seeds=variation.n_seeds, solver=solver, ledger=ledger,
-            max_bytes=max_bytes)
+            max_bytes=max_bytes, transient_engine=transient_engine)
         characterizer.use_variation(variation)
         return characterizer.characterize(list(conditions))
 
@@ -372,6 +373,7 @@ def _characterize_fused(
     max_bytes: Optional[int],
     strict: bool = True,
     checkpointer: Optional[Checkpointer] = None,
+    stepper: Optional[StepperSpec] = None,
 ) -> "Tuple[List[Optional[StatisticalCharacterization]], List[FailureReport]]":
     """The fused library pipeline: plan -> mega-batch -> stacked solve.
 
@@ -407,7 +409,8 @@ def _characterize_fused(
     # ------------------------------------------------------------------
     plan = SimulationPlan(technology, variation=variation,
                           integrate_stage="fused:integrate",
-                          on_failure="raise" if strict else "quarantine")
+                          on_failure="raise" if strict else "quarantine",
+                          stepper=stepper)
     with ledger.stage("fused:plan"), ledger.caches():
         for job, (cell, arc) in enumerate(jobs):
             plan.add_job(cell, arc, [condition.as_tuple()
@@ -603,14 +606,18 @@ def _checkpoint_signature(
     delay_prior: TimingPrior,
     slew_prior: TimingPrior,
     solver: str,
+    stepper: StepperSpec,
 ) -> str:
     """Stable digest of every input that shapes a library run's results.
 
     Two runs with the same signature produce bit-identical entries, so a
     checkpoint written under this signature can be resumed safely; anything
     that would change the numbers -- technology or variation content, the
-    job list, any fitting condition, either prior, the solver -- changes
-    the digest.
+    job list, any fitting condition, either prior, the solver, the
+    transient stepper (scheme, step count or tolerances) -- changes the
+    digest.  A resume under a different integration engine or tolerance
+    therefore raises :class:`~repro.runtime.checkpoint.CheckpointMismatch`
+    instead of silently mixing results of different numerical schemes.
     """
     return stable_key_digest((
         "characterize_library",
@@ -625,6 +632,7 @@ def _checkpoint_signature(
         delay_prior.fingerprint(),
         slew_prior.fingerprint(),
         solver,
+        stepper.signature(),
     ))
 
 
@@ -686,6 +694,7 @@ def _characterize_fused_checkpointed(
     strict: bool,
     checkpointer: Checkpointer,
     preloaded: Dict[int, StatisticalCharacterization],
+    stepper: Optional[StepperSpec] = None,
 ) -> "Tuple[List[Optional[StatisticalCharacterization]], List[FailureReport]]":
     """Run :func:`_characterize_fused` under a checkpoint.
 
@@ -707,7 +716,8 @@ def _characterize_fused_checkpointed(
             [jobs[job] for job in remaining],
             [job_conditions[job] for job in remaining],
             delay_prior, slew_prior, variation, solver, executor, ledger,
-            max_bytes, strict=strict, checkpointer=checkpointer)
+            max_bytes, strict=strict, checkpointer=checkpointer,
+            stepper=stepper)
         for job, result in zip(remaining, sub_results):
             if result is not None:
                 cell, arc = jobs[job]
@@ -758,6 +768,7 @@ def characterize_library(
     retry_policy: Optional[RetryPolicy] = None,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    transient_engine: Optional[str] = None,
 ) -> LibraryCharacterization:
     """Statistically characterize every requested arc of a cell library.
 
@@ -848,6 +859,16 @@ def characterize_library(
         against a checkpoint whose run signature differs (any input
         changed) raises
         :class:`~repro.runtime.checkpoint.CheckpointMismatch`.
+    transient_engine:
+        Transient integration engine of the simulate phase: ``"batched"``
+        (fixed-step lockstep RK4), ``"adaptive"`` (error-controlled RK45;
+        typically 3x+ fewer RHS evaluations at equal accuracy), or
+        ``"serial"`` (equivalence-testing engine; the fused pipeline has no
+        serial path, so it falls back to the numerically identical batched
+        engine there).  ``None`` defers to
+        ``runtime.configure(transient_engine=...)`` /
+        ``REPRO_TRANSIENT_ENGINE``.  The engine's stepper signature is part
+        of every simulation-cache key and of the checkpoint run signature.
 
     Raises
     ------
@@ -892,6 +913,14 @@ def characterize_library(
     run_ledger = ledger if ledger is not None else RunLedger()
     failures: List[FailureReport] = []
 
+    # The fused pipeline has no serial path (serial is the equivalence twin
+    # of the batched fixed-step engine, numerically identical to it), so a
+    # resolved "serial" runs the batched engine there; the per-arc pipeline
+    # honors it as-is through each arc's sweep.
+    resolved_engine = resolve_transient_engine(transient_engine)
+    fused_engine = "adaptive" if resolved_engine == "adaptive" else "batched"
+    stepper = resolve_stepper(fused_engine)
+
     checkpointer: Optional[Checkpointer] = None
     preloaded: Dict[int, StatisticalCharacterization] = {}
     prior_failures: List[FailureReport] = []
@@ -902,7 +931,7 @@ def characterize_library(
             raise ValueError("checkpoint_dir requires pipeline='fused'")
         signature = _checkpoint_signature(
             technology, library_name, jobs, job_conditions, variation,
-            delay_prior, slew_prior, solver)
+            delay_prior, slew_prior, solver, stepper)
         checkpointer = Checkpointer(checkpoint_dir, signature, resume=resume)
         if resume:
             prior_failures = checkpointer.failures()
@@ -927,17 +956,17 @@ def characterize_library(
                 results, failures = _characterize_fused_checkpointed(
                     technology, jobs, job_conditions, delay_prior, slew_prior,
                     variation, solver, executor, run_ledger, max_bytes,
-                    strict_mode, checkpointer, preloaded)
+                    strict_mode, checkpointer, preloaded, stepper=stepper)
             else:
                 results, failures = _characterize_fused(
                     technology, jobs, job_conditions, delay_prior, slew_prior,
                     variation, solver, executor, run_ledger, max_bytes,
-                    strict=strict_mode)
+                    strict=strict_mode, stepper=stepper)
         else:
             payloads = [
                 (technology, cell, arc, delay_prior, slew_prior, variation,
-                 job_conditions[index], solver, max_bytes, strict_mode,
-                 retry_policy)
+                 job_conditions[index], solver, resolved_engine, max_bytes,
+                 strict_mode, retry_policy)
                 for index, (cell, arc) in enumerate(jobs)
             ]
             results = executor.map_accounted(_characterize_arc_job, payloads,

@@ -43,7 +43,10 @@ from repro.cells.library import Cell, TimingArc
 from repro.runtime import resolve_max_bytes
 from repro.runtime.accounting import RunLedger
 from repro.runtime.chunking import plan_chunks
+from repro.spice.adaptive import simulate_arc_transitions_adaptive
 from repro.spice.batch import simulate_arc_transitions, transient_item_bytes
+from repro.spice.stepper import StepperSpec
+from repro.spice.sweep import record_integration_stats
 from repro.spice.testbench import SimulationCache, get_simulation_cache
 from repro.spice.transient import DEFAULT_STEPS
 from repro.technology.node import TechnologyNode
@@ -56,20 +59,29 @@ def simulate_rows_job(payload: tuple):
     The payload carries a *representative* (cell, arc) of the chunk's
     signature group -- every row in the chunk reduces to a bit-identical
     equivalent inverter, so one reduction serves all rows whatever cell
-    they came from.  Returns the per-row delay/slew matrices plus the
-    chunk's :class:`RunLedger` (integration wall time under the flow's own
-    stage label, merged back in payload order by the executor).
+    they came from -- and the :class:`~repro.spice.stepper.StepperSpec`
+    selecting the integration scheme (``rk45`` dispatches to the adaptive
+    engine).  Returns the per-row delay/slew matrices plus the chunk's
+    :class:`RunLedger` (integration wall time under the flow's own stage
+    label and the chunk's step/RHS-evaluation metrics, merged back in
+    payload order by the executor).
     """
-    (technology, cell, arc, variation, triples, n_steps, stage,
+    (technology, cell, arc, variation, triples, stepper, stage,
      on_failure) = payload
     ledger = RunLedger()
     with ledger.caches():
         inverter = reduce_cell_cached(cell, technology, arc=arc,
                                       variation=variation)
         with ledger.stage(stage):
-            result = simulate_arc_transitions(
-                inverter, triples[:, 0], triples[:, 1], triples[:, 2],
-                n_steps=n_steps, on_failure=on_failure)
+            if stepper.method == "rk45":
+                result = simulate_arc_transitions_adaptive(
+                    inverter, triples[:, 0], triples[:, 1], triples[:, 2],
+                    stepper=stepper, on_failure=on_failure)
+            else:
+                result = simulate_arc_transitions(
+                    inverter, triples[:, 0], triples[:, 1], triples[:, 2],
+                    n_steps=stepper.n_steps, on_failure=on_failure)
+            record_integration_stats(ledger, result.stats)
             delay = np.asarray(result.delay(), dtype=float)
             slew = np.asarray(result.output_slew(), dtype=float)
     return (delay, slew, result.quarantined), ledger
@@ -118,13 +130,19 @@ class SimulationPlan:
                  variation: Optional[VariationSample] = None,
                  n_steps: int = DEFAULT_STEPS,
                  integrate_stage: str = "fused:integrate",
-                 on_failure: str = "raise") -> None:
+                 on_failure: str = "raise",
+                 stepper: Optional[StepperSpec] = None) -> None:
         if on_failure not in ("raise", "quarantine"):
             raise ValueError(f"on_failure must be 'raise' or 'quarantine', "
                              f"got {on_failure!r}")
         self.technology = technology
         self.variation = variation
         self.n_steps = int(n_steps)
+        #: Integration scheme of every batched call (and the engine part of
+        #: every simulation-cache key); defaults to fixed-step RK4 at
+        #: ``n_steps``, the historical behaviour.
+        self.stepper = (stepper if stepper is not None
+                        else StepperSpec(method="rk4", n_steps=self.n_steps))
         self.n_seeds = variation.n_seeds if variation is not None else 1
         self.integrate_stage = integrate_stage
         #: Fault handling forwarded to every batched transient call; with
@@ -170,7 +188,7 @@ class SimulationPlan:
         delays: List[Optional[np.ndarray]] = [None] * len(triples)
         slews: List[Optional[np.ndarray]] = [None] * len(triples)
         for cond, triple in enumerate(triples):
-            key = SimulationCache.condition_key(prefix, *triple, self.n_steps)
+            key = SimulationCache.condition_key(prefix, *triple, self.stepper)
             cached = self._cache.get(key)
             if cached is not None:
                 delays[cond], slews[cond] = cached
@@ -236,7 +254,7 @@ class SimulationPlan:
                                      min_chunks=executor.shard_hint(n_unique)):
                 triples = np.array(group.triples[chunk], dtype=float)
                 payloads.append((self.technology, group.cell, group.arc,
-                                 self.variation, triples, self.n_steps,
+                                 self.variation, triples, self.stepper,
                                  self.integrate_stage, self.on_failure))
                 self._payload_slots.append((group, chunk))
         self._results = executor.map_accounted(simulate_rows_job, payloads,

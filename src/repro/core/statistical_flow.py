@@ -351,6 +351,7 @@ class StatisticalCharacterizer:
         solver: str = "batched",
         ledger: Optional[RunLedger] = None,
         max_bytes: Optional[int] = None,
+        transient_engine: Optional[str] = None,
     ):
         if n_seeds < 2:
             raise ValueError("statistical characterization needs at least 2 seeds")
@@ -370,6 +371,9 @@ class StatisticalCharacterizer:
         self._solver = solver
         self._ledger = ledger
         self._max_bytes = max_bytes
+        #: Transient integration engine of the simulate stage (``None``
+        #: defers to ``runtime.configure(transient_engine=...)``).
+        self._transient_engine = transient_engine
 
     # ------------------------------------------------------------------
     # Accessors
@@ -444,7 +448,9 @@ class StatisticalCharacterizer:
                 self._cell, self._technology, [c.as_tuple() for c in conditions],
                 arc=self._arc, variation=variation, counter=self._counter,
                 counter_label=f"proposed_statistical:{self._cell.name}",
+                engine=self._transient_engine,
                 max_bytes=self._max_bytes,
+                ledger=ledger,
             )
         runs = ((self._counter.total - runs_before) if self._counter is not None
                 else len(conditions) * variation.n_seeds)

@@ -16,13 +16,27 @@ from repro.experiments.runner import (
     SpeedupSummary,
     compute_speedup,
 )
+from repro.experiments.score_matrix import (
+    DEFAULT_ENGINE_CONFIGS,
+    EngineConfig,
+    SCORE_METHODS,
+    ScoreCell,
+    ScoreMatrix,
+    score_matrix,
+)
 
 __all__ = [
     "AccuracyCurve",
+    "DEFAULT_ENGINE_CONFIGS",
+    "EngineConfig",
     "ExperimentRunner",
     "NOMINAL_METHODS",
+    "SCORE_METHODS",
     "STATISTICAL_METHODS",
     "STATISTICAL_METRICS",
+    "ScoreCell",
+    "ScoreMatrix",
     "SpeedupSummary",
     "compute_speedup",
+    "score_matrix",
 ]

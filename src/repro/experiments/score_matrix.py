@@ -1,0 +1,304 @@
+"""Accuracy-versus-simulation-budget score matrix across integration engines.
+
+The integrator benchmark (``benchmarks/test_perf_integrator.py``) proves the
+adaptive engine is *cheaper*; this module proves the speed was not bought
+with the paper's accuracy claims.  It runs every characterization method the
+paper compares -- the LUT and LSE baselines, the brute-force per-condition
+Monte Carlo flow, and the proposed MAP/Bayesian flow -- under every named
+engine configuration (fixed-step RK4, adaptive RK45 at one or more
+tolerance settings) and at several simulation budgets, scoring each
+``(method, engine, budget)`` cell against one engine-independent reference:
+a 16x-refined fixed-step simulation of the validation set.
+
+The result is a :class:`ScoreMatrix` whose rows carry both the accuracy
+(mean relative delay error against the refined reference) and the cost
+(simulation runs charged, plus the integration-step/RHS-evaluation counts
+of the engine itself from the :class:`~repro.runtime.accounting.RunLedger`),
+so "no accuracy loss" is a table lookup, not a judgement call:
+``matrix.accuracy_loss(method)`` is the worst error increase of any
+adaptive configuration over the fixed-step engine at the same budget.
+
+Engine configurations are applied through
+``runtime.configure(transient_engine=..., transient_rtol=...,
+transient_atol_frac=...)`` -- the same knobs users reach for -- and the
+global simulation cache is cleared between configurations so every cell
+is measured, not replayed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+import repro.runtime as runtime
+from repro.cells.library import Cell, Transition
+from repro.characterization.input_space import InputCondition, InputSpace
+from repro.characterization.lut import LutCharacterizer
+from repro.characterization.lse import LseCharacterizer
+from repro.core.characterizer import BayesianCharacterizer
+from repro.core.prior_learning import (
+    characterize_historical_library,
+    learn_prior,
+    shared_reference_conditions,
+)
+from repro.runtime.accounting import RunLedger
+from repro.spice.stepper import StepperSpec
+from repro.spice.sweep import sweep_conditions
+from repro.spice.transient import DEFAULT_STEPS
+from repro.technology.node import TechnologyNode
+from repro.technology.pdk import get_technology
+from repro.cells.catalog import make_cell
+from repro.utils.rng import RandomState, ensure_rng
+
+#: Methods scored by the matrix.  ``mc`` is the brute-force flow that
+#: simulates every validation condition directly (its budget is the
+#: validation-set size); the rest fit a model from ``training_size``
+#: simulated conditions and predict the validation set analytically.
+SCORE_METHODS = ("lut", "lse", "mc", "map")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One named integration-engine column of the score matrix."""
+
+    label: str
+    engine: str
+    rtol: Optional[float] = None
+    atol_frac: Optional[float] = None
+
+
+#: Default engine columns: the historical fixed-step engine, the adaptive
+#: engine at its engine-equivalence default tolerance, and a deliberately
+#: loose adaptive setting that shows what tolerance money actually buys.
+DEFAULT_ENGINE_CONFIGS = (
+    EngineConfig("rk4-400", "batched"),
+    EngineConfig("rk45-1e-9", "adaptive", rtol=1e-9, atol_frac=1e-9),
+    EngineConfig("rk45-1e-6", "adaptive", rtol=1e-6, atol_frac=1e-6),
+)
+
+
+@dataclass(frozen=True)
+class ScoreCell:
+    """One ``(method, engine, budget)`` measurement."""
+
+    method: str
+    engine: str
+    training_size: int
+    simulation_runs: int
+    error_percent: float
+    seconds: float
+    transient_steps: int = 0
+    transient_steps_rejected: int = 0
+    transient_rhs_evals: int = 0
+
+
+@dataclass
+class ScoreMatrix:
+    """The full accuracy-versus-budget score matrix."""
+
+    technology: str
+    n_validation: int
+    reference_steps: int
+    cells: Tuple[str, ...]
+    rows: List[ScoreCell] = field(default_factory=list)
+
+    def row(self, method: str, engine: str,
+            training_size: Optional[int] = None) -> ScoreCell:
+        """The single matching row (methods without a budget axis omit it)."""
+        for entry in self.rows:
+            if entry.method == method and entry.engine == engine and (
+                    training_size is None
+                    or entry.training_size == training_size):
+                return entry
+        raise KeyError(f"no row ({method}, {engine}, {training_size})")
+
+    def accuracy_loss(self, method: str,
+                      baseline_engine: str = "rk4-400") -> float:
+        """Worst error increase (percentage points) of any non-baseline
+        engine over ``baseline_engine`` at the same budget, for ``method``.
+
+        Negative values mean every other engine was at least as accurate.
+        """
+        baseline = {(r.training_size): r.error_percent for r in self.rows
+                    if r.method == method and r.engine == baseline_engine}
+        if not baseline:
+            raise KeyError(f"no baseline rows for method {method!r}")
+        worst = -np.inf
+        for entry in self.rows:
+            if entry.method != method or entry.engine == baseline_engine:
+                continue
+            worst = max(worst, entry.error_percent
+                        - baseline[entry.training_size])
+        return float(worst)
+
+    def table(self) -> str:
+        """Fixed-width text rendering (for artifacts and the summary)."""
+        header = (f"{'method':<6} {'engine':<12} {'budget':>6} "
+                  f"{'runs':>6} {'err%':>10} {'steps':>8} {'rejected':>8} "
+                  f"{'rhs evals':>10} {'seconds':>8}")
+        lines = [header, "-" * len(header)]
+        for entry in self.rows:
+            lines.append(
+                f"{entry.method:<6} {entry.engine:<12} "
+                f"{entry.training_size:>6d} {entry.simulation_runs:>6d} "
+                f"{entry.error_percent:>10.4f} {entry.transient_steps:>8d} "
+                f"{entry.transient_steps_rejected:>8d} "
+                f"{entry.transient_rhs_evals:>10d} {entry.seconds:>8.3f}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """JSON-ready view (written by the benchmark harness)."""
+        return {
+            "technology": self.technology,
+            "n_validation": self.n_validation,
+            "reference_steps": self.reference_steps,
+            "cells": list(self.cells),
+            "rows": [vars(entry) for entry in self.rows],
+        }
+
+
+def score_matrix(
+    technology: Optional[TechnologyNode] = None,
+    cells: Optional[Sequence[Cell]] = None,
+    training_sizes: Sequence[int] = (4, 8),
+    n_validation: int = 12,
+    engines: Sequence[EngineConfig] = DEFAULT_ENGINE_CONFIGS,
+    reference_refinement: int = 16,
+    rng: RandomState = 0,
+) -> ScoreMatrix:
+    """Score every method under every engine configuration.
+
+    Parameters
+    ----------
+    technology:
+        Target node (default ``n28_bulk``).
+    cells:
+        Cells whose first falling arc is scored (default INV_X1, NAND2_X1).
+    training_sizes:
+        Simulation budgets (fitting conditions) for the model-based methods
+        (``lut`` / ``lse`` / ``map``); ``mc`` always spends one run per
+        validation condition.  Budgets below the compact model's four
+        parameters leave the LSE fit underdetermined -- its error is then
+        dominated by fit sensitivity, not by anything the integrator did --
+        so engine comparisons should use sizes of at least 4.
+    n_validation:
+        Validation conditions scored against the refined reference.
+    engines:
+        Engine columns; applied through ``runtime.configure``.
+    reference_refinement:
+        Step multiplier of the fixed-step reference simulation (16x the
+        nominal 400 steps by default -- well inside the regime where the
+        fixed engine has converged past every error this matrix measures).
+    rng:
+        Seed for the validation/fitting samples.  The same validation set
+        and per-(method, budget) fitting seeds are reused for every engine,
+        so columns differ only by the integrator.
+    """
+    technology = (technology if technology is not None
+                  else get_technology("n28_bulk"))
+    cells = (list(cells) if cells is not None
+             else [make_cell("INV_X1"), make_cell("NAND2_X1")])
+    training_sizes = tuple(int(size) for size in training_sizes)
+    master = ensure_rng(rng)
+
+    space = InputSpace(technology)
+    validation: List[InputCondition] = space.sample_lhs(n_validation, master)
+    triples = [c.as_tuple() for c in validation]
+    arcs = [(cell, cell.arc(cell.input_pins[0], Transition.FALL))
+            for cell in cells]
+
+    # MAP needs a learned prior; one historical node is enough for scoring.
+    unit_conditions = shared_reference_conditions(8, rng=7)
+    historical = [characterize_historical_library(
+        get_technology("n45_bulk"), cells, unit_conditions=unit_conditions,
+        transitions=(Transition.FALL,))]
+    delay_prior = learn_prior(historical, response="delay")
+    slew_prior = learn_prior(historical, response="slew")
+
+    # One engine-independent truth: a refined fixed-step simulation.
+    reference_steps = reference_refinement * DEFAULT_STEPS
+    reference_stepper = StepperSpec(method="rk4", n_steps=reference_steps)
+    reference: Dict[str, np.ndarray] = {}
+    for cell, arc in arcs:
+        measurements = sweep_conditions(
+            cell, technology, triples, arc=arc, engine="batched",
+            stepper=reference_stepper, cache=False)
+        reference[cell.name] = np.array(
+            [m.nominal_delay() for m in measurements])
+
+    # Per-(method, budget) fitting seeds, fixed across engines.
+    fit_seeds = {(method, size): int(master.integers(0, 2 ** 31))
+                 for method in SCORE_METHODS for size in training_sizes}
+
+    config = runtime.runtime_config()
+    saved = (config.transient_engine, config.transient_rtol,
+             config.transient_atol_frac)
+    matrix = ScoreMatrix(technology=technology.name,
+                         n_validation=n_validation,
+                         reference_steps=reference_steps,
+                         cells=tuple(cell.name for cell in cells))
+    try:
+        for engine_config in engines:
+            runtime.configure(transient_engine=engine_config.engine,
+                              transient_rtol=engine_config.rtol,
+                              transient_atol_frac=engine_config.atol_frac)
+            runtime.get_registered_cache("simulation").clear()
+            for method in SCORE_METHODS:
+                sizes = training_sizes if method != "mc" else (n_validation,)
+                for size in sizes:
+                    matrix.rows.append(_score_one(
+                        method, engine_config.label, size, technology, arcs,
+                        validation, triples, reference, delay_prior,
+                        slew_prior, fit_seeds))
+    finally:
+        runtime.configure(transient_engine=saved[0], transient_rtol=saved[1],
+                          transient_atol_frac=saved[2])
+    return matrix
+
+
+def _score_one(method: str, engine_label: str, size: int,
+               technology: TechnologyNode, arcs, validation, triples,
+               reference, delay_prior, slew_prior, fit_seeds) -> ScoreCell:
+    """One matrix cell: fit (or sweep) every arc, score against the truth."""
+    ledger = RunLedger()
+    errors: List[float] = []
+    runs = 0
+    start = time.perf_counter()
+    for cell, arc in arcs:
+        truth = reference[cell.name]
+        if method == "mc":
+            measurements = sweep_conditions(cell, technology, triples,
+                                            arc=arc, cache=False,
+                                            ledger=ledger)
+            predicted = np.array([m.nominal_delay() for m in measurements])
+            runs += len(triples)
+        else:
+            fit_rng = ensure_rng(fit_seeds[(method, size)])
+            if method == "lut":
+                characterizer = LutCharacterizer(technology, cell, arc=arc)
+                characterizer.build(size)
+            elif method == "lse":
+                characterizer = LseCharacterizer(technology, cell, arc=arc)
+                characterizer.fit(size, rng=fit_rng)
+            else:
+                characterizer = BayesianCharacterizer(
+                    technology, cell, delay_prior, slew_prior, arc=arc)
+                characterizer.fit(size, rng=fit_rng)
+            predicted = np.asarray(characterizer.predict_delay(validation))
+            runs += int(getattr(characterizer, "simulation_runs", size)
+                        if method != "map"
+                        else characterizer.result.simulation_runs)
+        errors.append(float(np.mean(np.abs(predicted / truth - 1.0))) * 100.0)
+    seconds = time.perf_counter() - start
+    metrics = ledger.metrics()
+    return ScoreCell(
+        method=method, engine=engine_label, training_size=int(size),
+        simulation_runs=int(runs),
+        error_percent=float(np.mean(errors)), seconds=round(seconds, 4),
+        transient_steps=int(metrics.get("transient_steps", 0)),
+        transient_steps_rejected=int(
+            metrics.get("transient_steps_rejected", 0)),
+        transient_rhs_evals=int(metrics.get("transient_rhs_evals", 0)))

@@ -36,6 +36,11 @@ start from defaults, so flows that must honor a budget everywhere thread
 tier can also be enabled from the environment: ``REPRO_DISK_CACHE=<dir>``
 attaches a :class:`~repro.runtime.persist.DiskStore` under ``<dir>`` to
 every durable registered cache, and ``REPRO_DISK_CACHE_BYTES`` budgets it.
+``REPRO_TRANSIENT_ENGINE=<batched|serial|adaptive>`` selects the default
+transient integration engine (unknown values are ignored), and
+``REPRO_TRANSIENT_RTOL`` / ``REPRO_TRANSIENT_ATOL`` override the adaptive
+engine's default tolerances (relative, and absolute as a fraction of the
+supply).
 """
 
 from __future__ import annotations
@@ -89,6 +94,13 @@ from repro.runtime.resilience import (
 #: Sentinel distinguishing "keep current" from an explicit ``None``.
 _KEEP = object()
 
+#: Transient integration engines selectable process-wide.  The names are
+#: owned here (not in ``repro.spice``) so the runtime layer never imports
+#: the engines it configures: ``batched`` is the fixed-step lockstep RK4
+#: engine, ``serial`` its one-condition-at-a-time equivalence twin, and
+#: ``adaptive`` the error-controlled Dormand-Prince RK45 engine.
+TRANSIENT_ENGINES = ("batched", "serial", "adaptive")
+
 
 @dataclass
 class RuntimeConfig:
@@ -111,12 +123,27 @@ class RuntimeConfig:
     disk_cache_bytes:
         Byte budget applied to each attached disk store (eviction is
         oldest-first).  ``None`` leaves the stores unbounded.
+    transient_engine:
+        Default transient integration engine consulted by
+        :func:`resolve_transient_engine` wherever an ``engine`` argument is
+        left at ``None`` (sweeps, characterizers, the fused library
+        pipeline).  ``None`` means the historical default (``"batched"``).
+    transient_rtol, transient_atol_frac:
+        Default tolerances of the adaptive engine (relative tolerance and
+        absolute tolerance as a fraction of the supply), consulted by
+        :func:`repro.spice.stepper.resolve_stepper` wherever no explicit
+        :class:`~repro.spice.stepper.StepperSpec` is given.  ``None`` keeps
+        the engine's own defaults (1e-9 each).  Ignored by the fixed-step
+        engines.
     """
 
     max_bytes: Optional[int] = None
     cache_bytes: Optional[int] = None
     disk_cache_dir: Optional[str] = None
     disk_cache_bytes: Optional[int] = None
+    transient_engine: Optional[str] = None
+    transient_rtol: Optional[float] = None
+    transient_atol_frac: Optional[float] = None
 
 
 _CONFIG = RuntimeConfig()
@@ -128,7 +155,9 @@ def runtime_config() -> RuntimeConfig:
 
 
 def configure(max_bytes=_KEEP, cache_bytes=_KEEP,
-              disk_cache_dir=_KEEP, disk_cache_bytes=_KEEP) -> RuntimeConfig:
+              disk_cache_dir=_KEEP, disk_cache_bytes=_KEEP,
+              transient_engine=_KEEP, transient_rtol=_KEEP,
+              transient_atol_frac=_KEEP) -> RuntimeConfig:
     """Update process-wide runtime settings; returns the live config.
 
     Parameters
@@ -149,7 +178,29 @@ def configure(max_bytes=_KEEP, cache_bytes=_KEEP,
     disk_cache_bytes:
         Byte budget for each attached disk store; ``None`` removes the
         budget.  Omit to keep the current value.
+    transient_engine:
+        Process-wide default transient integration engine (one of
+        ``TRANSIENT_ENGINES``); ``None`` restores the historical default
+        (``"batched"``).  Omit to keep the current value.
+    transient_rtol, transient_atol_frac:
+        Process-wide default tolerances of the adaptive engine; ``None``
+        restores the engine defaults (1e-9).  Omit to keep the current
+        values.
     """
+    for name, value in (("transient_rtol", transient_rtol),
+                        ("transient_atol_frac", transient_atol_frac)):
+        if value is _KEEP:
+            continue
+        if value is not None and not float(value) > 0.0:
+            raise ValueError(f"{name} must be positive (or None)")
+        setattr(_CONFIG, name, None if value is None else float(value))
+    if transient_engine is not _KEEP:
+        if (transient_engine is not None
+                and transient_engine not in TRANSIENT_ENGINES):
+            raise ValueError(
+                f"transient_engine must be one of {TRANSIENT_ENGINES} or "
+                f"None, got {transient_engine!r}")
+        _CONFIG.transient_engine = transient_engine
     if max_bytes is not _KEEP:
         if max_bytes is not None and int(max_bytes) < 1:
             raise ValueError("max_bytes must be positive (or None)")
@@ -229,6 +280,18 @@ def resolve_max_bytes(max_bytes: Optional[int]) -> Optional[int]:
     return _CONFIG.max_bytes if max_bytes is None else int(max_bytes)
 
 
+def resolve_transient_engine(engine: Optional[str]) -> str:
+    """A flow's effective transient engine: explicit, configured, or batched."""
+    if engine is not None:
+        if engine not in TRANSIENT_ENGINES:
+            raise ValueError(f"engine must be one of {TRANSIENT_ENGINES}, "
+                             f"got {engine!r}")
+        return engine
+    if _CONFIG.transient_engine is not None:
+        return _CONFIG.transient_engine
+    return "batched"
+
+
 def _bootstrap_from_env() -> None:
     """Pick up ``REPRO_DISK_CACHE`` / ``REPRO_DISK_CACHE_BYTES`` at import.
 
@@ -236,6 +299,17 @@ def _bootstrap_from_env() -> None:
     malformed byte budget is ignored rather than failing the import of the
     whole runtime package.
     """
+    engine = os.environ.get("REPRO_TRANSIENT_ENGINE", "").strip()
+    if engine in TRANSIENT_ENGINES:
+        configure(transient_engine=engine)
+    for env_name, knob in (("REPRO_TRANSIENT_RTOL", "transient_rtol"),
+                           ("REPRO_TRANSIENT_ATOL", "transient_atol_frac")):
+        raw = os.environ.get(env_name, "").strip()
+        if raw:
+            try:
+                configure(**{knob: float(raw)})
+            except ValueError:
+                pass
     root = os.environ.get("REPRO_DISK_CACHE", "").strip()
     if not root:
         return
@@ -272,6 +346,7 @@ __all__ = [
     "RunLedger",
     "RuntimeConfig",
     "SerialExecutor",
+    "TRANSIENT_ENGINES",
     "cache_stats",
     "chunk_count",
     "clear_all_caches",
@@ -289,6 +364,7 @@ __all__ = [
     "registered_caches",
     "resolve_max_bytes",
     "resolve_strict",
+    "resolve_transient_engine",
     "run_with_retry",
     "runtime_config",
     "stable_key_digest",

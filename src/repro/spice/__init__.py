@@ -22,6 +22,16 @@ from repro.spice.waveform import (
 from repro.spice.stimulus import RampStimulus
 from repro.spice.transient import TransientResult, simulate_arc_transition
 from repro.spice.batch import BatchTransientResult, simulate_arc_transitions
+from repro.spice.stepper import (
+    DEFAULT_ATOL_FRAC,
+    DEFAULT_RTOL,
+    IntegrationStats,
+    StepperSpec,
+)
+from repro.spice.adaptive import (
+    simulate_arc_transition_adaptive,
+    simulate_arc_transitions_adaptive,
+)
 from repro.spice.testbench import (
     SimulationCache,
     SimulationCounter,
@@ -34,8 +44,12 @@ from repro.spice.sweep import sweep_conditions
 
 __all__ = [
     "BatchTransientResult",
+    "DEFAULT_ATOL_FRAC",
+    "DEFAULT_RTOL",
     "DELAY_THRESHOLD",
+    "IntegrationStats",
     "RampStimulus",
+    "StepperSpec",
     "SLEW_DERATE",
     "SLEW_HIGH_THRESHOLD",
     "SLEW_LOW_THRESHOLD",
@@ -49,6 +63,8 @@ __all__ = [
     "characterize_cell_nominal",
     "get_simulation_cache",
     "simulate_arc_transition",
+    "simulate_arc_transition_adaptive",
     "simulate_arc_transitions",
+    "simulate_arc_transitions_adaptive",
     "sweep_conditions",
 ]

@@ -40,6 +40,7 @@ from repro.cells.equivalent_inverter import EquivalentInverter
 from repro.cells.library import Transition
 from repro.runtime import faultinject
 from repro.spice import transient as _serial
+from repro.spice.stepper import IntegrationStats
 from repro.spice.transient import (
     DEFAULT_STEPS,
     TransientResult,
@@ -83,6 +84,10 @@ class BatchTransientResult:
     #: went non-finite or never completed, and their delay/slew values are
     #: NaN.  ``None`` when the simulation ran fail-fast (the default).
     quarantined: Optional[np.ndarray] = None
+    #: Integration-cost accounting of this batch (steps taken/rejected and
+    #: scalar RHS evaluations); ``None`` on results restored from caches
+    #: predating the stepper signature.
+    stats: Optional[IntegrationStats] = None
 
     @property
     def n_conditions(self) -> int:
@@ -143,6 +148,31 @@ def _scalarize(value) -> object:
     return float(array.reshape(-1)[0]) if array.size == 1 else array
 
 
+def _alpha_power_params(device) -> dict:
+    """Pre-combined alpha-power parameters for the fused hot-loop kernels.
+
+    Shared by the fixed engine's :func:`_alpha_power_kernel` and the
+    adaptive engine's workspace kernel: device parameters are folded once
+    per simulation (``k_drive * width`` into one gain, the subthreshold
+    swing into the softplus smoothing and its negated reciprocal, ``alpha``
+    into the half exponent) and size-1 arrays collapse to Python scalars so
+    the elementwise chains stay on NumPy's fast scalar-operand paths.
+    """
+    p = device.params
+    smoothing = _scalarize(np.asarray(p.subthreshold_swing, dtype=float) / 2.3)
+    return {
+        "vth0": _scalarize(p.vth0),
+        "dibl": _scalarize(p.dibl),
+        "kw": _scalarize(np.asarray(p.k_drive, dtype=float)
+                         * np.asarray(p.width_um, dtype=float)),
+        "lam": _scalarize(p.lambda_clm),
+        "coeff": _scalarize(p.vdsat_coeff),
+        "alpha_half": _scalarize(np.asarray(p.alpha, dtype=float) * 0.5),
+        "smoothing": smoothing,
+        "neg_inv_smoothing": -1.0 / smoothing,
+    }
+
+
 def _alpha_power_kernel(nmos, pmos):
     """Fused alpha-power drain-current evaluation for the batched hot loop.
 
@@ -165,23 +195,7 @@ def _alpha_power_kernel(nmos, pmos):
     if type(nmos) is not AlphaPowerMOSFET or type(pmos) is not AlphaPowerMOSFET:
         return None
 
-    def prepare(device):
-        p = device.params
-        smoothing = _scalarize(np.asarray(p.subthreshold_swing, dtype=float)
-                               / 2.3)
-        return {
-            "vth0": _scalarize(p.vth0),
-            "dibl": _scalarize(p.dibl),
-            "kw": _scalarize(np.asarray(p.k_drive, dtype=float)
-                             * np.asarray(p.width_um, dtype=float)),
-            "lam": _scalarize(p.lambda_clm),
-            "coeff": _scalarize(p.vdsat_coeff),
-            "alpha_half": _scalarize(np.asarray(p.alpha, dtype=float) * 0.5),
-            "smoothing": smoothing,
-            "neg_inv_smoothing": -1.0 / smoothing,
-        }
-
-    prepared = (prepare(nmos), prepare(pmos))
+    prepared = (_alpha_power_params(nmos), _alpha_power_params(pmos))
 
     def one_device(p, vgs, vds_raw):
         vds = np.maximum(vds_raw, 0.0)
@@ -310,6 +324,7 @@ def simulate_arc_transitions(
     nmos = inverter.nmos
     pmos = inverter.pmos
     kernel = _alpha_power_kernel(nmos, pmos)
+    stats = IntegrationStats(method="rk4")
 
     def integrate_chunk(t_begin: np.ndarray, t_end: np.ndarray, steps: int,
                         state: np.ndarray, idx: np.ndarray,
@@ -369,6 +384,10 @@ def simulate_arc_transitions(
         dt_col = dt[:, np.newaxis]
         sixth_col = (dt / 6.0)[:, np.newaxis]
         stage = np.empty((idx.size, n_seeds))
+        # Fixed-step accounting: every step is "accepted" and costs four
+        # RK4 stage evaluations per (condition, seed).
+        stats.steps_taken += steps * idx.size
+        stats.rhs_evals += 4 * steps * idx.size * n_seeds
         volt_out[:, 0] = state
         for index in range(steps):
             t = times[:, index]
@@ -527,4 +546,5 @@ def simulate_arc_transitions(
         cload=cload,
         vdd=vdd,
         quarantined=quarantined if on_failure == "quarantine" else None,
+        stats=stats,
     )

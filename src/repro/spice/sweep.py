@@ -19,9 +19,16 @@ import numpy as np
 
 from repro.cells.equivalent_inverter import default_arc, reduce_cell_cached
 from repro.cells.library import Cell, TimingArc
-from repro.runtime import resolve_max_bytes
+from repro.runtime import (
+    TRANSIENT_ENGINES,
+    resolve_max_bytes,
+    resolve_transient_engine,
+)
+from repro.runtime.accounting import RunLedger
 from repro.runtime.chunking import plan_chunks
+from repro.spice.adaptive import simulate_arc_transitions_adaptive
 from repro.spice.batch import simulate_arc_transitions, transient_item_bytes
+from repro.spice.stepper import IntegrationStats, StepperSpec, resolve_stepper
 from repro.spice.testbench import (
     SimulationCache,
     SimulationCounter,
@@ -32,8 +39,27 @@ from repro.spice.transient import DEFAULT_STEPS, simulate_arc_transition
 from repro.technology.node import TechnologyNode
 from repro.technology.variation import VariationSample
 
-#: Engines selectable in :func:`sweep_conditions`.
-ENGINES = ("batched", "serial")
+#: Engines selectable in :func:`sweep_conditions` (the runtime layer owns
+#: the canonical tuple so ``runtime.configure(transient_engine=...)`` can
+#: validate without importing the engines).
+ENGINES = TRANSIENT_ENGINES
+
+
+def record_integration_stats(ledger: Optional[RunLedger],
+                             stats: Optional[IntegrationStats]) -> None:
+    """Add one batch's integration cost to a ledger's metrics (if both exist).
+
+    The three metrics sum across batches, chunks and merged worker ledgers,
+    so a flow-level ledger reports the total integration effort of the run:
+    ``transient_steps`` / ``transient_steps_rejected`` count per-condition
+    step attempts and ``transient_rhs_evals`` counts scalar derivative
+    evaluations (directly comparable across engines).
+    """
+    if ledger is None or stats is None:
+        return
+    ledger.add_metric("transient_steps", stats.steps_taken)
+    ledger.add_metric("transient_steps_rejected", stats.steps_rejected)
+    ledger.add_metric("transient_rhs_evals", stats.rhs_evals)
 
 
 def sweep_conditions(
@@ -45,9 +71,11 @@ def sweep_conditions(
     n_steps: int = DEFAULT_STEPS,
     counter: Optional[SimulationCounter] = None,
     counter_label: Optional[str] = None,
-    engine: str = "batched",
+    engine: Optional[str] = None,
     cache: bool = True,
     max_bytes: Optional[int] = None,
+    stepper: Optional[StepperSpec] = None,
+    ledger: Optional[RunLedger] = None,
 ) -> List[TimingMeasurement]:
     """Simulate one arc across a list of operating points.
 
@@ -63,32 +91,53 @@ def sweep_conditions(
         counters measure what a flow *requires*, the cache only saves
         wall-clock time.
     engine:
-        ``"batched"`` (default) integrates every condition in one 2-D RK4
+        ``"batched"`` integrates every condition in one 2-D fixed-step RK4
         pass; ``"serial"`` integrates condition by condition through the
-        original engine.  Both produce identical results to floating-point
-        noise; the serial engine is kept for equivalence testing and
-        benchmarking, and therefore never touches the simulation cache --
-        a serial sweep must actually run the serial integrator, not replay
-        memoized batched results.
+        original engine (kept for equivalence testing; it never touches
+        the simulation cache -- a serial sweep must actually run the
+        serial integrator, not replay memoized batched results);
+        ``"adaptive"`` integrates every condition in one batched
+        error-controlled RK45 pass (:mod:`repro.spice.adaptive`).  ``None``
+        (default) defers to ``runtime.configure(transient_engine=...)`` /
+        ``REPRO_TRANSIENT_ENGINE``, falling back to ``"batched"``.
     cache:
-        Whether to consult/fill the global simulation cache (batched engine
-        only; ignored for ``engine="serial"``).  A sweep whose conditions
-        all hit short-circuits straight to measurement assembly -- no
-        equivalent-inverter reduction, no batched simulation plan.
+        Whether to consult/fill the global simulation cache (batched and
+        adaptive engines; ignored for ``engine="serial"``).  Keys embed
+        the full stepper signature, so fixed-step and adaptive results
+        never collide.  A sweep whose conditions all hit short-circuits
+        straight to measurement assembly -- no equivalent-inverter
+        reduction, no batched simulation plan.
     max_bytes:
-        Memory budget for the batched engine's waveform matrices; uncached
+        Memory budget for the batched engines' waveform matrices; uncached
         conditions are split into deterministic chunks integrated one after
         the other (conditions are independent, so the per-condition results
-        are identical to the one-pass batch).  ``None`` defers to
+        are identical to the one-pass batch -- for the adaptive engine each
+        row's step-size controller is fully row-local, so this holds
+        bit-for-bit there too).  ``None`` defers to
         ``repro.runtime.configure(max_bytes=...)``.
+    stepper:
+        Explicit :class:`~repro.spice.stepper.StepperSpec` overriding the
+        resolved engine's default scheme (e.g. adaptive at non-default
+        tolerances).  Must be consistent with the engine: ``"rk45"`` for
+        the adaptive engine, ``"rk4"`` otherwise.
+    ledger:
+        Optional :class:`~repro.runtime.accounting.RunLedger`; integration
+        cost (steps taken/rejected, scalar RHS evaluations) of the
+        conditions actually simulated is accumulated into its metrics.
 
     Returns
     -------
     list of TimingMeasurement
         One measurement per condition, in the input order.
     """
-    if engine not in ENGINES:
-        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    engine = resolve_transient_engine(engine)
+    if stepper is None:
+        stepper = resolve_stepper(engine, n_steps=n_steps)
+    expected_method = "rk45" if engine == "adaptive" else "rk4"
+    if stepper.method != expected_method:
+        raise ValueError(
+            f"stepper method {stepper.method!r} is inconsistent with "
+            f"engine {engine!r} (expected {expected_method!r})")
     conditions = [tuple(float(value) for value in condition)
                   for condition in conditions]
     for condition in conditions:
@@ -101,7 +150,7 @@ def sweep_conditions(
     resolved_arc = arc if arc is not None else default_arc(cell)
 
     simulation_cache = (get_simulation_cache()
-                        if cache and engine == "batched" else None)
+                        if cache and engine != "serial" else None)
     variation_fp = (variation.fingerprint() if variation is not None
                     else "nominal")
 
@@ -119,7 +168,7 @@ def sweep_conditions(
         missing = []
         for index, (sin, cload, vdd) in enumerate(conditions):
             key = SimulationCache.condition_key(prefix, sin, cload, vdd,
-                                                n_steps)
+                                                stepper)
             keys[index] = key
             cached = simulation_cache.get(key)
             if cached is not None:
@@ -133,18 +182,24 @@ def sweep_conditions(
         # least one condition actually needs integrating.
         inverter = reduce_cell_cached(cell, technology, arc=resolved_arc,
                                       variation=variation)
-        if engine == "batched":
+        if engine in ("batched", "adaptive"):
             triples = np.array([conditions[i] for i in missing], dtype=float)
             n_seeds = variation.n_seeds if variation is not None else 1
-            item_bytes = transient_item_bytes(n_seeds, n_steps)
+            item_bytes = transient_item_bytes(n_seeds, stepper.n_steps)
             # Chunks integrate one after the other and scatter their results
             # immediately, so each chunk's waveform matrices are freed before
             # the next one allocates (the point of the budget).
             for rows in plan_chunks(len(missing), item_bytes,
                                     resolve_max_bytes(max_bytes)):
-                result = simulate_arc_transitions(
-                    inverter, triples[rows, 0], triples[rows, 1],
-                    triples[rows, 2], n_steps=n_steps)
+                if engine == "adaptive":
+                    result = simulate_arc_transitions_adaptive(
+                        inverter, triples[rows, 0], triples[rows, 1],
+                        triples[rows, 2], stepper=stepper)
+                else:
+                    result = simulate_arc_transitions(
+                        inverter, triples[rows, 0], triples[rows, 1],
+                        triples[rows, 2], n_steps=stepper.n_steps)
+                record_integration_stats(ledger, result.stats)
                 batch_delay = result.delay()
                 batch_slew = result.output_slew()
                 for row, index in enumerate(missing[rows]):
@@ -155,7 +210,7 @@ def sweep_conditions(
                 sin, cload, vdd = conditions[index]
                 result = simulate_arc_transition(inverter, sin=sin,
                                                  cload=cload, vdd=vdd,
-                                                 n_steps=n_steps)
+                                                 n_steps=stepper.n_steps)
                 delays[index] = np.asarray(result.delay(), dtype=float)
                 slews[index] = np.asarray(result.output_slew(), dtype=float)
         if simulation_cache is not None:

@@ -88,7 +88,8 @@ class SimulationCache(LruCache):
     Keys identify the operating point: cell name and unit device widths,
     technology name plus content fingerprint, timing arc, the content
     fingerprint of the Monte Carlo seed batch (or ``"nominal"``), the
-    ``(sin, cload, vdd)`` condition, and the step count -- built as
+    ``(sin, cload, vdd)`` condition, and the full stepper signature
+    (scheme, step count or tolerances/controller constants) -- built as
     :meth:`arc_prefix` (one per swept arc; exact guarantees documented
     there) plus a :meth:`condition_key` tail per operating point.  Values
     are the measured per-seed delay and slew arrays; copies are stored and
@@ -129,9 +130,26 @@ class SimulationCache(LruCache):
 
     @staticmethod
     def condition_key(prefix: tuple, sin: float, cload: float, vdd: float,
-                      n_steps: int) -> tuple:
-        """Append one operating point and step count to an arc prefix."""
-        return prefix + (float(sin), float(cload), float(vdd), int(n_steps))
+                      stepper) -> tuple:
+        """Append one operating point and stepper identity to an arc prefix.
+
+        ``stepper`` is the numerical-scheme identity: a
+        :class:`~repro.spice.stepper.StepperSpec` (its
+        :meth:`~repro.spice.stepper.StepperSpec.signature` is embedded), a
+        plain ``int`` step count (historical callers; normalized to the
+        equivalent fixed-step ``("rk4", n_steps)`` signature), or an
+        already-built signature tuple.  Results produced by different
+        schemes or tolerances therefore can never collide.  Disk-tier
+        entries written before signature keying hash differently and are
+        simply re-simulated on first use.
+        """
+        if isinstance(stepper, tuple):
+            signature = stepper
+        elif isinstance(stepper, int):
+            signature = ("rk4", int(stepper))
+        else:
+            signature = stepper.signature()
+        return prefix + (float(sin), float(cload), float(vdd)) + signature
 
     def get(self, key: tuple) -> Optional[Tuple[np.ndarray, np.ndarray]]:
         """Return ``(delay, slew)`` copies for ``key``, or ``None`` on a miss."""

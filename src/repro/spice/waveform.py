@@ -4,7 +4,9 @@ A :class:`Waveform` stores a shared time axis and per-seed voltage samples
 (shape ``(n_time,)`` or ``(n_time, n_seeds)``) and provides the measurements
 library characterization needs:
 
-* threshold-crossing times with linear interpolation between samples,
+* threshold-crossing times with linear interpolation between samples (or
+  cubic Hermite interpolation when the waveform carries dense-output
+  derivatives; see below),
 * propagation delay relative to an input waveform (50 %-to-50 %), and
 * transition time (slew), measured between the 20 % and 80 % points and
   rescaled by the usual 0.6 derate so the reported value approximates the
@@ -15,6 +17,17 @@ All measurements are vectorized: a :class:`Waveform` measures every seed in
 one array pass, and a :class:`WaveformBatch` measures a whole
 ``(n_conditions, n_seeds)`` sweep at once (the extraction side of the batched
 transient engine in :mod:`repro.spice.batch`).
+
+**Dense output.**  The adaptive engine (:mod:`repro.spice.adaptive`) samples
+each condition on its own *non-uniform* grid whose spacing tracks the local
+error, so chord interpolation between samples would lose accuracy exactly
+where the steps are widest.  Both waveform classes therefore accept an
+optional ``derivative`` array (``dV/dt`` at every sample -- the stepper's
+FSAL stage, free of extra evaluations); when present, ``value_at`` and
+``crossing_time`` evaluate the C1 cubic Hermite interpolant through each
+bracketing segment (crossings are refined by bisection on the cubic), which
+matches the integrator's own order on coarse steps.  Without derivatives the
+historical linear path is taken, bit-for-bit unchanged.
 """
 
 from __future__ import annotations
@@ -31,11 +44,34 @@ SLEW_HIGH_THRESHOLD = 0.8
 #: Fraction of the full swing covered between the slew thresholds.
 SLEW_DERATE = SLEW_HIGH_THRESHOLD - SLEW_LOW_THRESHOLD
 
+#: Bisection iterations used to solve the Hermite cubic for a crossing time.
+#: Each halves the bracket, so 52 reaches double-precision resolution of the
+#: sample interval from any starting bracket.
+_HERMITE_BISECTIONS = 52
+
+
+def _hermite_eval(s: np.ndarray, v0: np.ndarray, v1: np.ndarray,
+                  d0: np.ndarray, d1: np.ndarray, dt: np.ndarray
+                  ) -> np.ndarray:
+    """Cubic Hermite interpolant at normalized position ``s`` in ``[0, 1]``.
+
+    ``v0/v1`` are the segment endpoint values, ``d0/d1`` the endpoint time
+    derivatives and ``dt`` the segment duration; all arguments broadcast.
+    """
+    s2 = s * s
+    s3 = s2 * s
+    h00 = 2.0 * s3 - 3.0 * s2 + 1.0
+    h10 = s3 - 2.0 * s2 + s
+    h01 = -2.0 * s3 + 3.0 * s2
+    h11 = s3 - s2
+    return h00 * v0 + h10 * dt * d0 + h01 * v1 + h11 * dt * d1
+
 
 class Waveform:
     """Sampled voltage waveform(s) on a common time axis."""
 
-    def __init__(self, time: np.ndarray, voltage: np.ndarray):
+    def __init__(self, time: np.ndarray, voltage: np.ndarray,
+                 derivative: Optional[np.ndarray] = None):
         time = np.asarray(time, dtype=float)
         voltage = np.asarray(voltage, dtype=float)
         if time.ndim != 1:
@@ -51,8 +87,18 @@ class Waveform:
                 f"voltage must have shape (n_time,) or (n_time, n_seeds); "
                 f"got {voltage.shape} for {time.size} time points"
             )
+        if derivative is not None:
+            derivative = np.asarray(derivative, dtype=float)
+            if derivative.ndim == 1:
+                derivative = derivative[:, np.newaxis]
+            if derivative.shape != voltage.shape:
+                raise ValueError(
+                    f"derivative must match the voltage shape "
+                    f"{voltage.shape}; got {derivative.shape}"
+                )
         self._time = time
         self._voltage = voltage
+        self._derivative = derivative
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -72,15 +118,24 @@ class Waveform:
         """Number of per-seed traces stored in this waveform."""
         return self._voltage.shape[1]
 
+    @property
+    def derivative(self) -> Optional[np.ndarray]:
+        """Dense-output ``dV/dt`` samples (same shape as voltage), or ``None``."""
+        return self._derivative
+
     def seed(self, index: int) -> "Waveform":
         """Extract the waveform of a single seed."""
-        return Waveform(self._time, self._voltage[:, index])
+        deriv = (None if self._derivative is None
+                 else self._derivative[:, index])
+        return Waveform(self._time, self._voltage[:, index], derivative=deriv)
 
     def value_at(self, when: float) -> np.ndarray:
-        """Linearly interpolated voltage at time ``when`` for every seed.
+        """Interpolated voltage at time ``when`` for every seed.
 
         One vectorized pass over all seeds (``searchsorted`` + gather) rather
-        than a per-seed ``np.interp`` loop.
+        than a per-seed ``np.interp`` loop.  With dense-output derivatives
+        the bracketing segment is evaluated through its cubic Hermite
+        interpolant; otherwise linearly (the historical behaviour).
         """
         when = float(when)
         time = self._time
@@ -91,9 +146,17 @@ class Waveform:
         high = int(np.searchsorted(time, when))
         high = min(max(high, 1), time.size - 1)
         low = high - 1
-        fraction = (when - time[low]) / (time[high] - time[low])
-        return self._voltage[low, :] + fraction * (self._voltage[high, :]
-                                                   - self._voltage[low, :])
+        span = time[high] - time[low]
+        fraction = (when - time[low]) / span
+        v0 = self._voltage[low, :]
+        v1 = self._voltage[high, :]
+        if self._derivative is not None:
+            d0 = self._derivative[low, :]
+            d1 = self._derivative[high, :]
+            hermite_ok = np.isfinite(d0) & np.isfinite(d1)
+            hermite = _hermite_eval(fraction, v0, v1, d0, d1, span)
+            return np.where(hermite_ok, hermite, v0 + fraction * (v1 - v0))
+        return v0 + fraction * (v1 - v0)
 
     # ------------------------------------------------------------------
     # Measurements
@@ -119,8 +182,11 @@ class Waveform:
         """
         # One waveform is the single-condition special case of a batch; the
         # interpolation/direction/edge-case logic lives only there.
+        deriv = (None if self._derivative is None
+                 else self._derivative[np.newaxis, :, :])
         batch = WaveformBatch(self._time[np.newaxis, :],
-                              self._voltage[np.newaxis, :, :])
+                              self._voltage[np.newaxis, :, :],
+                              derivative=deriv)
         return batch.crossing_time(float(threshold), rising)[0]
 
     def transition_time(self, vdd: float, rising: Optional[bool] = None) -> np.ndarray:
@@ -168,7 +234,8 @@ class WaveformBatch:
     """
 
     def __init__(self, time: np.ndarray, voltage: np.ndarray,
-                 valid_len: Optional[np.ndarray] = None):
+                 valid_len: Optional[np.ndarray] = None,
+                 derivative: Optional[np.ndarray] = None):
         time = np.asarray(time, dtype=float)
         voltage = np.asarray(voltage, dtype=float)
         if time.ndim != 2:
@@ -189,9 +256,19 @@ class WaveformBatch:
             raise ValueError("valid_len must have one entry per condition")
         if np.any(valid_len < 2) or np.any(valid_len > time.shape[1]):
             raise ValueError("valid_len entries must be in [2, n_time]")
+        if derivative is not None:
+            derivative = np.asarray(derivative, dtype=float)
+            if derivative.ndim == 2:
+                derivative = derivative[:, :, np.newaxis]
+            if derivative.shape != voltage.shape:
+                raise ValueError(
+                    f"derivative must match the voltage shape "
+                    f"{voltage.shape}; got {derivative.shape}"
+                )
         self._time = time
         self._voltage = voltage
         self._valid_len = valid_len
+        self._derivative = derivative
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -221,11 +298,19 @@ class WaveformBatch:
         """Number of per-seed traces per condition."""
         return self._voltage.shape[2]
 
+    @property
+    def derivative(self) -> Optional[np.ndarray]:
+        """Dense-output ``dV/dt`` samples (same shape as voltage), or ``None``."""
+        return self._derivative
+
     def condition(self, index: int) -> Waveform:
         """Extract one condition as a plain :class:`Waveform` (padding trimmed)."""
         length = int(self._valid_len[index])
+        deriv = (None if self._derivative is None
+                 else self._derivative[index, :length, :])
         return Waveform(self._time[index, :length],
-                        self._voltage[index, :length, :])
+                        self._voltage[index, :length, :],
+                        derivative=deriv)
 
     # ------------------------------------------------------------------
     # Measurements (vectorized over conditions x seeds)
@@ -282,6 +367,30 @@ class WaveformBatch:
         fraction = (thresholds[:, np.newaxis] - v0) / np.where(span == 0.0, 1.0,
                                                                span)
         crossings = np.where(span == 0.0, t1, t0 + fraction * (t1 - t0))
+        if self._derivative is not None:
+            # Dense output: solve the bracketing segment's cubic Hermite
+            # interpolant for the threshold by bisection.  The linear
+            # detection already guarantees a sign change across the
+            # bracket, so bisection always converges; segments without a
+            # usable bracket (zero span, crossing at the first sample, or
+            # non-finite derivatives) keep the linear answer.
+            d0 = self._derivative[rows, hit - 1, cols]
+            d1 = self._derivative[rows, hit, cols]
+            thr2 = thresholds[:, np.newaxis]
+            refine = ((span != 0.0) & ~at_start
+                      & np.isfinite(d0) & np.isfinite(d1))
+            dt = t1 - t0
+            f0_positive = (v0 - thr2) > 0.0
+            lo = np.zeros_like(v0)
+            hi = np.ones_like(v0)
+            for _ in range(_HERMITE_BISECTIONS):
+                mid = 0.5 * (lo + hi)
+                fm = _hermite_eval(mid, v0, v1, d0, d1, dt) - thr2
+                same_side = (fm > 0.0) == f0_positive
+                lo = np.where(same_side, mid, lo)
+                hi = np.where(same_side, hi, mid)
+            refined = t0 + 0.5 * (lo + hi) * dt
+            crossings = np.where(refine, refined, crossings)
         crossings = np.where(at_start, time[:, :1], crossings)
         return np.where(any_above, crossings, np.nan)
 
