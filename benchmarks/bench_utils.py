@@ -54,6 +54,10 @@ RESULTS_DIR = Path(__file__).parent / "benchmark_results"
 #: ``REPRO_BENCH_PERSIST_SEEDS``       seeds in the durable-store run (16)
 #: ``REPRO_BENCH_PERSIST_CONDITIONS``  fitting conditions per arc (3)
 #: ``REPRO_BENCH_PERSIST_MIN_SPEEDUP`` assertion floor for cold/warm (3.0)
+#: ``REPRO_BENCH_SERVICE_CLIENTS``     concurrent serving clients (6)
+#: ``REPRO_BENCH_SERVICE_SEEDS``       seeds in the serving acceptance run (8)
+#: ``REPRO_BENCH_SERVICE_CONDITIONS``  fitting conditions per arc (2)
+#: ``REPRO_BENCH_SERVICE_MIN_SPEEDUP`` assertion floor, coalesced/naive (3.0)
 #: ``REPRO_BENCH_PRIORS_NODES``      historical nodes per technology star (8)
 #: ``REPRO_BENCH_PRIORS_CLASSES``    arc classes in the prior-learning fleet (50)
 #: ``REPRO_BENCH_PRIORS_MIN_SPEEDUP`` assertion floor for batched/loop BP (3.0)

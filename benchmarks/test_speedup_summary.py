@@ -8,8 +8,9 @@ and an asymptotic cost of ``O(k * Nsample)`` versus ``O(N_LUT * Nsample)``.
 This benchmark assembles the speedup summary from the Fig. 6 and Fig. 7/8
 curves (shared fixtures -- no additional simulation) and asserts the ordering
 and rough magnitudes.  It also folds every machine-readable ``BENCH_*.json``
-record found in the results directory -- the transient, MAP, SSTA, runtime
-and library-pipeline wall-clock benchmarks -- into one aggregate table, so a
+record found in the results directory -- the transient, MAP, SSTA, runtime,
+library-pipeline, durable-store and serving-front-door wall-clock
+benchmarks -- into one aggregate table, so a
 single artifact summarizes both axes of the reproduction's performance
 story: fewer simulation runs (the paper's claim) and faster wall clock per
 run (the batched engines).
@@ -89,7 +90,7 @@ def test_speedup_summary(benchmark, nominal_curves_14, statistical_curves_28,
 
     # Wall-clock records from whatever per-engine benchmarks ran before this
     # one (BENCH_transient / BENCH_integrator / BENCH_map / BENCH_ssta /
-    # BENCH_runtime / BENCH_library).
+    # BENCH_runtime / BENCH_library / BENCH_persist / BENCH_service).
     bench_rows = collect_bench_records(results_dir)
     if bench_rows:
         text += "\n\n" + format_table(

@@ -360,7 +360,7 @@ def _characterize_arc_job(payload: tuple):
         return FailureReport.from_exception(unit, "characterize", error), ledger
 
 
-def _characterize_fused(
+def characterize_fused_jobs(
     technology: TechnologyNode,
     jobs: List[Tuple[Cell, TimingArc]],
     job_conditions: List[List[InputCondition]],
@@ -381,7 +381,12 @@ def _characterize_fused(
     same per-arc ledger run counts); the planning/mega-batching half is the
     shared :class:`~repro.core.simulation_plan.SimulationPlan` (also driving
     historical characterization for prior learning); see the module
-    docstring for the design.
+    docstring for the design.  Public since PR 10: the characterization
+    service (:mod:`repro.runtime.service`) drives it directly with coalesced
+    job lists that need not share a condition count -- full-condition jobs
+    are stacked per distinct ``k`` (one block-diagonal solve per group;
+    blocks are independent, so the grouping is bit-identical to solving any
+    other way).
 
     With ``strict=False`` the pipeline degrades per row instead of aborting:
     broken simulation rows are quarantined by the transient engine, arcs
@@ -505,12 +510,20 @@ def _characterize_fused(
         delay_results: Dict[int, object] = {}
         slew_results: Dict[int, object] = {}
         with ledger.stage("fused:solve"):
-            if stacked_jobs:
-                delay_results.update(zip(stacked_jobs, map_estimate_stacked(
-                    delay_prior, [delay_obs_of[job] for job in stacked_jobs],
+            # The stacked solver needs a uniform condition count k across
+            # its blocks; coalesced workloads (the serving front door) mix
+            # requests with different k, so stack once per distinct k.
+            # Blocks are independent, so the partition cannot change any
+            # arc's numbers.
+            by_k: Dict[int, List[int]] = {}
+            for job in stacked_jobs:
+                by_k.setdefault(len(job_conditions[job]), []).append(job)
+            for k_jobs in by_k.values():
+                delay_results.update(zip(k_jobs, map_estimate_stacked(
+                    delay_prior, [delay_obs_of[job] for job in k_jobs],
                     max_bytes=max_bytes)))
-                slew_results.update(zip(stacked_jobs, map_estimate_stacked(
-                    slew_prior, [slew_obs_of[job] for job in stacked_jobs],
+                slew_results.update(zip(k_jobs, map_estimate_stacked(
+                    slew_prior, [slew_obs_of[job] for job in k_jobs],
                     max_bytes=max_bytes)))
             # Degraded arcs carry fewer conditions than the stacked blocks
             # (which need a uniform k), so each gets its own solve; blocks
@@ -696,7 +709,7 @@ def _characterize_fused_checkpointed(
     preloaded: Dict[int, StatisticalCharacterization],
     stepper: Optional[StepperSpec] = None,
 ) -> "Tuple[List[Optional[StatisticalCharacterization]], List[FailureReport]]":
-    """Run :func:`_characterize_fused` under a checkpoint.
+    """Run :func:`characterize_fused_jobs` under a checkpoint.
 
     Jobs with a journaled solve are replayed from the solved-model store;
     the rest run through the normal fused pipeline with the checkpoint's
@@ -711,7 +724,7 @@ def _characterize_fused_checkpointed(
     cache.attach_disk_store(checkpointer.sim_store)
     try:
         remaining = [job for job in range(len(jobs)) if job not in preloaded]
-        sub_results, failures = _characterize_fused(
+        sub_results, failures = characterize_fused_jobs(
             technology,
             [jobs[job] for job in remaining],
             [job_conditions[job] for job in remaining],
@@ -958,7 +971,7 @@ def characterize_library(
                     variation, solver, executor, run_ledger, max_bytes,
                     strict_mode, checkpointer, preloaded, stepper=stepper)
             else:
-                results, failures = _characterize_fused(
+                results, failures = characterize_fused_jobs(
                     technology, jobs, job_conditions, delay_prior, slew_prior,
                     variation, solver, executor, run_ledger, max_bytes,
                     strict=strict_mode, stepper=stepper)
@@ -996,7 +1009,7 @@ def characterize_library(
     for report in failures:
         run_ledger.add_failure(report)
     if strict_mode and failures:
-        # _characterize_fused and the arc jobs fail fast under strict mode;
+        # characterize_fused_jobs and the arc jobs fail fast under strict mode;
         # this is a defensive backstop, not a reachable path.
         raise RuntimeError(f"strict run recorded failures: "
                            f"{[f.describe() for f in failures]}")

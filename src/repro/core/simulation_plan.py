@@ -215,10 +215,34 @@ class SimulationPlan:
         ledger.add_metric(f"{prefix}_rows_cached",
                           self._n_rows_total - planned_rows)
         ledger.add_metric(f"{prefix}_signature_groups", len(self.groups))
+        ledger.add_metric(f"{prefix}_rows_cross_job_shared",
+                          sum(self.shared_row_counts().values()))
         if self.groups:
             ledger.add_group_sizes(
                 f"{prefix}:signature_rows",
                 [len(group.triples) for group in self.groups.values()])
+
+    def shared_row_counts(self) -> Dict[int, int]:
+        """Per-job count of planned rows whose slot serves another job too.
+
+        This is the plan's request-attribution view: for each job, how many
+        of its cache-missing rows are physically identical to a row some
+        *other* job planned (same signature group, same operating-point
+        slot) and therefore integrate exactly once for all of them.  The
+        serving front door reports these counts as its coalescing metric --
+        a row shared across jobs is work one request did for another.  Jobs
+        whose rows all hit the cache (or that never missed) are absent.
+        """
+        slot_jobs: Dict[tuple, set] = {}
+        for signature, group in self.groups.items():
+            for job, cond, key, slot in group.rows:
+                slot_jobs.setdefault((signature, slot), set()).add(job)
+        counts: Dict[int, int] = {}
+        for signature, group in self.groups.items():
+            for job, cond, key, slot in group.rows:
+                if len(slot_jobs[(signature, slot)]) > 1:
+                    counts[job] = counts.get(job, 0) + 1
+        return counts
 
     @property
     def needs_simulation(self) -> bool:

@@ -84,6 +84,8 @@ from repro.runtime.checkpoint import (
     load_checkpoint,
 )
 from repro.runtime.resilience import (
+    CircuitBreaker,
+    DeadlineExceeded,
     FailureReport,
     RetryError,
     RetryPolicy,
@@ -331,6 +333,8 @@ __all__ = [
     "CheckpointMismatch",
     "Checkpointer",
     "ChunkedExecutor",
+    "CircuitBreaker",
+    "DeadlineExceeded",
     "DiskStore",
     "DiskStoreStats",
     "EXECUTOR_MODES",

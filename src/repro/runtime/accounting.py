@@ -17,6 +17,9 @@ The :class:`RunLedger` merges all of it into one picklable record:
   library pipeline carried), so batching effectiveness is observable;
 * **cache activity** -- hit/miss/eviction deltas of the registered runtime
   caches (``with ledger.caches(): ...`` snapshots around a block);
+* **gauges** -- high-water marks (peak queue depth of the serving front
+  door, peak batch size): ``set_gauge`` keeps the maximum seen, and merge
+  takes the max across ledgers instead of summing;
 * **failures** -- structured
   :class:`~repro.runtime.resilience.FailureReport` records of work that was
   quarantined or degraded rather than aborted (non-strict library flows),
@@ -51,6 +54,7 @@ class RunLedger:
         self._groups: Dict[str, List[int]] = {}
         self._cache_activity: Dict[str, Dict[str, int]] = {}
         self._failures: List[dict] = []
+        self._gauges: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -64,6 +68,18 @@ class RunLedger:
     def add_metric(self, name: str, value: int) -> None:
         """Accumulate a free-form integer counter (summed on merge)."""
         self._metrics[name] = self._metrics.get(name, 0) + int(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record a high-water mark (keeps the maximum ever seen).
+
+        Gauges answer "how bad did it get" questions -- peak queue depth,
+        largest coalesced batch -- where summing across merges would be
+        meaningless, so merge takes the max too.
+        """
+        value = float(value)
+        current = self._gauges.get(name)
+        if current is None or value > current:
+            self._gauges[name] = value
 
     def add_group_sizes(self, name: str, sizes: Iterable[int]) -> None:
         """Record the sizes of a named batch of work groups.
@@ -167,6 +183,8 @@ class RunLedger:
             self.add_cache_activity(cache_name, **activity)
         for record in other._failures:
             self._failures.append(dict(record))
+        for name, value in other._gauges.items():
+            self.set_gauge(name, value)
         return self
 
     # ------------------------------------------------------------------
@@ -199,6 +217,10 @@ class RunLedger:
         """Recorded work-group sizes per name, in recording order."""
         return {name: list(sizes) for name, sizes in self._groups.items()}
 
+    def gauges(self) -> Dict[str, float]:
+        """All high-water marks recorded via :meth:`set_gauge`."""
+        return dict(self._gauges)
+
     def cache_activity(self) -> Dict[str, Dict[str, int]]:
         """Hit/miss/eviction deltas per cache name."""
         return {name: dict(activity)
@@ -216,6 +238,7 @@ class RunLedger:
             "simulations_total": self.simulations_total,
             "stages": self.stages(),
             "metrics": self.metrics(),
+            "gauges": self.gauges(),
             "groups": self.group_sizes(),
             "caches": self.cache_activity(),
             "failures": [dict(record) for record in self._failures],

@@ -25,15 +25,24 @@ capacity-bounded, stats-reporting LRU:
   tier is strictly write-through -- in-memory semantics, counters and
   eviction behavior are untouched when no store is attached.
 
-The cache is deliberately not thread-safe: the library's concurrency story
-is process fan-out (see :mod:`repro.runtime.executor`), where each worker
-owns a private registry.
+The cache is thread-safe: every public operation (lookups, stores, bound
+changes, stats snapshots) runs under an internal ``threading.RLock``, and
+the process-wide registry is guarded the same way.  The library's original
+concurrency story was process fan-out (see :mod:`repro.runtime.executor`),
+where each worker owns a private registry and the lock is uncontended; the
+characterization service (:mod:`repro.runtime.service`) added in-process
+threads -- submitters probing the solved-model cache while the scheduler
+fills it -- which is what made the lock load-bearing.  A cache with a disk
+tier attached serializes its store access through the same lock, so the
+(single-threaded) :class:`~repro.runtime.persist.DiskStore` never sees
+concurrent calls from its owning cache.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import sys
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
@@ -172,6 +181,9 @@ class LruCache:
         self._sizeof = sizeof
         self._durable = bool(durable)
         self._disk = None
+        #: Reentrant so a sizeof callback or disk tier that re-enters the
+        #: cache (promotion inside get()) cannot self-deadlock.
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[Any, Tuple[Any, int]]" = OrderedDict()
         self._current_bytes = 0
         self._hits = 0
@@ -238,17 +250,21 @@ class LruCache:
             raise ValueError(
                 f"cache {self._name!r} is not durable; its keys or values "
                 f"are process-local and must not be persisted")
-        self._disk = store
+        with self._lock:
+            self._disk = store
 
     def detach_disk_store(self) -> None:
         """Drop the disk tier (entries on disk are kept, just not consulted)."""
-        self._disk = None
+        with self._lock:
+            self._disk = None
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Any) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def enable(self) -> None:
         """Serve lookups again after :meth:`disable`."""
@@ -266,33 +282,35 @@ class LruCache:
         tier's entire purpose is to survive exactly that.  Use
         ``cache.disk_store.clear()`` to scrub the disk too.
         """
-        self._entries.clear()
-        self._current_bytes = 0
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self._current_bytes = 0
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
 
     def stats(self) -> CacheStats:
         """Current counters and occupancy as a :class:`CacheStats`."""
-        disk = self._disk.stats() if self._disk is not None else None
-        return CacheStats(
-            name=self._name,
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            entries=len(self._entries),
-            current_bytes=self._current_bytes,
-            max_entries=self._max_entries,
-            max_bytes=self._max_bytes,
-            durable=self._durable,
-            disk_attached=disk is not None,
-            disk_hits=disk.hits if disk else 0,
-            disk_misses=disk.misses if disk else 0,
-            disk_writes=disk.writes if disk else 0,
-            disk_entries=disk.entries if disk else 0,
-            disk_bytes=disk.current_bytes if disk else 0,
-            disk_quarantined=disk.quarantined if disk else 0,
-        )
+        with self._lock:
+            disk = self._disk.stats() if self._disk is not None else None
+            return CacheStats(
+                name=self._name,
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(self._entries),
+                current_bytes=self._current_bytes,
+                max_entries=self._max_entries,
+                max_bytes=self._max_bytes,
+                durable=self._durable,
+                disk_attached=disk is not None,
+                disk_hits=disk.hits if disk else 0,
+                disk_misses=disk.misses if disk else 0,
+                disk_writes=disk.writes if disk else 0,
+                disk_entries=disk.entries if disk else 0,
+                disk_bytes=disk.current_bytes if disk else 0,
+                disk_quarantined=disk.quarantined if disk else 0,
+            )
 
     def set_bounds(self, max_entries: Optional[int] = _MISSING,
                    max_bytes: Optional[int] = _MISSING) -> None:
@@ -301,16 +319,20 @@ class LruCache:
         Arguments left at their default keep the current bound; pass ``None``
         explicitly to unbound an axis.
         """
-        if max_entries is not _MISSING:
-            if max_entries is not None and max_entries < 1:
-                raise ValueError("max_entries must be at least 1 (or None)")
-            self._max_entries = (max_entries if max_entries is None
-                                 else int(max_entries))
-        if max_bytes is not _MISSING:
-            if max_bytes is not None and max_bytes < 1:
-                raise ValueError("max_bytes must be at least 1 (or None)")
-            self._max_bytes = max_bytes if max_bytes is None else int(max_bytes)
-        self._evict()
+        if max_entries is not _MISSING and max_entries is not None \
+                and max_entries < 1:
+            raise ValueError("max_entries must be at least 1 (or None)")
+        if max_bytes is not _MISSING and max_bytes is not None \
+                and max_bytes < 1:
+            raise ValueError("max_bytes must be at least 1 (or None)")
+        with self._lock:
+            if max_entries is not _MISSING:
+                self._max_entries = (max_entries if max_entries is None
+                                     else int(max_entries))
+            if max_bytes is not _MISSING:
+                self._max_bytes = (max_bytes if max_bytes is None
+                                   else int(max_bytes))
+            self._evict()
 
     # ------------------------------------------------------------------
     # Access
@@ -324,20 +346,21 @@ class LruCache:
         memory miss stays counted -- memory and disk counters are
         independent tiers).
         """
-        if not self._enabled:
-            return default
-        value = self._entries.get(key, _MISSING)
-        if value is _MISSING:
-            self._misses += 1
-            if self._disk is not None:
-                payload = self._disk.get(key, _MISSING)
-                if payload is not _MISSING:
-                    self._store(key, payload, int(self._sizeof(payload)))
-                    return payload
-            return default
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return value[0]
+        with self._lock:
+            if not self._enabled:
+                return default
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                if self._disk is not None:
+                    payload = self._disk.get(key, _MISSING)
+                    if payload is not _MISSING:
+                        self._store(key, payload, int(self._sizeof(payload)))
+                        return payload
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value[0]
 
     def put(self, key: Any, value: Any, nbytes: Optional[int] = None) -> None:
         """Store ``value`` under ``key`` (no-op while disabled).
@@ -347,12 +370,13 @@ class LruCache:
         (even when it is too large for the memory bound -- the disk budget
         is independent).
         """
-        if not self._enabled:
-            return
-        size = int(self._sizeof(value)) if nbytes is None else int(nbytes)
-        self._store(key, value, size)
-        if self._disk is not None:
-            self._disk.put(key, value)
+        with self._lock:
+            if not self._enabled:
+                return
+            size = int(self._sizeof(value)) if nbytes is None else int(nbytes)
+            self._store(key, value, size)
+            if self._disk is not None:
+                self._disk.put(key, value)
 
     def _store(self, key: Any, value: Any, size: int) -> None:
         """Insert into the memory tier only (shared by put and promotion)."""
@@ -372,9 +396,10 @@ class LruCache:
 
     def discard(self, key: Any) -> None:
         """Remove one entry if present (not counted as an eviction)."""
-        entry = self._entries.pop(key, None)
-        if entry is not None:
-            self._current_bytes -= entry[1]
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self._current_bytes -= entry[1]
 
     def _evict(self) -> None:
         while ((self._max_entries is not None
@@ -391,6 +416,7 @@ class LruCache:
 # Process-wide registry
 # ----------------------------------------------------------------------
 _REGISTRY: Dict[str, LruCache] = {}
+_REGISTRY_LOCK = threading.Lock()
 
 
 def register_cache(cache: LruCache) -> LruCache:
@@ -399,26 +425,30 @@ def register_cache(cache: LruCache) -> LruCache:
     Returns the cache for chaining, so module-level globals can read
     ``CACHE = register_cache(LruCache("name", ...))``.
     """
-    _REGISTRY[cache.name] = cache
+    with _REGISTRY_LOCK:
+        _REGISTRY[cache.name] = cache
     return cache
 
 
 def get_registered_cache(name: str) -> Optional[LruCache]:
     """Look up a registered cache by name (``None`` when absent)."""
-    return _REGISTRY.get(name)
+    with _REGISTRY_LOCK:
+        return _REGISTRY.get(name)
 
 
 def registered_caches() -> Dict[str, LruCache]:
     """A snapshot of the registry (name to cache)."""
-    return dict(_REGISTRY)
+    with _REGISTRY_LOCK:
+        return dict(_REGISTRY)
 
 
 def cache_stats() -> Dict[str, CacheStats]:
     """Statistics of every registered cache, keyed by cache name."""
-    return {name: cache.stats() for name, cache in sorted(_REGISTRY.items())}
+    return {name: cache.stats()
+            for name, cache in sorted(registered_caches().items())}
 
 
 def clear_all_caches() -> None:
     """Clear every registered cache (entries and statistics)."""
-    for cache in _REGISTRY.values():
+    for cache in registered_caches().values():
         cache.clear()

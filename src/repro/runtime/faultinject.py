@@ -28,6 +28,15 @@ PR 8 adds the filesystem fault shapes the durable store
 * :func:`plant_stale_lock` -- drop an abandoned lock file (dead pid, old
   timestamp) in front of a lock acquisition (``stale_lock``).
 
+PR 10 adds the latency fault shape the serving front door
+(:mod:`repro.runtime.service`) must stay responsive under:
+
+* :func:`induced_delay` -- the ``slow`` kind returns ``FaultSpec.delay_s``
+  seconds at a site (0.0 when nothing fires); the caller sleeps that long,
+  modeling a slow worker or stuck request without the harness itself
+  blocking.  Keeping the sleep on the caller's side preserves the
+  determinism contract: the injector never consults a clock.
+
 Determinism: a :class:`FaultSpec` either pins explicit call indices
 (``at_calls``) or draws per call from :func:`deterministic_uniform` keyed by
 ``(seed, site, call_index)`` -- no global RNG, no wall clock, so the same
@@ -61,13 +70,14 @@ __all__ = [
     "damage_file",
     "fault_sites",
     "fire",
+    "induced_delay",
     "inject",
     "plant_stale_lock",
     "register_fault_site",
 ]
 
 FAULT_KINDS = ("exception", "timeout", "crash", "nan",
-               "torn", "bitflip", "enospc", "stale_lock")
+               "torn", "bitflip", "enospc", "stale_lock", "slow")
 
 #: Kinds handled by the raising hook (:func:`fire` / ``check``).
 _RAISING_KINDS = ("exception", "timeout", "crash", "enospc")
@@ -138,6 +148,9 @@ class FaultSpec:
         injector seed.  Ignored when ``at_calls`` is given.
     rows:
         For ``nan`` faults: which rows of the payload array to poison.
+    delay_s:
+        For ``slow`` faults: seconds of latency :func:`induced_delay`
+        reports to the caller when the fault fires.
     """
 
     site: str
@@ -145,6 +158,7 @@ class FaultSpec:
     at_calls: Optional[Tuple[int, ...]] = None
     rate: float = 0.0
     rows: Tuple[int, ...] = (0,)
+    delay_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -152,6 +166,8 @@ class FaultSpec:
                              f"expected one of {FAULT_KINDS}")
         if not (0.0 <= self.rate <= 1.0):
             raise ValueError("rate must be in [0, 1]")
+        if self.delay_s < 0.0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
         if self.at_calls is not None:
             calls = tuple(int(c) for c in self.at_calls)
             if any(c < 0 for c in calls):
@@ -277,6 +293,20 @@ class FaultInjector:
             return False
         return True
 
+    def delay(self, site: str) -> float:
+        """Seconds of injected latency if a ``slow`` fault fires here.
+
+        Returns 0.0 when nothing fires.  The *caller* sleeps -- the
+        injector stays clock-free so fault schedules remain replayable.
+        """
+        call = self._next_call(site)
+        spec = self._matches(site, call, ("slow",))
+        if spec is None:
+            return 0.0
+        with self._lock:
+            self.events.append(FaultEvent(site, call, "slow"))
+        return float(spec.delay_s)
+
     def plant_lock(self, site: str, path) -> bool:
         """Drop an abandoned lock file at ``path`` if ``stale_lock`` fires.
 
@@ -339,6 +369,20 @@ def damage_file(site: str, path) -> bool:
     if injector is None:
         return False
     return injector.damage(site, path)
+
+
+def induced_delay(site: str) -> float:
+    """Fault-site hook for injected latency; 0.0 without an active injector.
+
+    The caller is responsible for sleeping the returned duration at its
+    own yield point (typically via ``time.sleep``).
+    """
+    if site not in _SITES:
+        raise ValueError(f"unregistered fault site {site!r}")
+    injector = _ACTIVE
+    if injector is None:
+        return 0.0
+    return injector.delay(site)
 
 
 def plant_stale_lock(site: str, path) -> bool:

@@ -17,7 +17,30 @@ execution substrate:
   :func:`repro.analysis.reporting.format_ledger`;
 * :func:`resolve_strict` -- the ``strict=True|False`` switch of the library
   flows: strict preserves the historical fail-fast behavior, non-strict
-  degrades per row/arc and returns partial results plus failure reports.
+  degrades per row/arc and returns partial results plus failure reports;
+* :class:`CircuitBreaker` -- a three-state (closed / open / half-open)
+  failure latch for flaky dependencies; the characterization service wraps
+  the durable disk tier in one so a failing disk degrades the service to
+  memory-only instead of failing requests.
+
+**Cooperative-cancellation contract.**  Python cannot preempt running
+code, so every deadline in this codebase is *cooperative*: work is never
+killed mid-flight, it is abandoned at the next yield point.  The two
+deadline holders follow the same rules:
+
+* :attr:`RetryPolicy.deadline_s` bounds the retry loop *end to end* on
+  ``time.monotonic()`` -- attempts, backoff sleeps and all.  An attempt
+  that is still running when the deadline passes is allowed to finish
+  (cooperative: it cannot be interrupted), but no further attempt starts,
+  and a backoff sleep that would overrun the deadline is skipped in favor
+  of failing immediately.  Wall-clock jumps (NTP steps, suspend/resume)
+  cannot mis-time attempts because no wall clock is consulted anywhere in
+  the loop.
+* :class:`DeadlineExceeded` is how the characterization service reports a
+  request whose deadline passed while it waited for (or cooperatively
+  finished) a batch: the request is dropped from the *next* batch, never
+  yanked out of a running one -- rows its batch already integrated still
+  land in the caches for the next caller.
 
 Process-wide defaults come from environment knobs so operators can harden a
 deployment without touching call sites:
@@ -32,12 +55,15 @@ deployment without touching call sites:
 from __future__ import annotations
 
 import os
+import threading
 import time
 import zlib
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 __all__ = [
+    "CircuitBreaker",
+    "DeadlineExceeded",
     "FailureReport",
     "RetryError",
     "RetryPolicy",
@@ -71,6 +97,18 @@ def resolve_strict(strict: Optional[bool]) -> bool:
     if strict is not None:
         return bool(strict)
     return os.environ.get(ENV_STRICT, "1").strip().lower() not in _FALSE_STRINGS
+
+
+class DeadlineExceeded(TimeoutError):
+    """A deadline passed before the work could be (or finish being) served.
+
+    Raised to the *caller* of an expired request -- never into the work
+    itself, which is cooperative and runs to its next yield point (see the
+    module docstring's cooperative-cancellation contract).  The
+    characterization service completes an expired request's future with
+    this; results its batch already computed stay cached for the next
+    caller.
+    """
 
 
 class RetryError(RuntimeError):
@@ -114,10 +152,15 @@ class RetryPolicy:
     seed:
         Seed of the jitter schedule.
     deadline_s:
-        Per-attempt deadline in seconds.  Python cannot preempt a running
-        attempt, so the deadline is cooperative: an attempt that *fails*
-        after running longer than the deadline is not retried (its retry
-        budget is considered spent).  ``None`` disables the check.
+        End-to-end deadline of the whole retry loop, in seconds, measured
+        on ``time.monotonic()`` from the start of the first attempt --
+        attempts *and* backoff sleeps count against it.  The deadline is
+        cooperative (Python cannot preempt a running attempt): an attempt
+        that fails after the deadline passed is not retried, and a backoff
+        sleep that would overrun the deadline is skipped in favor of
+        failing immediately.  ``None`` disables the check.  Because the
+        loop never consults the wall clock, NTP steps or suspend/resume
+        cannot mis-time attempts.
     """
 
     max_attempts: int = 1
@@ -220,15 +263,19 @@ def run_with_retry(
         return fn()
     delays = policy.delays()
     last_error: Optional[BaseException] = None
+    # The deadline is end-to-end: one monotonic origin for the whole loop,
+    # never re-based per attempt and never read from the wall clock (see
+    # the module docstring's cooperative-cancellation contract).
+    origin = clock()
     for attempt in range(1, policy.max_attempts + 1):
-        started = clock()
         try:
             return fn()
         except retry_on as error:
             last_error = error
-            elapsed = clock() - started
+            elapsed = clock() - origin
+            delay = delays[attempt - 1] if attempt < policy.max_attempts else 0.0
             overdue = (policy.deadline_s is not None
-                       and elapsed > policy.deadline_s)
+                       and elapsed + delay > policy.deadline_s)
             if attempt == policy.max_attempts or overdue:
                 raise RetryError(site, attempt, error) from error
             if ledger is not None:
@@ -236,7 +283,6 @@ def run_with_retry(
                 ledger.add_metric(f"retries:{site}", 1)
             if on_retry is not None:
                 on_retry(attempt, error)
-            delay = delays[attempt - 1]
             if delay > 0.0:
                 sleep(delay)
     raise RetryError(site, policy.max_attempts, last_error)  # pragma: no cover
@@ -302,3 +348,98 @@ class FailureReport:
         tries = (f" after {self.attempts} attempts" if self.attempts != 1
                  else "")
         return f"{self.unit} failed at {self.stage}{kind}{tries}: {self.error}"
+
+
+class CircuitBreaker:
+    """Three-state failure latch for a flaky dependency.
+
+    Closed (normal) -> open after ``failure_threshold`` consecutive
+    failures; open -> half-open once ``cooldown_s`` has elapsed on the
+    monotonic clock; half-open admits a single probe -- success closes the
+    breaker, failure re-opens it and restarts the cooldown.
+
+    The characterization service wraps the durable disk tier in one of
+    these: a disk throwing ``ENOSPC`` or quarantining corrupt payloads in a
+    storm trips the breaker and the service degrades to memory-only caching
+    instead of failing (or slowing) every request.  All methods are
+    thread-safe.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures (while closed) that trip the breaker.
+    cooldown_s:
+        Seconds the breaker stays open before admitting a half-open probe.
+    clock:
+        Injectable monotonic clock (tests substitute a fake).
+    """
+
+    def __init__(self, failure_threshold: int = 3, cooldown_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1, got "
+                             f"{failure_threshold}")
+        if cooldown_s < 0.0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self._failure_threshold = int(failure_threshold)
+        self._cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._trips = 0
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"`` (cooldown-aware)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def trips(self) -> int:
+        """Times the breaker transitioned to open (monitoring counter)."""
+        with self._lock:
+            return self._trips
+
+    def _maybe_half_open(self) -> None:
+        if (self._state == "open"
+                and self._clock() - self._opened_at >= self._cooldown_s):
+            self._state = "half_open"
+
+    def allow(self) -> bool:
+        """Whether the protected dependency may be used right now.
+
+        Closed and half-open admit the call (half-open as the single probe
+        whose outcome decides the next state); open rejects it.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            return self._state != "open"
+
+    def record_success(self) -> None:
+        """The dependency worked: close the breaker and reset the count."""
+        with self._lock:
+            self._state = "closed"
+            self._failures = 0
+
+    def record_failure(self, n: int = 1) -> None:
+        """The dependency failed ``n`` times (a batch may observe several).
+
+        A half-open probe failure re-opens immediately; closed failures
+        accumulate until ``failure_threshold`` trips the breaker.
+        """
+        if n < 1:
+            return
+        with self._lock:
+            self._maybe_half_open()
+            self._failures += int(n)
+            tripped = (self._state == "half_open"
+                       or (self._state != "open"
+                           and self._failures >= self._failure_threshold))
+            if tripped:
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._trips += 1
+                self._failures = 0

@@ -261,6 +261,63 @@ class TestInjectedFilesystemFaults:
         assert store.stats().evictions == 0
         assert len(store) == 1
 
+    def test_stale_lock_broken_under_concurrent_writers(self, tmp_path):
+        """Two genuinely concurrent writer threads against one abandoned lock.
+
+        Each writer holds its own :class:`DiskStore` handle over the same
+        directory (the cross-writer shape the maintenance lock exists
+        for); a dead writer's stale lock sits in front of the eviction
+        path.  Both live writers keep putting over-budget entries, so both
+        contend on the lock: the stale lock is broken (both writers may
+        race to observe it and each charge a break, so the count is one
+        or two — never zero, never unbounded), neither deadlocks, and
+        every surviving entry reads back bit-identically afterwards.
+        """
+        import threading
+
+        stores = [DiskStore(tmp_path / "s", max_bytes=3000)
+                  for _ in range(2)]
+        # The abandoned lock: a pid that cannot be alive, a timestamp far
+        # in the past (the same shape plant_stale_lock drops).
+        (tmp_path / "s" / ".lock").write_text("999999999:0.0")
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def writer(tid):
+            try:
+                barrier.wait()
+                for index in range(20):
+                    # ~2 KiB each: every few puts overflow the budget and
+                    # force an eviction pass through the lock.
+                    stores[tid].put((tid, index), np.full(256, float(index)))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(tid,))
+                   for tid in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not any(thread.is_alive() for thread in threads)
+        assert not errors
+        broken = sum(store.stats().stale_locks_broken for store in stores)
+        assert 1 <= broken <= 2  # broken, with at most one racing double-observe
+        assert sum(store.stats().evictions for store in stores) >= 1
+        assert not (tmp_path / "s" / ".lock").exists()
+        # A fresh handle scans the surviving inventory; every entry reads
+        # back bit-identically.
+        reopened = DiskStore(tmp_path / "s", max_bytes=3000)
+        survivors = 0
+        for tid in range(2):
+            for index in range(20):
+                value = reopened.get((tid, index))
+                if value is not None:
+                    survivors += 1
+                    np.testing.assert_array_equal(
+                        value, np.full(256, float(index)))
+        assert survivors == len(reopened) > 0
+
 
 # ---------------------------------------------------------------------------
 # The write-through tier under LruCache

@@ -35,9 +35,11 @@ from repro.runtime.faultinject import (
     corrupt_rows,
     fault_sites,
     fire,
+    induced_delay,
     inject,
 )
 from repro.runtime.resilience import (
+    CircuitBreaker,
     FailureReport,
     RetryError,
     RetryPolicy,
@@ -180,6 +182,112 @@ class TestRunWithRetry:
             run_with_retry(fail, RetryPolicy(max_attempts=5, deadline_s=1.0),
                            sleep=lambda _: None, clock=tick)
         assert info.value.attempts == 1
+
+    def test_deadline_is_end_to_end_across_attempts(self):
+        """The budget covers the whole loop, not each attempt separately."""
+        clock = {"now": 0.0}
+
+        def tick():
+            clock["now"] += 0.4
+            return clock["now"]
+
+        def fail():
+            raise RuntimeError("fails every time")
+
+        # Attempts appear to take 0.4 s each against a 1.0 s budget: the
+        # per-attempt view would allow all five, the end-to-end view stops
+        # after the budget is spent.
+        with pytest.raises(RetryError) as info:
+            run_with_retry(fail, RetryPolicy(max_attempts=5, deadline_s=1.0),
+                           sleep=lambda _: None, clock=tick)
+        assert info.value.attempts < 5
+
+    def test_backoff_sleep_that_would_overrun_deadline_is_skipped(self):
+        clock = {"now": 0.0}
+        slept = []
+
+        def tick():
+            clock["now"] += 0.1
+            return clock["now"]
+
+        def fail():
+            raise RuntimeError("fails every time")
+
+        # The first backoff delay (1.0 s) alone would blow the 0.5 s
+        # budget: fail immediately instead of sleeping past the deadline.
+        with pytest.raises(RetryError) as info:
+            run_with_retry(
+                fail,
+                RetryPolicy(max_attempts=3, backoff_s=1.0, deadline_s=0.5),
+                sleep=slept.append, clock=tick)
+        assert info.value.attempts == 1
+        assert slept == []
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_and_cools_down_to_half_open(self):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=10.0,
+                                 clock=lambda: clock["now"])
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # below threshold
+        breaker.record_failure()
+        assert breaker.state == "open" and breaker.trips == 1
+        assert not breaker.allow()
+        clock["now"] = 9.9
+        assert not breaker.allow()  # still cooling down
+        clock["now"] = 10.0
+        assert breaker.allow()  # half-open probe admitted
+        assert breaker.state == "half_open"
+
+    def test_half_open_probe_success_closes_failure_reopens(self):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5.0,
+                                 clock=lambda: clock["now"])
+        breaker.record_failure()
+        clock["now"] = 5.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.trips == 1
+        # Trip again; a failed probe re-opens immediately (single strike).
+        breaker.record_failure()
+        clock["now"] = 10.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and breaker.trips == 3
+
+    def test_success_resets_consecutive_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # never two consecutive failures
+        breaker.record_failure(n=2)  # a batch may observe several at once
+        assert breaker.state == "open"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=-1.0)
+
+
+class TestSlowFaults:
+    def test_induced_delay_reports_spec_delay_deterministically(self):
+        site = "library.arc_job"  # any registered site works
+        assert induced_delay(site) == 0.0  # no injector: clean identity
+        with inject([FaultSpec(site=site, kind="slow", at_calls=(1,),
+                               delay_s=0.25)]) as injector:
+            assert induced_delay(site) == 0.0
+            assert induced_delay(site) == 0.25
+            assert induced_delay(site) == 0.0
+        assert [(e.call, e.kind) for e in injector.events] == [(1, "slow")]
+
+    def test_slow_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(site="library.arc_job", kind="slow", delay_s=-0.1)
 
 
 class TestFailureReport:

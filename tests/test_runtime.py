@@ -120,6 +120,80 @@ class TestLruCache:
             cache.set_bounds(max_entries=-1)
 
 
+class TestLruCacheThreadSafety:
+    def test_concurrent_hammer_loses_no_updates_or_counts(self):
+        """Many threads hammering one cache: no lost updates, no stat races.
+
+        Each thread owns a disjoint keyspace, so every read-back must see
+        the thread's own last write; the shared stat counters must sum
+        exactly (every ``get`` is a hit or a miss, puts never vanish).
+        """
+        import threading
+
+        cache = LruCache("t_hammer")  # unbounded: no evictions to reason about
+        n_threads, n_rounds = 8, 300
+        errors = []
+        barrier = threading.Barrier(n_threads)
+
+        def worker(tid):
+            try:
+                barrier.wait()
+                for round_ in range(n_rounds):
+                    key = (tid, round_ % 7)
+                    cache.put(key, (tid, round_))
+                    got = cache.get(key)
+                    if got != (tid, round_):
+                        errors.append((tid, round_, got))
+                    cache.get((tid, "absent", round_))  # guaranteed miss
+                    cache.stats()  # snapshot while others mutate
+                    if round_ % 50 == 0:
+                        cache.discard((tid, 0))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(tid,))
+                   for tid in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        total_gets = n_threads * n_rounds * 2
+        assert cache.hits + cache.misses == total_gets
+        assert cache.hits == n_threads * n_rounds
+        assert cache.evictions == 0
+        # Byte accounting stayed consistent with the surviving entries.
+        stats = cache.stats()
+        assert stats.entries == len(cache)
+
+    def test_concurrent_registry_registration(self):
+        import threading
+
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(tid):
+            try:
+                barrier.wait()
+                for index in range(50):
+                    register_cache(LruCache(f"t_reg_race_{tid}_{index}"))
+                    registered_caches()
+                    cache_stats()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(tid,))
+                   for tid in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        names = [name for name in registered_caches()
+                 if name.startswith("t_reg_race_")]
+        assert len(names) == 8 * 50
+
+
 class TestSizeof:
     def test_arrays_and_containers(self):
         assert default_sizeof(np.zeros(100)) == 800
@@ -304,6 +378,20 @@ class TestRunLedger:
     def test_validation(self):
         with pytest.raises(ValueError):
             RunLedger().add_simulations(-1)
+
+    def test_gauges_keep_maximum_and_max_merge(self):
+        a = RunLedger()
+        a.set_gauge("service_queue_peak", 3)
+        a.set_gauge("service_queue_peak", 2)  # lower value is ignored
+        assert a.gauges() == {"service_queue_peak": 3.0}
+
+        b = RunLedger()
+        b.set_gauge("service_queue_peak", 7)
+        b.set_gauge("batch_peak", 1)
+        a.merge(b)
+        assert a.gauges() == {"service_queue_peak": 7.0, "batch_peak": 1.0}
+        assert a.as_dict()["gauges"]["service_queue_peak"] == 7.0
+
 
 class TestCacheTokenPickling:
     """Cache-key tokens are process-local and must not survive pickling.

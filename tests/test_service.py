@@ -1,0 +1,426 @@
+"""Tests for the characterization serving front door.
+
+Covers the four serving disciplines of
+:class:`repro.runtime.service.CharacterizationService` -- single-flight
+coalescing, cooperative deadlines, admission control / load-shedding, and
+the disk circuit breaker -- plus the issue's acceptance scenario: slow
+worker, ENOSPC disk and one stuck request, with concurrent clients all
+completing and coalesced results bit-identical to solo runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import get_technology
+from repro.cells.library import Transition
+from repro.characterization.input_space import InputSpace
+from repro.core.library_flow import characterize_fused_jobs
+from repro.runtime import FaultSpec, clear_all_caches, inject
+from repro.runtime.accounting import RunLedger
+from repro.runtime.executor import get_executor
+from repro.runtime.persist import DiskStore
+from repro.runtime.resilience import CircuitBreaker, DeadlineExceeded
+from repro.runtime.service import (
+    CharacterizationService,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+from repro.spice.testbench import get_simulation_cache
+from repro.utils.rng import ensure_rng
+
+
+@pytest.fixture(scope="module")
+def context(delay_prior, slew_prior):
+    """Shared serving context: technology, priors, seeds, conditions."""
+    technology = get_technology("n28_bulk")
+    variation = technology.variation.sample(3, ensure_rng(11))
+    conditions = tuple(InputSpace(technology).sample_lhs(2, ensure_rng(5)))
+    return technology, delay_prior, slew_prior, variation, conditions
+
+
+def make_service(context, **kwargs):
+    technology, delay_prior, slew_prior, variation, _ = context
+    kwargs.setdefault("batch_window_s", 0.02)
+    return CharacterizationService(technology, delay_prior, slew_prior,
+                                   variation, **kwargs)
+
+
+def inv_arcs(inv_cell):
+    pin = inv_cell.input_pins[0]
+    return (inv_cell.arc(pin, Transition.FALL),
+            inv_cell.arc(pin, Transition.RISE))
+
+
+def solo_reference(context, cell, arcs):
+    """The solo-run ground truth: one direct fused pass per the whole job
+    list, computed on a cold cache and followed by another cold start so
+    the service recomputes rather than replays."""
+    technology, delay_prior, slew_prior, variation, conditions = context
+    clear_all_caches()
+    results, failures = characterize_fused_jobs(
+        technology, [(cell, arc) for arc in arcs],
+        [list(conditions) for _ in arcs], delay_prior, slew_prior,
+        variation, "batched", get_executor("serial"), RunLedger(), None)
+    assert not failures
+    clear_all_caches()
+    return {arc.name: result for arc, result in zip(arcs, results)}
+
+
+def assert_same_characterization(got, expected):
+    assert got is not None
+    np.testing.assert_array_equal(got.delay_parameters,
+                                  expected.delay_parameters)
+    np.testing.assert_array_equal(got.slew_parameters,
+                                  expected.slew_parameters)
+
+
+class TestBasics:
+    def test_solo_parity_bit_identical(self, context, inv_cell):
+        arcs = inv_arcs(inv_cell)
+        expected = solo_reference(context, inv_cell, arcs)
+        conditions = context[-1]
+        with make_service(context) as service:
+            result = service.request(inv_cell, arcs, conditions)
+        assert result.complete and not result.degraded
+        for arc in arcs:
+            assert_same_characterization(result.characterizations[arc.name],
+                                         expected[arc.name])
+
+    def test_single_flight_coalesces_identical_requests(self, context,
+                                                        inv_cell):
+        arcs = inv_arcs(inv_cell)
+        conditions = context[-1]
+        clear_all_caches()
+        service = make_service(context, start=False)
+        tickets = [service.submit(inv_cell, arcs, conditions)
+                   for _ in range(4)]
+        service.start()
+        results = [ticket.result(timeout=60) for ticket in tickets]
+        service.close()
+        # One fused pass served all four: one batch, three coalesced
+        # requests, and every result is the same solved model.
+        stats = service.stats()
+        assert stats.batches == 1
+        assert stats.coalesced_arcs == 3 * len(arcs)
+        assert sum(result.coalesced for result in results) == 3
+        reference = results[0].characterizations
+        for result in results[1:]:
+            for arc in arcs:
+                assert_same_characterization(
+                    result.characterizations[arc.name], reference[arc.name])
+        metrics = service.ledger.metrics()
+        assert metrics["service_requests"] == 4
+        assert metrics["service_batches"] == 1
+
+    def test_repeat_request_is_served_from_solved_cache(self, context,
+                                                        inv_cell):
+        arcs = inv_arcs(inv_cell)
+        conditions = context[-1]
+        with make_service(context) as service:
+            first = service.request(inv_cell, arcs, conditions)
+            before = service.ledger.metrics().get("fused_rows_total", 0)
+            second = service.request(inv_cell, arcs, conditions)
+            after = service.ledger.metrics().get("fused_rows_total", 0)
+        assert not first.coalesced and second.coalesced
+        assert after == before  # no new pipeline rows for the repeat
+        for arc in arcs:
+            assert (second.characterizations[arc.name]
+                    is first.characterizations[arc.name])
+
+    def test_validation_and_lifecycle(self, context, inv_cell):
+        arcs = inv_arcs(inv_cell)
+        conditions = context[-1]
+        with pytest.raises(ValueError):
+            make_service(context, queue_depth=0)
+        with pytest.raises(ValueError):
+            make_service(context, shed_policy="panic")
+        service = make_service(context, start=False)
+        with pytest.raises(ValueError):
+            service.submit(inv_cell, (), conditions)
+        with pytest.raises(ValueError):
+            service.submit(inv_cell, arcs, ())
+        with pytest.raises(ValueError):
+            service.submit(inv_cell, arcs, conditions, deadline_s=0.0)
+        service.start()
+        service.close()
+        with pytest.raises(ServiceClosed):
+            service.submit(inv_cell, arcs, conditions)
+
+
+class TestDeadlines:
+    def test_expired_in_queue_fails_fast(self, context, inv_cell):
+        arcs = inv_arcs(inv_cell)
+        conditions = context[-1]
+        service = make_service(context, start=False)
+        ticket = service.submit(inv_cell, arcs, conditions, deadline_s=0.01)
+        time.sleep(0.05)
+        service.start()
+        with pytest.raises(DeadlineExceeded):
+            ticket.result(timeout=30)
+        service.close()
+        assert service.stats().deadline_misses == 1
+
+    def test_slow_batch_misses_deadline_without_poisoning_peers(
+            self, context, inv_cell):
+        arcs = inv_arcs(inv_cell)
+        conditions = context[-1]
+        clear_all_caches()
+        expected = solo_reference(context, inv_cell, arcs)
+        with inject([FaultSpec(site="service.slow_worker", kind="slow",
+                               at_calls=(0,), delay_s=0.3)]):
+            service = make_service(context, start=False)
+            impatient = service.submit(inv_cell, arcs, conditions,
+                                       deadline_s=0.1)
+            patient = service.submit(inv_cell, arcs, conditions)
+            service.start()
+            with pytest.raises(DeadlineExceeded):
+                impatient.result(timeout=60)
+            result = patient.result(timeout=60)
+            # The expired request did not poison the shared batch, and the
+            # batch's rows landed in the caches despite the miss: a repeat
+            # request is served from the solved-model cache.
+            for arc in arcs:
+                assert_same_characterization(
+                    result.characterizations[arc.name], expected[arc.name])
+            retry = service.request(inv_cell, arcs, conditions)
+            service.close()
+        assert retry.coalesced
+        assert service.stats().deadline_misses == 1
+
+
+class TestAdmission:
+    def test_reject_policy_sheds_beyond_queue_depth(self, context, inv_cell):
+        arcs = inv_arcs(inv_cell)
+        conditions = context[-1]
+        service = make_service(context, queue_depth=2, start=False)
+        tickets = [service.submit(inv_cell, arcs, conditions)
+                   for _ in range(2)]
+        with pytest.raises(ServiceOverloaded):
+            service.submit(inv_cell, arcs, conditions)
+        service.start()
+        for ticket in tickets:
+            assert ticket.result(timeout=60).complete
+        service.close()
+        stats = service.stats()
+        assert stats.shed == 1
+        assert stats.queue_peak <= 2
+
+    def test_degrade_policy_serves_cache_only_partial(self, context,
+                                                      inv_cell, nand2_cell):
+        arcs = inv_arcs(inv_cell)
+        conditions = context[-1]
+        with make_service(context, shed_policy="degrade") as service:
+            full = service.request(inv_cell, arcs, conditions)  # warm LRU
+            # Force the admission check to see a full queue for the next
+            # two submits: the warmed cell degrades to its cached models,
+            # the cold cell to an all-None partial result.
+            with inject([FaultSpec(site="service.queue_full",
+                                   kind="exception", at_calls=(0, 1))]):
+                warm = service.submit(inv_cell, arcs, conditions)
+                cold = service.submit(nand2_cell, inv_arcs(nand2_cell),
+                                      conditions)
+        warm_result = warm.result(timeout=60)
+        assert warm_result.degraded and warm_result.coalesced
+        assert warm_result.complete  # every arc came from the solved LRU
+        for arc in arcs:
+            assert (warm_result.characterizations[arc.name]
+                    is full.characterizations[arc.name])
+        cold_result = cold.result(timeout=60)
+        assert cold_result.degraded and not cold_result.complete
+        assert all(value is None
+                   for value in cold_result.characterizations.values())
+        assert len(cold_result.failures) == 2
+        assert service.stats().shed == 2
+
+    def test_queue_full_fault_forces_shedding(self, context, inv_cell):
+        arcs = inv_arcs(inv_cell)
+        conditions = context[-1]
+        with inject([FaultSpec(site="service.queue_full", kind="exception",
+                               at_calls=(0,))]):
+            service = make_service(context, start=False)
+            with pytest.raises(ServiceOverloaded):
+                service.submit(inv_cell, arcs, conditions)
+            ticket = service.submit(inv_cell, arcs, conditions)
+            service.start()
+            assert ticket.result(timeout=60).complete
+            service.close()
+        assert service.stats().shed == 1
+
+
+class TestDiskBreaker:
+    def test_enospc_storm_trips_breaker_and_degrades_to_memory(
+            self, context, inv_cell, tmp_path):
+        arcs = inv_arcs(inv_cell)
+        conditions = context[-1]
+        clear_all_caches()
+        sim_cache = get_simulation_cache()
+        store = DiskStore(tmp_path / "disk", name="simulation")
+        sim_cache.attach_disk_store(store)
+        try:
+            breaker = CircuitBreaker(failure_threshold=1, cooldown_s=30.0)
+            with inject([FaultSpec(site="persist.write", kind="enospc",
+                                   rate=1.0)]):
+                with make_service(context, breaker=breaker) as service:
+                    result = service.request(inv_cell, arcs, conditions)
+                    assert result.complete  # served despite the dead disk
+            assert breaker.state == "open"
+            assert breaker.trips == 1
+            assert sim_cache.disk_store is None  # degraded to memory-only
+            assert service.ledger.metrics()["service_disk_errors"] > 0
+        finally:
+            sim_cache.detach_disk_store()
+            clear_all_caches()
+
+    def test_half_open_probe_reattaches_after_cooldown(self, context,
+                                                       inv_cell, nand2_cell,
+                                                       tmp_path):
+        arcs = inv_arcs(inv_cell)
+        conditions = context[-1]
+        clear_all_caches()
+        sim_cache = get_simulation_cache()
+        store = DiskStore(tmp_path / "disk", name="simulation")
+        sim_cache.attach_disk_store(store)
+        try:
+            breaker = CircuitBreaker(failure_threshold=1, cooldown_s=0.0)
+            with make_service(context, breaker=breaker) as service:
+                with inject([FaultSpec(site="persist.write", kind="enospc",
+                                       rate=1.0)]):
+                    service.request(inv_cell, arcs, conditions)
+                assert sim_cache.disk_store is None
+                # Zero cooldown: the next batch with fresh rows re-attaches
+                # the store as the half-open probe; the disk is healthy
+                # again, so the probe closes the breaker.
+                service.request(nand2_cell, inv_arcs(nand2_cell), conditions)
+                service.request(inv_cell, arcs,
+                                tuple(InputSpace(context[0])
+                                      .sample_lhs(1, ensure_rng(99))))
+            assert sim_cache.disk_store is store
+            assert breaker.state == "closed"
+            assert store.stats().writes > 0
+        finally:
+            sim_cache.detach_disk_store()
+            clear_all_caches()
+
+
+class TestConcurrentClients:
+    def test_many_threads_submit_and_all_complete(self, context, inv_cell,
+                                                  nand2_cell):
+        conditions = context[-1]
+        cells = [inv_cell, nand2_cell]
+        results = {}
+        errors = []
+
+        def client(index):
+            cell = cells[index % len(cells)]
+            try:
+                results[index] = service.request(cell, inv_arcs(cell),
+                                                 conditions, deadline_s=60.0)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        clear_all_caches()
+        with make_service(context, queue_depth=32) as service:
+            threads = [threading.Thread(target=client, args=(index,))
+                       for index in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+        assert not errors
+        assert len(results) == 8
+        assert all(result.complete for result in results.values())
+        stats = service.stats()
+        assert stats.completed == 8
+        assert stats.deadline_misses == 0  # nominal load: no misses
+        # 8 requests over 2 distinct cells: at least 6 were coalesced.
+        assert stats.coalesced_arcs >= 6
+
+    def test_acceptance_slow_worker_enospc_and_stuck_request(
+            self, context, inv_cell, nand2_cell, tmp_path):
+        """The issue's deterministic fault scenario: slow worker + ENOSPC
+        disk + one stuck request, N concurrent clients all completing."""
+        arcs = inv_arcs(inv_cell)
+        conditions = context[-1]
+        expected = solo_reference(context, inv_cell, arcs)
+        expected_nand = solo_reference(context, nand2_cell,
+                                       inv_arcs(nand2_cell))
+        clear_all_caches()
+        sim_cache = get_simulation_cache()
+        store = DiskStore(tmp_path / "disk", name="simulation")
+        sim_cache.attach_disk_store(store)
+        faults = [
+            FaultSpec(site="service.slow_worker", kind="slow",
+                      at_calls=(0,), delay_s=0.25),
+            FaultSpec(site="service.stuck_request", kind="slow",
+                      at_calls=(1,), delay_s=0.4),
+            FaultSpec(site="persist.write", kind="enospc", rate=1.0),
+        ]
+        try:
+            breaker = CircuitBreaker(failure_threshold=1, cooldown_s=30.0)
+            with inject(faults, seed=13) as injector:
+                service = make_service(context, breaker=breaker,
+                                       queue_depth=8, start=False)
+                # Deterministic submission order; the waiting clients are
+                # genuinely concurrent threads.
+                impatient = service.submit(inv_cell, arcs, conditions,
+                                           deadline_s=0.05)
+                stuck = service.submit(inv_cell, arcs, conditions)
+                peers = [service.submit(
+                    [inv_cell, nand2_cell][index % 2],
+                    inv_arcs([inv_cell, nand2_cell][index % 2]), conditions)
+                    for index in range(4)]
+                outcomes = {}
+
+                def wait(name, ticket):
+                    try:
+                        outcomes[name] = ticket.result(timeout=120)
+                    except BaseException as error:
+                        outcomes[name] = error
+
+                waiters = [threading.Thread(target=wait, args=pair)
+                           for pair in ([("impatient", impatient),
+                                         ("stuck", stuck)]
+                                        + [(f"peer{i}", t)
+                                           for i, t in enumerate(peers)])]
+                for thread in waiters:
+                    thread.start()
+                service.start()
+                for thread in waiters:
+                    thread.join(timeout=120)
+                service.close()
+                fired = {event.site for event in injector.events}
+            # Every client completed: the slow batch cost the impatient
+            # client its deadline, everyone else got full results.
+            assert len(outcomes) == 6
+            assert isinstance(outcomes["impatient"], DeadlineExceeded)
+            for name, outcome in outcomes.items():
+                if name == "impatient":
+                    continue
+                assert not isinstance(outcome, BaseException), (name, outcome)
+                assert outcome.complete
+                reference = (expected if "INV" in
+                             next(iter(outcome.characterizations))
+                             else expected_nand)
+                for arc_name, got in outcome.characterizations.items():
+                    assert_same_characterization(got, reference[arc_name])
+            # The stuck request was held out of the first batch yet still
+            # completed -- served by its peers' coalesced batch.
+            assert outcomes["stuck"].coalesced
+            # The dead disk tripped the breaker; service stayed up.
+            assert {"service.slow_worker", "service.stuck_request",
+                    "persist.write"} <= fired
+            assert breaker.state == "open"
+            assert sim_cache.disk_store is None
+            stats = service.stats()
+            assert stats.completed == 6
+            assert stats.deadline_misses == 1
+            assert stats.queue_peak <= 8
+            assert service.ledger.metrics()["service_rows_shared"] >= 0
+        finally:
+            sim_cache.detach_disk_store()
+            clear_all_caches()
